@@ -1,0 +1,43 @@
+//! Scratch diagnostics (not part of the published harness).
+use terradir::System;
+use terradir_bench::Args;
+use terradir_workload::StreamPlan;
+
+fn main() {
+    let args = Args::parse();
+    let scale = args.scale();
+    let rate = scale.rate(20_000.0);
+    let ns = scale.ts_namespace();
+    eprintln!("servers {} nodes {} rate {}", scale.servers, ns.len(), rate);
+    let mut sys = System::new(ns, scale.config(args.seed), StreamPlan::unif(250.0), rate);
+    for t in [10.0, 25.0, 50.0, 100.0] {
+        sys.run_until(t);
+        let st = sys.stats();
+        eprintln!("t={t}: inj {} res {} dropQ {} ttl {} hops {:.2} load {:.3}/{:.3} repl {} sess {}/{}",
+            st.injected, st.resolved, st.dropped_queue, st.dropped_ttl,
+            st.hops.mean().unwrap_or(0.0),
+            st.load_mean_per_sec.last().copied().unwrap_or(0.0), st.load_max_per_sec.last().copied().unwrap_or(0.0),
+            st.replicas_created, st.sessions_completed, st.sessions_started);
+    }
+    // Who is overloaded, and what do they host?
+    let mut loads: Vec<(f64, u32)> = sys.servers().iter().map(|s| (s.measured_load(), s.id().0)).collect();
+    loads.sort_by(|a,b| b.0.partial_cmp(&a.0).unwrap());
+    let nsr = sys.namespace();
+    for (l, id) in loads.iter().take(5) {
+        let s = sys.server(terradir::ServerId(*id));
+        let owned_depths: Vec<u16> = s.owned_ids().map(|n| nsr.depth(n)).collect();
+        let rep_depths: Vec<u16> = s.replica_ids().map(|n| nsr.depth(n)).collect();
+        eprintln!("server {id} load {l:.2} owned depths {owned_depths:?} replica depths {rep_depths:?} known_loads {}", s.known_load_count());
+    }
+    eprintln!("replicas/level now: {:?}", sys.replicas_per_level());
+    // How many hosts does the root have?
+    let root_hosts = sys.servers().iter().filter(|s| s.hosts(terradir::NodeId(0))).count();
+    let l1: Vec<usize> = nsr.children(nsr.root()).iter().map(|&c| sys.servers().iter().filter(|s| s.hosts(c)).count()).collect();
+    eprintln!("root hosted by {root_hosts} servers; level-1 hosts {l1:?}");
+    let (c, a, r) = terradir::oracle::routing_accuracy(&sys);
+    eprintln!("routing accuracy: {a}/{c} = {r:.4}");
+    let truth = terradir::oracle::GlobalTruth::from_system(&sys);
+    let rep = terradir::oracle::map_staleness(&sys, &truth);
+    eprintln!("map staleness: {}/{} = {:.4}", rep.stale, rep.entries, rep.fraction());
+}
+// appended: nothing

@@ -1,0 +1,23 @@
+//! Scratch diagnostics: digests off.
+use terradir::System;
+use terradir_bench::Args;
+use terradir_workload::StreamPlan;
+
+fn main() {
+    let args = Args::parse();
+    let scale = args.scale();
+    let rate = scale.rate(20_000.0);
+    let ns = scale.ts_namespace();
+    let mut cfg = scale.config(args.seed);
+    cfg.digests = false;
+    let mut sys = System::new(ns, cfg, StreamPlan::unif(250.0), rate);
+    for t in [10.0, 25.0, 50.0, 100.0] {
+        sys.run_until(t);
+        let st = sys.stats();
+        eprintln!("t={t}: inj {} res {} dropQ {} ttl {} hops {:.2} load {:.3}/{:.3} repl {} del {} sess {}/{}",
+            st.injected, st.resolved, st.dropped_queue, st.dropped_ttl,
+            st.hops.mean().unwrap_or(0.0),
+            st.load_mean_per_sec.last().copied().unwrap_or(0.0), st.load_max_per_sec.last().copied().unwrap_or(0.0),
+            st.replicas_created, st.replicas_deleted, st.sessions_completed, st.sessions_started);
+    }
+}

@@ -1,0 +1,119 @@
+//! **Fig. 4** — Fraction of replicas created every second (relative to λ)
+//! over time, T_C (Coda-like file-system) namespace, λ = 40 000/s scaled
+//! ("we doubled the query arrival rate to keep the system at approximately
+//! the same utilization"), for `unif` and `uzipf{0.75..1.50}` adaptation
+//! streams.
+//!
+//! Paper shape: a burst of replica creation at the start (hierarchical
+//! stabilization) and at every popularity reshuffle, decaying in between —
+//! the replication model reacting to overload rather than churning.
+
+use terradir::System;
+use terradir_bench::{tsv_header, tsv_row, Args, ShapeChecks};
+use terradir_workload::StreamPlan;
+
+fn main() {
+    let args = Args::parse();
+    let scale = args.scale();
+    let total = scale.duration(250.0);
+    let rate = scale.rate(40_000.0);
+    let orders = [0.75, 1.00, 1.25, 1.50];
+
+    let ns_len = scale.tc_namespace(args.seed).len();
+    eprintln!(
+        "fig4: {} servers, {} T_C nodes, λ={rate:.0}/s, {total:.0}s per stream",
+        scale.servers, ns_len
+    );
+
+    let mut series: Vec<(String, Vec<f64>, Vec<f64>)> = Vec::new();
+
+    {
+        let mut sys = System::new(
+            scale.tc_namespace(args.seed),
+            scale.config(args.seed),
+            StreamPlan::unif(total),
+            rate,
+        );
+        sys.run_until(total);
+        series.push((
+            "unif".into(),
+            sys.stats().replicas_per_sec.normalized(rate),
+            vec![],
+        ));
+    }
+
+    for (k, &order) in orders.iter().enumerate() {
+        let warmup = scale.duration(50.0 + 10.0 * k as f64);
+        let shifts = 4usize;
+        let seg = ((total - warmup) / shifts as f64).max(1.0);
+        let plan = StreamPlan::adaptation(order, warmup, shifts, seg);
+        let reshuffles = plan.reshuffle_times();
+        let mut sys = System::new(
+            scale.tc_namespace(args.seed),
+            scale.config(args.seed),
+            plan,
+            rate,
+        );
+        sys.run_until(total);
+        series.push((
+            format!("uzipf{order:.2}"),
+            sys.stats().replicas_per_sec.normalized(rate),
+            reshuffles,
+        ));
+    }
+
+    let bins = series.iter().map(|(_, s, _)| s.len()).max().unwrap_or(0);
+    let labels: Vec<&str> = series.iter().map(|(l, _, _)| l.as_str()).collect();
+    tsv_header(&[&["time"], labels.as_slice()].concat());
+    for t in 0..bins {
+        let row: Vec<f64> = series
+            .iter()
+            .map(|(_, s, _)| s.get(t).copied().unwrap_or(0.0))
+            .collect();
+        tsv_row(&format!("{t}"), &row);
+    }
+
+    let mut checks = ShapeChecks::new();
+    for (label, per_sec, reshuffles) in &series {
+        if per_sec.len() < 20 {
+            continue;
+        }
+        // Creation decays: the last fifth of the run creates fewer replicas
+        // per second than the first fifth (stabilization).
+        let fifth = per_sec.len() / 5;
+        let head: f64 = per_sec[..fifth].iter().sum::<f64>() / fifth as f64;
+        let tail: f64 = per_sec[per_sec.len() - fifth..].iter().sum::<f64>() / fifth as f64;
+        checks.check(
+            &format!("{label}: creation decays over the run"),
+            tail <= head || head < 1e-7,
+            format!("head {head:.6} tail {tail:.6}"),
+        );
+        if !reshuffles.is_empty() {
+            // Compare the 15 s after each shift against the 15 s before it
+            // — the reaction must stand out from the local baseline.
+            let mut after = 0.0;
+            let mut n_after = 0usize;
+            let mut before = 0.0;
+            let mut n_before = 0usize;
+            for &rt in reshuffles {
+                let start = rt as usize;
+                for t in start..(start + 15).min(per_sec.len()) {
+                    after += per_sec[t];
+                    n_after += 1;
+                }
+                for t in start.saturating_sub(15)..start {
+                    before += per_sec[t];
+                    n_before += 1;
+                }
+            }
+            let after_mean = if n_after > 0 { after / n_after as f64 } else { 0.0 };
+            let before_mean = if n_before > 0 { before / n_before as f64 } else { 0.0 };
+            checks.check(
+                &format!("{label}: creation bursts at reshuffles"),
+                after_mean >= before_mean || before_mean < 1e-7,
+                format!("post-shift mean {after_mean:.6} vs pre-shift {before_mean:.6}"),
+            );
+        }
+    }
+    std::process::exit(if checks.finish() { 0 } else { 1 });
+}

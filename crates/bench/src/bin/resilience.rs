@@ -1,0 +1,117 @@
+//! **Fault-tolerance extension** — the paper argues (§1, §2.4, §3.1) that
+//! soft-state replication buys routing resiliency for free: caches "jump
+//! over namespace partitions induced by network failures", and "hosting
+//! servers for nodes with failed replicas will incur more load after
+//! failure than before, and will replicate again to meet new load
+//! conditions". The paper never measures this; this binary does.
+//!
+//! Protocol: warm the system under Zipf load, fail a fraction of servers
+//! instantaneously, and track per-second resolution. Compare the full
+//! protocol (BCR) against the caching-only baseline, and report the
+//! post-failure replication response.
+
+use terradir::{Config, ServerId, System};
+use terradir_bench::{pct, tsv_header, tsv_row, Args, ShapeChecks};
+use terradir_workload::StreamPlan;
+
+fn main() {
+    let args = Args::parse();
+    let scale = args.scale();
+    let warm = scale.duration(60.0);
+    let total = scale.duration(160.0);
+    let rate = scale.rate(20_000.0);
+    let fail_fraction = 0.10;
+
+    eprintln!(
+        "resilience: {} servers, λ={rate:.0}/s, failing {} at t={warm:.0}s",
+        scale.servers,
+        pct(fail_fraction)
+    );
+
+    let mut curves: Vec<(String, Vec<f64>, u64, u64)> = Vec::new();
+    for (label, cfg) in [
+        ("BCR", Config::paper_default(scale.servers).with_seed(args.seed)),
+        ("BC", Config::caching_only(scale.servers).with_seed(args.seed)),
+    ] {
+        let mut sys = System::new(
+            scale.ts_namespace(),
+            cfg,
+            StreamPlan::uzipf(1.0, total),
+            rate,
+        );
+        sys.run_until(warm);
+        let drops_before_fail = sys.stats().dropped_total();
+        let replicas_before = sys.stats().replicas_created;
+        // Fail every k-th server (deterministic, spread over the fleet).
+        let step = (1.0 / fail_fraction) as u32;
+        for i in (0..scale.servers).step_by(step as usize) {
+            sys.fail_server(ServerId(i));
+        }
+        sys.run_until(total);
+        let st = sys.stats();
+        // Per-second resolution fraction = 1 − drops/λ.
+        let per_sec: Vec<f64> = st
+            .drops_per_sec
+            .normalized(rate)
+            .into_iter()
+            .map(|d| 1.0 - d.min(1.0))
+            .collect();
+        curves.push((
+            label.to_string(),
+            per_sec,
+            st.dropped_total() - drops_before_fail,
+            st.replicas_created - replicas_before,
+        ));
+        eprint!(".");
+    }
+    eprintln!();
+
+    let labels: Vec<&str> = curves.iter().map(|(l, _, _, _)| l.as_str()).collect();
+    tsv_header(&[&["time"], labels.as_slice()].concat());
+    let bins = curves.iter().map(|(_, c, _, _)| c.len()).max().unwrap_or(0);
+    for t in 0..bins {
+        let row: Vec<f64> = curves
+            .iter()
+            .map(|(_, c, _, _)| c.get(t).copied().unwrap_or(1.0))
+            .collect();
+        tsv_row(&format!("{t}"), &row);
+    }
+
+    let mut checks = ShapeChecks::new();
+    let post_window = ((total - warm) * rate) as u64;
+    for (label, per_sec, post_drops, post_replicas) in &curves {
+        let post_drop_frac = *post_drops as f64 / post_window.max(1) as f64;
+        // The failure must not collapse the system: a 10 % server loss
+        // bounds the *permanently* unresolvable mass well below 25 %.
+        checks.check(
+            &format!("{label}: survives a 10% server failure"),
+            post_drop_frac < 0.25,
+            format!("post-failure drop fraction {}", pct(post_drop_frac)),
+        );
+        // Resolution in the final 10 s recovered close to its pre-failure
+        // level.
+        let tail = &per_sec[per_sec.len().saturating_sub(10)..];
+        let tail_mean = tail.iter().sum::<f64>() / tail.len().max(1) as f64;
+        checks.check(
+            &format!("{label}: steady state recovers"),
+            tail_mean > 0.75,
+            format!("final resolution fraction {}", pct(tail_mean)),
+        );
+        if *label == "BCR" {
+            checks.check(
+                "BCR: failure triggers re-replication",
+                *post_replicas > 0,
+                format!("{post_replicas} replicas created after the failure"),
+            );
+        }
+    }
+    // BCR absorbs the failure at least as well as BC.
+    let bcr_drops = curves[0].2;
+    let bc_drops = curves[1].2;
+    checks.check(
+        "replication absorbs failures at least as well as caching alone",
+        bcr_drops <= bc_drops + post_window / 50,
+        format!("BCR {bcr_drops} vs BC {bc_drops} post-failure drops"),
+    );
+    std::process::exit(if checks.finish() { 0 } else { 1 });
+}

@@ -1,0 +1,246 @@
+//! Experiment harness shared by every figure-reproduction binary.
+//!
+//! Each binary in `src/bin/` regenerates one figure/table of the paper
+//! (see DESIGN.md §4 for the index and EXPERIMENTS.md for results). All of
+//! them accept:
+//!
+//! ```text
+//! --full           paper scale (4096 servers, full λ, full durations)
+//! --servers N      override the server count (nodes scale with it)
+//! --seed S         master seed (default 42)
+//! --time-mult F    multiply run durations by F
+//! ```
+//!
+//! The default ("quick") scale divides the paper's system by 16
+//! (256 servers) and scales the arrival rates proportionally, which
+//! preserves per-server utilization — the quantity every experiment's
+//! shape depends on — while finishing in seconds.
+
+#![warn(missing_docs)]
+
+use terradir::Config;
+use terradir_namespace::{balanced_tree, coda_like, CodaParams, Namespace};
+use terradir_workload::{seeded_rng, seed::tags};
+
+/// Parsed command-line arguments.
+#[derive(Debug, Clone)]
+pub struct Args {
+    /// Run at full paper scale.
+    pub full: bool,
+    /// Server-count override.
+    pub servers: Option<u32>,
+    /// Master seed.
+    pub seed: u64,
+    /// Duration multiplier.
+    pub time_mult: f64,
+}
+
+impl Args {
+    /// Parses `std::env::args()`, exiting with usage on error.
+    pub fn parse() -> Args {
+        let mut args = Args {
+            full: false,
+            servers: None,
+            seed: 42,
+            time_mult: 1.0,
+        };
+        let mut it = std::env::args().skip(1);
+        while let Some(a) = it.next() {
+            match a.as_str() {
+                "--full" => args.full = true,
+                "--servers" => {
+                    args.servers = Some(
+                        it.next()
+                            .and_then(|v| v.parse().ok())
+                            .unwrap_or_else(|| usage("--servers needs a number")),
+                    )
+                }
+                "--seed" => {
+                    args.seed = it
+                        .next()
+                        .and_then(|v| v.parse().ok())
+                        .unwrap_or_else(|| usage("--seed needs a number"))
+                }
+                "--time-mult" => {
+                    args.time_mult = it
+                        .next()
+                        .and_then(|v| v.parse().ok())
+                        .unwrap_or_else(|| usage("--time-mult needs a number"))
+                }
+                "--help" | "-h" => usage(""),
+                other => usage(&format!("unknown flag {other}")),
+            }
+        }
+        args
+    }
+
+    /// The scale this invocation runs at.
+    pub fn scale(&self) -> Scale {
+        let servers = self.servers.unwrap_or(if self.full { 4096 } else { 256 });
+        Scale::for_servers(servers, self.time_mult)
+    }
+}
+
+fn usage(err: &str) -> ! {
+    if !err.is_empty() {
+        eprintln!("error: {err}");
+    }
+    eprintln!("usage: <bin> [--full] [--servers N] [--seed S] [--time-mult F]");
+    std::process::exit(if err.is_empty() { 0 } else { 2 });
+}
+
+/// Experiment scale: everything derived from the server count so that
+/// per-server utilization matches the paper at any size.
+#[derive(Debug, Clone, Copy)]
+pub struct Scale {
+    /// Participating servers.
+    pub servers: u32,
+    /// Levels of the balanced binary T_S namespace (8 nodes/server).
+    pub ts_levels: u16,
+    /// Node count of the synthetic Coda-like T_C namespace (~20/server).
+    pub tc_nodes: usize,
+    /// Multiplier applied to the paper's arrival rates (servers / 4096).
+    pub rate_mult: f64,
+    /// Multiplier applied to run durations.
+    pub time_mult: f64,
+}
+
+impl Scale {
+    /// Builds the scale for a server count (rounded up to a power of two
+    /// so the balanced tree gives exactly 8 nodes/server).
+    pub fn for_servers(servers: u32, time_mult: f64) -> Scale {
+        assert!(servers >= 2, "need at least 2 servers");
+        let servers = servers.next_power_of_two();
+        // 8 nodes/server: tree with servers*8 − 1 = 2^(levels+1) − 1 nodes.
+        let ts_levels = (31 - (servers * 8).leading_zeros() - 1) as u16;
+        Scale {
+            servers,
+            ts_levels,
+            tc_nodes: servers as usize * 20,
+            rate_mult: servers as f64 / 4096.0,
+            time_mult,
+        }
+    }
+
+    /// The synthetic T_S namespace (perfectly balanced binary tree).
+    pub fn ts_namespace(&self) -> Namespace {
+        balanced_tree(2, self.ts_levels)
+    }
+
+    /// The Coda-stand-in T_C namespace (seeded from the master seed).
+    pub fn tc_namespace(&self, seed: u64) -> Namespace {
+        let params = CodaParams {
+            nodes: self.tc_nodes,
+            ..CodaParams::default()
+        };
+        let mut rng = seeded_rng(seed, tags::NAMESPACE);
+        coda_like(&params, &mut rng)
+    }
+
+    /// The paper's λ scaled to this system size.
+    pub fn rate(&self, paper_rate: f64) -> f64 {
+        (paper_rate * self.rate_mult).max(1.0)
+    }
+
+    /// A run duration scaled by the time multiplier.
+    pub fn duration(&self, paper_seconds: f64) -> f64 {
+        (paper_seconds * self.time_mult).max(1.0)
+    }
+
+    /// The paper-default protocol configuration at this scale.
+    pub fn config(&self, seed: u64) -> Config {
+        Config::paper_default(self.servers).with_seed(seed)
+    }
+}
+
+/// Prints a TSV header line (column names) to stdout.
+pub fn tsv_header(cols: &[&str]) {
+    println!("{}", cols.join("\t"));
+}
+
+/// Prints one TSV row of floats with stable formatting.
+pub fn tsv_row(label: &str, values: &[f64]) {
+    let cells: Vec<String> = values.iter().map(|v| format!("{v:.6}")).collect();
+    println!("{label}\t{}", cells.join("\t"));
+}
+
+/// Formats a fraction as a percentage string.
+pub fn pct(x: f64) -> String {
+    format!("{:.2}%", x * 100.0)
+}
+
+/// A minimal shape-check reporter: prints PASS/FAIL lines the
+/// EXPERIMENTS.md table is built from, and tracks overall status.
+#[derive(Debug, Default)]
+pub struct ShapeChecks {
+    failures: usize,
+    total: usize,
+}
+
+impl ShapeChecks {
+    /// New empty checker.
+    pub fn new() -> ShapeChecks {
+        ShapeChecks::default()
+    }
+
+    /// Records one named check.
+    pub fn check(&mut self, name: &str, ok: bool, detail: String) {
+        self.total += 1;
+        if !ok {
+            self.failures += 1;
+        }
+        println!("# shape[{}] {}: {}", if ok { "PASS" } else { "FAIL" }, name, detail);
+    }
+
+    /// Prints the summary line; returns whether everything passed.
+    pub fn finish(self) -> bool {
+        println!(
+            "# shape summary: {}/{} checks passed",
+            self.total - self.failures,
+            self.total
+        );
+        self.failures == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scale_keeps_eight_nodes_per_server() {
+        for servers in [4u32, 32, 256, 4096] {
+            let s = Scale::for_servers(servers, 1.0);
+            let nodes = 2usize.pow(s.ts_levels as u32 + 1) - 1;
+            let per_server = nodes as f64 / s.servers as f64;
+            assert!(
+                (7.0..=8.0).contains(&per_server),
+                "{servers} servers → {per_server} nodes/server"
+            );
+        }
+    }
+
+    #[test]
+    fn full_scale_matches_paper() {
+        let s = Scale::for_servers(4096, 1.0);
+        assert_eq!(s.servers, 4096);
+        assert_eq!(s.ts_levels, 14); // 32767 nodes
+        assert_eq!(s.ts_namespace().len(), 32_767);
+        assert!((s.rate(20_000.0) - 20_000.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn rate_scales_with_servers() {
+        let s = Scale::for_servers(256, 1.0);
+        assert!((s.rate(20_000.0) - 1250.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn tc_namespace_is_seed_deterministic() {
+        let s = Scale::for_servers(16, 1.0);
+        let a = s.tc_namespace(7);
+        let b = s.tc_namespace(7);
+        assert_eq!(a.len(), b.len());
+        assert_eq!(a.len(), 320);
+    }
+}

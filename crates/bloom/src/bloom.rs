@@ -1,0 +1,219 @@
+//! The Bloom filter bit array.
+
+use crate::hashing::{hash128, index};
+
+/// Sizing parameters of a Bloom filter.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BloomParams {
+    /// Number of bits in the filter.
+    pub bits: u64,
+    /// Number of hash probes per item.
+    pub k: u32,
+    /// Hash seed; digests with different seeds are incompatible.
+    pub seed: u64,
+}
+
+impl BloomParams {
+    /// Computes optimal parameters for an expected `capacity` items at a
+    /// target false-positive rate `fpr`.
+    ///
+    /// Uses the classic formulas `m = −n·ln p / (ln 2)²` and
+    /// `k = (m/n)·ln 2`, clamped to at least 64 bits and one probe.
+    ///
+    /// ```
+    /// use terradir_bloom::BloomParams;
+    /// let p = BloomParams::for_capacity(1000, 0.01, 0);
+    /// assert!(p.bits >= 9000 && p.bits <= 10200);
+    /// assert!(p.k >= 6 && p.k <= 8);
+    /// ```
+    pub fn for_capacity(capacity: usize, fpr: f64, seed: u64) -> BloomParams {
+        assert!(fpr > 0.0 && fpr < 1.0, "fpr must be in (0, 1)");
+        let n = capacity.max(1) as f64;
+        let ln2 = std::f64::consts::LN_2;
+        let bits = (-n * fpr.ln() / (ln2 * ln2)).ceil().max(64.0) as u64;
+        let k = ((bits as f64 / n) * ln2).round().max(1.0) as u32;
+        BloomParams { bits, k, seed }
+    }
+
+    /// The predicted false-positive rate once `n` items are inserted:
+    /// `(1 − e^{−kn/m})^k`.
+    pub fn predicted_fpr(&self, n: usize) -> f64 {
+        let exponent = -(self.k as f64) * (n as f64) / (self.bits as f64);
+        (1.0 - exponent.exp()).powi(self.k as i32)
+    }
+}
+
+/// A Bloom filter over byte strings (node names).
+///
+/// Membership tests have one-sided error: [`BloomFilter::contains`] may
+/// return `true` for an item never inserted (false positive), but never
+/// `false` for an inserted item. That asymmetry is what makes digest-based
+/// map pruning *conservative* (paper §3.6.2): a failed test proves the
+/// server does not host the node, so the map entry can be dropped safely.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BloomFilter {
+    params: BloomParams,
+    words: Box<[u64]>,
+    items: usize,
+}
+
+impl BloomFilter {
+    /// Creates an empty filter with the given parameters.
+    pub fn new(params: BloomParams) -> BloomFilter {
+        assert!(params.bits >= 1, "filter needs at least one bit");
+        assert!(params.k >= 1, "filter needs at least one probe");
+        let words = vec![0u64; params.bits.div_ceil(64) as usize].into_boxed_slice();
+        BloomFilter {
+            params,
+            words,
+            items: 0,
+        }
+    }
+
+    /// Convenience constructor sized for `capacity` items at rate `fpr`.
+    pub fn with_capacity(capacity: usize, fpr: f64, seed: u64) -> BloomFilter {
+        Self::new(BloomParams::for_capacity(capacity, fpr, seed))
+    }
+
+    /// The filter's sizing parameters.
+    #[inline]
+    pub fn params(&self) -> BloomParams {
+        self.params
+    }
+
+    /// Number of items inserted so far.
+    #[inline]
+    pub fn items(&self) -> usize {
+        self.items
+    }
+
+    /// Whether no item has been inserted.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.items == 0
+    }
+
+    #[inline]
+    fn set_bit(&mut self, bit: u64) {
+        self.words[(bit / 64) as usize] |= 1u64 << (bit % 64);
+    }
+
+    #[inline]
+    fn get_bit(&self, bit: u64) -> bool {
+        self.words[(bit / 64) as usize] & (1u64 << (bit % 64)) != 0
+    }
+
+    /// Inserts an item.
+    pub fn insert(&mut self, item: &[u8]) {
+        let h = hash128(item, self.params.seed);
+        for i in 0..self.params.k {
+            self.set_bit(index(h, i, self.params.bits));
+        }
+        self.items += 1;
+    }
+
+    /// Tests membership: `false` means *definitely not present*, `true`
+    /// means *probably present*.
+    pub fn contains(&self, item: &[u8]) -> bool {
+        let h = hash128(item, self.params.seed);
+        (0..self.params.k).all(|i| self.get_bit(index(h, i, self.params.bits)))
+    }
+
+    /// Fraction of bits set — a saturation measure (0.5 at the design
+    /// capacity for optimally sized filters).
+    pub fn fill_ratio(&self) -> f64 {
+        let set: u32 = self.words.iter().map(|w| w.count_ones()).sum();
+        set as f64 / self.params.bits as f64
+    }
+
+    /// Size of the bit array in bytes (what a digest costs on the wire).
+    pub fn byte_size(&self) -> usize {
+        self.words.len() * 8
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn no_false_negatives() {
+        let mut f = BloomFilter::with_capacity(100, 0.01, 7);
+        let names: Vec<String> = (0..100).map(|i| format!("/srv/n{i}")).collect();
+        for n in &names {
+            f.insert(n.as_bytes());
+        }
+        for n in &names {
+            assert!(f.contains(n.as_bytes()), "false negative for {n}");
+        }
+        assert_eq!(f.items(), 100);
+    }
+
+    #[test]
+    fn empty_filter_contains_nothing() {
+        let f = BloomFilter::with_capacity(10, 0.01, 0);
+        assert!(f.is_empty());
+        assert!(!f.contains(b"/anything"));
+        assert_eq!(f.fill_ratio(), 0.0);
+    }
+
+    #[test]
+    fn fpr_near_design_target() {
+        let cap = 2000;
+        let mut f = BloomFilter::with_capacity(cap, 0.01, 123);
+        for i in 0..cap {
+            f.insert(format!("/present/{i}").as_bytes());
+        }
+        let trials = 20_000;
+        let fp = (0..trials)
+            .filter(|i| f.contains(format!("/absent/{i}").as_bytes()))
+            .count();
+        let rate = fp as f64 / trials as f64;
+        assert!(rate < 0.03, "observed FPR {rate} way above 1% design target");
+    }
+
+    #[test]
+    fn predicted_fpr_monotonic_in_load() {
+        let p = BloomParams::for_capacity(1000, 0.01, 0);
+        assert!(p.predicted_fpr(100) < p.predicted_fpr(1000));
+        assert!(p.predicted_fpr(1000) < p.predicted_fpr(5000));
+    }
+
+    #[test]
+    fn fill_ratio_about_half_at_capacity() {
+        let cap = 1000;
+        let mut f = BloomFilter::with_capacity(cap, 0.01, 5);
+        for i in 0..cap {
+            f.insert(format!("/n/{i}").as_bytes());
+        }
+        let r = f.fill_ratio();
+        assert!((0.4..0.6).contains(&r), "fill ratio {r} not near 0.5");
+    }
+
+    #[test]
+    fn different_seeds_give_different_filters() {
+        let mut a = BloomFilter::with_capacity(10, 0.01, 1);
+        let mut b = BloomFilter::with_capacity(10, 0.01, 2);
+        a.insert(b"/x");
+        b.insert(b"/x");
+        assert_ne!(a.words, b.words);
+    }
+
+    #[test]
+    fn tiny_filters_are_legal() {
+        let mut f = BloomFilter::new(BloomParams {
+            bits: 64,
+            k: 1,
+            seed: 0,
+        });
+        f.insert(b"/a");
+        assert!(f.contains(b"/a"));
+        assert_eq!(f.byte_size(), 8);
+    }
+
+    #[test]
+    #[should_panic(expected = "fpr must be in (0, 1)")]
+    fn rejects_invalid_fpr() {
+        BloomParams::for_capacity(10, 0.0, 0);
+    }
+}

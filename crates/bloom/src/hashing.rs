@@ -1,0 +1,136 @@
+//! Self-contained 128-bit string hashing for digest membership tests.
+//!
+//! The digest layer needs a fast, stable, seedable hash of node-name bytes
+//! producing two independent 64-bit values for double hashing. We implement
+//! a variant of FNV-1a widened with a xxHash-style avalanche finalizer —
+//! no external dependency, identical output on every platform and run,
+//! which keeps simulations reproducible.
+
+/// Two independent 64-bit hash values of the input bytes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Hash128 {
+    /// First (base) hash value.
+    pub h1: u64,
+    /// Second (step) hash value used for double hashing.
+    pub h2: u64,
+}
+
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+/// Final avalanche mix (from SplitMix64); decorrelates low/high bits.
+#[inline]
+pub fn mix64(mut x: u64) -> u64 {
+    x ^= x >> 30;
+    x = x.wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    x ^= x >> 27;
+    x = x.wrapping_mul(0x94d0_49bb_1331_11eb);
+    x ^= x >> 31;
+    x
+}
+
+/// Hashes `bytes` with the given seed into two 64-bit values.
+///
+/// The two lanes run FNV-1a with different offsets; each is finished with
+/// [`mix64`] so similar names (common in hierarchical namespaces, where
+/// siblings share long prefixes) spread over the full bit range.
+pub fn hash128(bytes: &[u8], seed: u64) -> Hash128 {
+    let mut a = FNV_OFFSET ^ mix64(seed);
+    let mut b = FNV_OFFSET ^ mix64(seed.wrapping_add(0x9e37_79b9_7f4a_7c15));
+    for &byte in bytes {
+        a = (a ^ byte as u64).wrapping_mul(FNV_PRIME);
+        b = (b ^ byte as u64).wrapping_mul(FNV_PRIME).rotate_left(29);
+    }
+    Hash128 {
+        h1: mix64(a ^ (bytes.len() as u64)),
+        h2: mix64(b) | 1, // force odd so double-hash steps hit all slots
+    }
+}
+
+/// The `i`-th double-hash index in `[0, m)` for a hashed item.
+///
+/// `g_i(x) = h1(x) + i·h2(x) mod m` (Kirsch–Mitzenmacher construction);
+/// `h2` is forced odd by [`hash128`] so consecutive probes do not collapse
+/// for power-of-two `m`.
+#[inline]
+pub fn index(h: Hash128, i: u32, m: u64) -> u64 {
+    debug_assert!(m > 0);
+    h.h1.wrapping_add((i as u64).wrapping_mul(h.h2)) % m
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_across_calls() {
+        let a = hash128(b"/university/public", 42);
+        let b = hash128(b"/university/public", 42);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn seed_changes_output() {
+        let a = hash128(b"/a/b", 1);
+        let b = hash128(b"/a/b", 2);
+        assert_ne!(a.h1, b.h1);
+    }
+
+    #[test]
+    fn sibling_names_diverge() {
+        // Hierarchical names share long prefixes; the hashes must not.
+        let a = hash128(b"/u/p/people/students/Ann", 0);
+        let b = hash128(b"/u/p/people/students/Amy", 0);
+        assert_ne!(a.h1, b.h1);
+        assert_ne!(a.h2, b.h2);
+        // And differ in many bits, not just a few.
+        assert!((a.h1 ^ b.h1).count_ones() > 16);
+    }
+
+    #[test]
+    fn prefix_of_name_diverges() {
+        let a = hash128(b"/a/b", 0);
+        let b = hash128(b"/a/b/c", 0);
+        assert_ne!(a.h1, b.h1);
+    }
+
+    #[test]
+    fn h2_is_odd() {
+        for s in 0..64 {
+            let h = hash128(b"some-name", s);
+            assert_eq!(h.h2 & 1, 1);
+        }
+    }
+
+    #[test]
+    fn indices_stay_in_range_and_vary() {
+        let h = hash128(b"/x/y/z", 7);
+        let m = 1021; // prime
+        let idxs: Vec<u64> = (0..8).map(|i| index(h, i, m)).collect();
+        assert!(idxs.iter().all(|&i| i < m));
+        let distinct: std::collections::HashSet<_> = idxs.iter().collect();
+        assert!(distinct.len() >= 6, "double hashing should rarely collide");
+    }
+
+    #[test]
+    fn empty_input_is_valid() {
+        let h = hash128(b"", 3);
+        assert_eq!(h.h2 & 1, 1);
+        let _ = index(h, 0, 64);
+    }
+
+    #[test]
+    fn bit_distribution_is_roughly_uniform() {
+        // Hash 4k distinct names into 64 buckets; every bucket should be
+        // populated and no bucket should hold more than ~3x the mean.
+        let mut buckets = [0u32; 64];
+        for i in 0..4096 {
+            let name = format!("/dir{}/file{}", i % 61, i);
+            let h = hash128(name.as_bytes(), 0);
+            buckets[(h.h1 % 64) as usize] += 1;
+        }
+        let mean = 4096 / 64;
+        assert!(buckets.iter().all(|&c| c > 0));
+        assert!(buckets.iter().all(|&c| c < 3 * mean));
+    }
+}

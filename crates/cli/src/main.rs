@@ -1,0 +1,24 @@
+//! `terradir-run`: run TerraDir simulations from the command line.
+
+use std::process::ExitCode;
+
+use terradir_cli::Spec;
+
+fn main() -> ExitCode {
+    let spec = match Spec::parse(std::env::args().skip(1)) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("{e}");
+            return ExitCode::from(2);
+        }
+    };
+    let mut stdout = std::io::stdout();
+    let mut stderr = std::io::stderr();
+    match spec.run(&mut stdout, &mut stderr) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

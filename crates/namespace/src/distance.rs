@@ -1,0 +1,242 @@
+//! Namespace distance metric, lowest common ancestors, and tree paths.
+//!
+//! The TerraDir routing procedure guarantees *incremental progress*: each
+//! forwarding step moves the query at least one unit closer to the
+//! destination in the namespace distance metric. The metric is the length of
+//! the unique tree path between two nodes:
+//!
+//! `d(a, b) = depth(a) + depth(b) − 2·depth(lca(a, b))`
+
+use crate::tree::{Namespace, NodeId};
+
+/// Lowest common ancestor of `a` and `b`.
+///
+/// Runs in O(depth) by first equalizing depths and then walking both parent
+/// chains in lockstep. TerraDir namespaces are shallow (≤ ~20 levels), so
+/// this is effectively constant time and needs no preprocessing.
+pub fn lca(ns: &Namespace, mut a: NodeId, mut b: NodeId) -> NodeId {
+    let mut da = ns.depth(a);
+    let mut db = ns.depth(b);
+    while da > db {
+        a = ns.parent(a).expect("non-root node has a parent");
+        da -= 1;
+    }
+    while db > da {
+        b = ns.parent(b).expect("non-root node has a parent");
+        db -= 1;
+    }
+    while a != b {
+        a = ns.parent(a).expect("nodes at equal depth above root");
+        b = ns.parent(b).expect("nodes at equal depth above root");
+    }
+    a
+}
+
+/// Namespace distance between two nodes (number of tree edges on the unique
+/// path between them).
+///
+/// ```
+/// use terradir_namespace::{balanced_tree, distance};
+/// let ns = balanced_tree(2, 3);
+/// let a = ns.lookup_str("/0/0/0").unwrap();
+/// let b = ns.lookup_str("/0/1").unwrap();
+/// assert_eq!(distance(&ns, a, b), 3);
+/// ```
+pub fn distance(ns: &Namespace, a: NodeId, b: NodeId) -> u32 {
+    let l = lca(ns, a, b);
+    (ns.depth(a) as u32 + ns.depth(b) as u32) - 2 * ns.depth(l) as u32
+}
+
+/// Whether `anc` is an ancestor of `node` or the node itself.
+pub fn is_ancestor_or_self(ns: &Namespace, anc: NodeId, node: NodeId) -> bool {
+    let mut cur = node;
+    loop {
+        if cur == anc {
+            return true;
+        }
+        match ns.parent(cur) {
+            Some(p) => cur = p,
+            None => return false,
+        }
+    }
+}
+
+/// The next node on the unique tree path from `from` towards `to`.
+///
+/// Panics if `from == to` (there is no next hop).
+///
+/// If `to` lies strictly below `from`, the next hop is the child of `from`
+/// on the path; otherwise it is `from`'s parent. This is exactly the
+/// neighbor a TerraDir host forwards through when it holds no better
+/// (cached/replicated/digest) state.
+pub fn next_hop_toward(ns: &Namespace, from: NodeId, to: NodeId) -> NodeId {
+    assert_ne!(from, to, "no next hop from a node to itself");
+    // Walk `to` upward until just below `from`'s depth+1 — if we land on a
+    // child of `from`, that child is the next hop; otherwise go up.
+    let df = ns.depth(from);
+    let mut cur = to;
+    let mut dc = ns.depth(cur);
+    if dc > df {
+        while dc > df + 1 {
+            cur = ns.parent(cur).expect("deeper than from");
+            dc -= 1;
+        }
+        if ns.parent(cur) == Some(from) {
+            return cur;
+        }
+    }
+    ns.parent(from)
+        .expect("from != to and to is not below from, so from is not the root or root is LCA")
+}
+
+/// All ancestors of `node` bottom-up, excluding the node, including the root.
+pub fn ancestors(ns: &Namespace, node: NodeId) -> Vec<NodeId> {
+    let mut out = Vec::with_capacity(ns.depth(node) as usize);
+    let mut cur = ns.parent(node);
+    while let Some(p) = cur {
+        out.push(p);
+        cur = ns.parent(p);
+    }
+    out
+}
+
+/// The full hop-by-hop path from `a` to `b`, inclusive of both endpoints.
+///
+/// The path goes up from `a` to `lca(a, b)` then down to `b`; its length
+/// (in edges) equals [`distance`].
+pub fn path_between(ns: &Namespace, a: NodeId, b: NodeId) -> Vec<NodeId> {
+    let l = lca(ns, a, b);
+    let mut up = Vec::new();
+    let mut cur = a;
+    while cur != l {
+        up.push(cur);
+        cur = ns.parent(cur).expect("walking up to the LCA");
+    }
+    up.push(l);
+    let mut down = Vec::new();
+    cur = b;
+    while cur != l {
+        down.push(cur);
+        cur = ns.parent(cur).expect("walking up to the LCA");
+    }
+    up.extend(down.into_iter().rev());
+    up
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::balanced_tree;
+
+    fn tiny() -> Namespace {
+        // /a, /a/b, /a/c, /d
+        let mut ns = Namespace::new();
+        let a = ns.add_child(ns.root(), "a").unwrap();
+        ns.add_child(a, "b").unwrap();
+        ns.add_child(a, "c").unwrap();
+        ns.add_child(ns.root(), "d").unwrap();
+        ns
+    }
+
+    #[test]
+    fn lca_basics() {
+        let ns = tiny();
+        let b = ns.lookup_str("/a/b").unwrap();
+        let c = ns.lookup_str("/a/c").unwrap();
+        let a = ns.lookup_str("/a").unwrap();
+        let d = ns.lookup_str("/d").unwrap();
+        assert_eq!(lca(&ns, b, c), a);
+        assert_eq!(lca(&ns, b, d), ns.root());
+        assert_eq!(lca(&ns, b, b), b);
+        assert_eq!(lca(&ns, a, b), a);
+    }
+
+    #[test]
+    fn distance_matches_paper_example() {
+        // Paper §2.2.1: query from /a/b to /a/c routes /a/b → /a → /a/c.
+        let ns = tiny();
+        let b = ns.lookup_str("/a/b").unwrap();
+        let c = ns.lookup_str("/a/c").unwrap();
+        assert_eq!(distance(&ns, b, c), 2);
+        assert_eq!(path_between(&ns, b, c).len(), 3);
+    }
+
+    #[test]
+    fn distance_is_a_metric_on_small_tree() {
+        let ns = balanced_tree(2, 4);
+        let ids: Vec<_> = ns.ids().collect();
+        for &x in &ids {
+            assert_eq!(distance(&ns, x, x), 0);
+            for &y in &ids {
+                assert_eq!(distance(&ns, x, y), distance(&ns, y, x));
+                for &z in &ids {
+                    assert!(distance(&ns, x, z) <= distance(&ns, x, y) + distance(&ns, y, z));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn next_hop_descends_and_ascends() {
+        let ns = tiny();
+        let a = ns.lookup_str("/a").unwrap();
+        let b = ns.lookup_str("/a/b").unwrap();
+        let d = ns.lookup_str("/d").unwrap();
+        assert_eq!(next_hop_toward(&ns, a, b), b);
+        assert_eq!(next_hop_toward(&ns, b, d), a);
+        assert_eq!(next_hop_toward(&ns, ns.root(), b), a);
+        assert_eq!(next_hop_toward(&ns, d, ns.root()), ns.root());
+    }
+
+    #[test]
+    fn next_hop_reduces_distance_by_one_everywhere() {
+        let ns = balanced_tree(3, 3);
+        let ids: Vec<_> = ns.ids().collect();
+        for &x in &ids {
+            for &y in &ids {
+                if x == y {
+                    continue;
+                }
+                let h = next_hop_toward(&ns, x, y);
+                assert_eq!(distance(&ns, h, y) + 1, distance(&ns, x, y));
+            }
+        }
+    }
+
+    #[test]
+    fn path_between_endpoints_and_length() {
+        let ns = balanced_tree(2, 5);
+        let a = ns.lookup_str("/0/1/0/1/0").unwrap();
+        let b = ns.lookup_str("/1/0").unwrap();
+        let p = path_between(&ns, a, b);
+        assert_eq!(p.first(), Some(&a));
+        assert_eq!(p.last(), Some(&b));
+        assert_eq!(p.len() as u32, distance(&ns, a, b) + 1);
+        // Consecutive path elements are tree neighbors.
+        for w in p.windows(2) {
+            assert!(ns.parent(w[0]) == Some(w[1]) || ns.parent(w[1]) == Some(w[0]));
+        }
+    }
+
+    #[test]
+    fn ancestor_predicate() {
+        let ns = tiny();
+        let a = ns.lookup_str("/a").unwrap();
+        let b = ns.lookup_str("/a/b").unwrap();
+        let d = ns.lookup_str("/d").unwrap();
+        assert!(is_ancestor_or_self(&ns, a, b));
+        assert!(is_ancestor_or_self(&ns, ns.root(), d));
+        assert!(is_ancestor_or_self(&ns, b, b));
+        assert!(!is_ancestor_or_self(&ns, b, a));
+        assert!(!is_ancestor_or_self(&ns, d, b));
+    }
+
+    #[test]
+    fn ancestors_walk_to_root() {
+        let ns = tiny();
+        let b = ns.lookup_str("/a/b").unwrap();
+        let a = ns.lookup_str("/a").unwrap();
+        assert_eq!(ancestors(&ns, b), vec![a, ns.root()]);
+        assert!(ancestors(&ns, ns.root()).is_empty());
+    }
+}

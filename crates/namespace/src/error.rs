@@ -1,0 +1,40 @@
+//! Error types for namespace construction and name parsing.
+
+use std::fmt;
+
+/// Errors produced when parsing or validating hierarchical names.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum NameError {
+    /// The name did not start with `/`.
+    NotAbsolute,
+    /// The name contained an empty segment (`//` or a trailing `/`).
+    EmptySegment,
+    /// The name contained an interior NUL byte, which the digest hashing
+    /// layer reserves as a separator sentinel.
+    NulByte,
+    /// A child with this segment already exists under the given parent.
+    DuplicateChild {
+        /// Parent path under which the duplicate was inserted.
+        parent: String,
+        /// Offending segment.
+        segment: String,
+    },
+    /// A looked-up name does not exist in the namespace.
+    UnknownName(String),
+}
+
+impl fmt::Display for NameError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            NameError::NotAbsolute => write!(f, "name must start with '/'"),
+            NameError::EmptySegment => write!(f, "name contains an empty segment"),
+            NameError::NulByte => write!(f, "name contains a NUL byte"),
+            NameError::DuplicateChild { parent, segment } => {
+                write!(f, "duplicate child '{segment}' under '{parent}'")
+            }
+            NameError::UnknownName(name) => write!(f, "unknown name '{name}'"),
+        }
+    }
+}
+
+impl std::error::Error for NameError {}

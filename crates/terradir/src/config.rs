@@ -1,0 +1,272 @@
+//! Protocol and simulation configuration.
+
+use serde::{Deserialize, Serialize};
+
+/// All protocol and environment knobs, with the paper's evaluation defaults
+/// (§4.1 and DESIGN.md §3 for glyph-decoded values).
+///
+/// The three systems compared in Fig. 5 are configuration points:
+///
+/// | System | `caching` | `replication` |
+/// |--------|-----------|---------------|
+/// | B      | false     | false         |
+/// | BC     | true      | false         |
+/// | BCR    | true      | true          |
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Config {
+    /// Number of participating servers.
+    pub n_servers: u32,
+    /// Mean of the exponential per-message service time, seconds.
+    pub mean_service: f64,
+    /// Constant application-layer network delay per hop, seconds.
+    pub network_delay: f64,
+    /// Per-server request queue capacity; queries arriving beyond it drop.
+    pub queue_capacity: usize,
+    /// Route-cache slots per server.
+    pub cache_slots: usize,
+    /// Enable route caching with path propagation (the "C" in BC/BCR).
+    pub caching: bool,
+    /// Enable adaptive replication (the "R" in BCR).
+    pub replication: bool,
+    /// Enable inverse-mapping digests (shortcuts + map pruning).
+    pub digests: bool,
+    /// Cache the whole propagated path at every step (the paper's path
+    /// propagation). When disabled, only the query endpoints are cached —
+    /// the strawman the paper compares against in §2.4.
+    pub path_propagation: bool,
+    /// Apply the hysteresis load adjustment of §3.3 step 4. Disabling it
+    /// is the ablation for replica thrashing.
+    pub hysteresis: bool,
+    /// Load-metric window W, seconds ("e.g. half a second").
+    pub load_window: f64,
+    /// High-water load threshold T_high triggering replication sessions.
+    pub t_high: f64,
+    /// Minimum load gap δ_min for a destination to accept replicas.
+    pub delta_min: f64,
+    /// Replication factor R_fact: max replicas hosted per server relative
+    /// to the number of owned nodes.
+    pub r_fact: f64,
+    /// Maximum node-map size R_map (entries per map, stored and shipped).
+    pub r_map: usize,
+    /// Failed partner-selection attempts before a session aborts.
+    pub max_session_attempts: u32,
+    /// Cooldown after an aborted session before retrying, seconds.
+    pub session_cooldown: f64,
+    /// A session older than this is abandoned (lost control message).
+    pub session_timeout: f64,
+    /// Half-life of node-weight demand counters, seconds (the paper rescales
+    /// counters periodically; we decay them continuously, which is the same
+    /// estimator without a rescale event).
+    pub weight_half_life: f64,
+    /// Replicas whose decayed weight falls below this are eligible for idle
+    /// eviction at maintenance time.
+    pub evict_weight_threshold: f64,
+    /// Minimum replica age before idle eviction, seconds.
+    pub evict_min_age: f64,
+    /// Target false-positive rate of inverse-mapping digests.
+    pub digest_fpr: f64,
+    /// Maximum digests retained per server (LRU).
+    pub digest_store_slots: usize,
+    /// Maximum Bloom tests spent per routing step on shortcut discovery.
+    pub digest_test_budget: usize,
+    /// Known-load table slots per server (LRU).
+    pub known_load_slots: usize,
+    /// Load information older than this is ignored when picking partners.
+    pub load_stale_after: f64,
+    /// Hop TTL; queries exceeding it are dropped (guards against routing
+    /// loops caused by stale soft state).
+    pub ttl_hops: u32,
+    /// Maximum path entries propagated with a query (path propagation cap).
+    pub path_cap: usize,
+    /// Service cost of a control message relative to `mean_service`.
+    pub control_service_factor: f64,
+    /// After advertising a new replica, a host back-propagates its map
+    /// upstream for this long (§3.7 back-propagation).
+    pub backprop_window: f64,
+    /// Minimum gap between back-propagations of the same record.
+    pub backprop_min_gap: f64,
+    /// An incoming replica only displaces an existing one when its demand
+    /// weight exceeds the victim's by this factor (anti-thrash guard on
+    /// capacity evictions; see DESIGN.md).
+    pub evict_displace_factor: f64,
+    /// Server speed heterogeneity: per-server service rates are drawn
+    /// log-uniformly from `[1/spread, spread]` and normalized to mean 1
+    /// (so aggregate capacity is spread-invariant). 1.0 = homogeneous.
+    /// The paper's normalized load metric exists precisely so the
+    /// replication protocol can exploit such heterogeneity (§3.1, §5).
+    pub speed_spread: f64,
+    /// Static replication bootstrap (the paper’s §2.3 alternative, \[15\]):
+    /// nodes at depth < this value receive `static_replicas_per_node`
+    /// replicas at start-up. 0 disables it.
+    pub static_top_levels: u16,
+    /// Replicas installed per statically replicated node.
+    pub static_replicas_per_node: usize,
+    /// Master seed for every random component.
+    pub seed: u64,
+}
+
+impl Config {
+    /// The paper's evaluation defaults for a system of `n_servers` servers.
+    pub fn paper_default(n_servers: u32) -> Config {
+        Config {
+            n_servers,
+            mean_service: 0.020,
+            network_delay: 0.025,
+            queue_capacity: 32,
+            cache_slots: 24,
+            caching: true,
+            replication: true,
+            digests: true,
+            path_propagation: true,
+            hysteresis: true,
+            load_window: 0.5,
+            t_high: 0.75,
+            delta_min: 0.25,
+            r_fact: 2.0,
+            r_map: 5,
+            max_session_attempts: 3,
+            session_cooldown: 0.5,
+            session_timeout: 2.0,
+            weight_half_life: 2.0,
+            evict_weight_threshold: 0.01,
+            evict_min_age: 5.0,
+            digest_fpr: 0.0001,
+            digest_store_slots: 128,
+            digest_test_budget: 256,
+            known_load_slots: 256,
+            load_stale_after: 5.0,
+            ttl_hops: 64,
+            path_cap: 32,
+            control_service_factor: 0.1,
+            backprop_window: 3.0,
+            backprop_min_gap: 0.25,
+            evict_displace_factor: 1.5,
+            speed_spread: 1.0,
+            static_top_levels: 0,
+            static_replicas_per_node: 3,
+            seed: 0,
+        }
+    }
+
+    /// The base system **B** of Fig. 5: no caching, no replication.
+    pub fn base_system(n_servers: u32) -> Config {
+        Config {
+            caching: false,
+            replication: false,
+            digests: false,
+            ..Config::paper_default(n_servers)
+        }
+    }
+
+    /// The **BC** system of Fig. 5: caching only.
+    pub fn caching_only(n_servers: u32) -> Config {
+        Config {
+            replication: false,
+            ..Config::paper_default(n_servers)
+        }
+    }
+
+    /// Builder-style seed override.
+    pub fn with_seed(mut self, seed: u64) -> Config {
+        self.seed = seed;
+        self
+    }
+
+    /// Maximum number of replicas a server owning `owned` nodes may host.
+    pub fn replica_cap(&self, owned: usize) -> usize {
+        (self.r_fact * owned as f64).floor() as usize
+    }
+
+    /// Validates internal consistency; returns a description of the first
+    /// violated constraint.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.n_servers == 0 {
+            return Err("n_servers must be positive".into());
+        }
+        if !(self.mean_service > 0.0) {
+            return Err("mean_service must be positive".into());
+        }
+        if self.network_delay < 0.0 {
+            return Err("network_delay must be non-negative".into());
+        }
+        if !(0.0 < self.t_high && self.t_high <= 1.0) {
+            return Err("t_high must be in (0, 1]".into());
+        }
+        if !(0.0 < self.delta_min && self.delta_min <= 1.0) {
+            return Err("delta_min must be in (0, 1]".into());
+        }
+        if self.r_fact < 0.0 {
+            return Err("r_fact must be non-negative".into());
+        }
+        if self.r_map == 0 {
+            return Err("r_map must be at least 1".into());
+        }
+        if !(self.load_window > 0.0) {
+            return Err("load_window must be positive".into());
+        }
+        if self.ttl_hops == 0 {
+            return Err("ttl_hops must be at least 1".into());
+        }
+        if !(self.speed_spread >= 1.0) {
+            return Err("speed_spread must be ≥ 1".into());
+        }
+        if self.replication && !self.caching {
+            // The paper always pairs R with C (BCR); replication without
+            // caching is allowed in principle but advertises replicas via
+            // path dissemination, so warn via error to avoid accidental use.
+            return Err("replication requires caching (BCR stacking)".into());
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_default_is_valid() {
+        assert_eq!(Config::paper_default(4096).validate(), Ok(()));
+    }
+
+    #[test]
+    fn baseline_configs_toggle_features() {
+        let b = Config::base_system(8);
+        assert!(!b.caching && !b.replication);
+        assert_eq!(b.validate(), Ok(()));
+        let bc = Config::caching_only(8);
+        assert!(bc.caching && !bc.replication);
+        assert_eq!(bc.validate(), Ok(()));
+    }
+
+    #[test]
+    fn replica_cap_scales_with_owned() {
+        let c = Config::paper_default(4);
+        assert_eq!(c.replica_cap(8), 16);
+        let half = Config {
+            r_fact: 0.5,
+            ..Config::paper_default(4)
+        };
+        assert_eq!(half.replica_cap(8), 4);
+        assert_eq!(half.replica_cap(1), 0);
+    }
+
+    #[test]
+    fn validate_catches_bad_values() {
+        let mut c = Config::paper_default(4);
+        c.t_high = 1.5;
+        assert!(c.validate().is_err());
+        let mut c = Config::paper_default(4);
+        c.n_servers = 0;
+        assert!(c.validate().is_err());
+        let mut c = Config::paper_default(4);
+        c.caching = false;
+        assert!(c.validate().is_err(), "R without C should be rejected");
+    }
+
+    #[test]
+    fn with_seed_overrides() {
+        let c = Config::paper_default(4).with_seed(99);
+        assert_eq!(c.seed, 99);
+    }
+}

@@ -1,0 +1,311 @@
+//! Protocol messages.
+//!
+//! TerraDir disseminates soft state exclusively *in-band*: "the disruption
+//! caused by an individual query can be addressed by piggybacking on query
+//! messages limited amounts of information about replica configurations and
+//! server loads and digests" (paper §6). [`QueryPacket`] therefore carries,
+//! besides the lookup itself, the propagated path (node maps seen so far),
+//! the sender's current load, and the sender's digest. The only
+//! out-of-band traffic is the replication control handshake
+//! (probe → reply → request → ack/deny).
+
+use std::sync::Arc;
+
+use terradir_bloom::Digest;
+use terradir_namespace::{NodeId, ServerId};
+
+use crate::map::NodeMap;
+use crate::meta::Meta;
+
+/// What a query asks of the node it resolves at.
+///
+/// "Complex search queries are decomposed hierarchically into individual
+/// lookup queries" (§2.1): a [`QueryKind::List`] resolution returns the
+/// node's children with maps, letting a client walk a subtree by repeated
+/// lookups with no global knowledge.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum QueryKind {
+    /// Resolve the node itself (name + meta + map).
+    #[default]
+    Lookup,
+    /// Additionally return the node's children and their maps.
+    List,
+}
+
+/// A lookup query in flight.
+#[derive(Debug, Clone)]
+pub struct QueryPacket {
+    /// Unique query id (assigned by the injector).
+    pub id: u64,
+    /// What the query asks for at resolution.
+    pub kind: QueryKind,
+    /// Server where the query was initiated (receives the result).
+    pub origin: ServerId,
+    /// The node being looked up.
+    pub target: NodeId,
+    /// Simulation time the query entered the system.
+    pub issued_at: f64,
+    /// Forwarding steps taken so far (network hops).
+    pub hops: u32,
+    /// Path propagation: `(node, map)` pairs accumulated along the route,
+    /// merged into every visited server's cache and cached wholesale at the
+    /// origin on completion. Bounded by `Config::path_cap`.
+    pub path: Vec<(NodeId, NodeMap)>,
+    /// The forwarding server's effective load (piggybacked profiling input
+    /// for partner selection).
+    pub sender_load: Option<(ServerId, f64)>,
+    /// The forwarding server's inverse-mapping digest.
+    pub sender_digest: Option<(ServerId, Digest)>,
+    /// The node the previous hop routed *via* (whose map named the
+    /// receiver as a host). The receiver checks it against its actual
+    /// hosted set to measure routing accuracy (§4.4's oracle comparison)
+    /// and back-propagates fresh replica maps for it (§3.7).
+    pub intended_via: Option<NodeId>,
+    /// The server that forwarded this packet last (back-propagation
+    /// target).
+    pub prev_hop: Option<ServerId>,
+    /// The last few servers this packet visited (loop damping: selection
+    /// prefers hosts not in this ring). Bounded to [`RECENT_HOPS`].
+    pub recent: Vec<ServerId>,
+}
+
+/// How many recently visited servers a packet remembers for loop damping.
+pub const RECENT_HOPS: usize = 4;
+
+impl QueryPacket {
+    /// A fresh query issued at `origin` for `target` at time `now`.
+    pub fn new(id: u64, origin: ServerId, target: NodeId, now: f64) -> QueryPacket {
+        QueryPacket {
+            id,
+            kind: QueryKind::Lookup,
+            origin,
+            target,
+            issued_at: now,
+            hops: 0,
+            path: Vec::new(),
+            sender_load: None,
+            sender_digest: None,
+            intended_via: None,
+            prev_hop: None,
+            recent: Vec::new(),
+        }
+    }
+
+    /// Records a visited server in the bounded recent-hop ring.
+    pub fn push_recent(&mut self, server: ServerId) {
+        if self.recent.len() >= RECENT_HOPS {
+            self.recent.remove(0);
+        }
+        self.recent.push(server);
+    }
+
+    /// Appends a path entry, keeping the path within `cap` entries. When
+    /// full, the *middle* entry is dropped: the paper observes that "this
+    /// mixture of close and far nodes performs significantly better than
+    /// caching the query endpoints", so we preserve both ends of the path.
+    pub fn push_path(&mut self, node: NodeId, map: NodeMap, cap: usize) {
+        if let Some((n, m)) = self.path.iter_mut().find(|(n, _)| *n == node) {
+            let _ = n;
+            *m = map;
+            return;
+        }
+        if self.path.len() >= cap.max(2) {
+            let mid = self.path.len() / 2;
+            self.path.remove(mid);
+        }
+        self.path.push((node, map));
+    }
+}
+
+/// One node's routing state shipped in a replicate request.
+#[derive(Debug, Clone)]
+pub struct ReplicaPayload {
+    /// The node being replicated.
+    pub node: NodeId,
+    /// The sender's map for the node (sender included).
+    pub map: NodeMap,
+    /// Meta-data snapshot at the sender.
+    pub meta: Meta,
+    /// The node's routing context: a map for each topological neighbor.
+    pub neighbors: Vec<(NodeId, NodeMap)>,
+    /// Demand-weight hint so the replica ranks realistically at the target.
+    pub weight: f64,
+}
+
+/// All TerraDir protocol messages.
+#[derive(Debug, Clone)]
+pub enum Message {
+    /// A lookup being routed.
+    Query(QueryPacket),
+    /// A resolved lookup returning to its origin. Carries the full
+    /// propagated path (including the resolved target's map) for caching.
+    QueryResult {
+        /// The resolved query.
+        packet: QueryPacket,
+        /// Host that resolved it.
+        resolved_by: ServerId,
+        /// Meta-data returned by the resolving host — the lookup result
+        /// is "the node's name, its meta-data, and mapping information"
+        /// (§2.1).
+        meta: Meta,
+        /// For [`QueryKind::List`] queries: the resolved node's children
+        /// with the maps the resolving host keeps for them (its routing
+        /// context guarantees one per child). Empty for plain lookups.
+        children: Vec<(NodeId, NodeMap)>,
+    },
+    /// Replication step 2: the overloaded server asks a candidate partner
+    /// for its actual load.
+    LoadProbe {
+        /// The probing (overloaded) server.
+        from: ServerId,
+        /// Its effective load, so the partner learns it too.
+        load: f64,
+    },
+    /// Reply to [`Message::LoadProbe`] with the partner's actual load.
+    LoadProbeReply {
+        /// The probed server.
+        from: ServerId,
+        /// Its effective load.
+        load: f64,
+    },
+    /// Replication step 3: ship the top-ranked node records.
+    ReplicateRequest {
+        /// The shedding server.
+        from: ServerId,
+        /// Its effective load at send time (re-checked for admission).
+        sender_load: f64,
+        /// The node records to install.
+        replicas: Vec<ReplicaPayload>,
+    },
+    /// The partner installed (some of) the replicas.
+    ReplicateAck {
+        /// The accepting server.
+        from: ServerId,
+        /// Nodes actually installed (the sender advertises these).
+        installed: Vec<NodeId>,
+        /// Load gap the partner applied as hysteresis (sender applies the
+        /// mirror image).
+        shift: f64,
+    },
+    /// Back-propagation (§3.7): a host that recently advertised new
+    /// replicas for `node` pushes its fresh map one hop upstream, so the
+    /// servers that route *toward* the node learn to split traffic over
+    /// the replicas.
+    MapUpdate {
+        /// The node whose map is being refreshed.
+        node: NodeId,
+        /// The sender's current map for the node.
+        map: NodeMap,
+    },
+    /// Step two of the two-step access (§2.1): ask a host for the node's
+    /// *data*. Only the owner exports data (routing-state replication
+    /// never copies it), so a replica answers with `None` and the client
+    /// tries the next mapped host.
+    GetData {
+        /// Client-chosen fetch id (echoed in the reply).
+        id: u64,
+        /// The node whose data is wanted.
+        node: NodeId,
+        /// The requesting server.
+        from: ServerId,
+    },
+    /// Reply to [`Message::GetData`].
+    DataReply {
+        /// The fetch id.
+        id: u64,
+        /// The node.
+        node: NodeId,
+        /// The replying server.
+        from: ServerId,
+        /// The data, if this host exports it.
+        data: Option<Arc<[u8]>>,
+    },
+    /// Stale-entry correction (§3.5: "removing stale entries from maps
+    /// when they are routed through servers"): the sender routed a query
+    /// to us via `node`, but we do not host it — tell the sender to drop
+    /// us from that map.
+    NotHosting {
+        /// The node the correction is about.
+        node: NodeId,
+        /// The server that does not host it.
+        from: ServerId,
+    },
+    /// The partner refused (its load rose, or the gap closed).
+    ReplicateDeny {
+        /// The refusing server.
+        from: ServerId,
+        /// Its current effective load (updates the sender's table).
+        load: f64,
+    },
+}
+
+impl Message {
+    /// Whether this is a query-path message (subject to the bounded request
+    /// queue) as opposed to a lightweight control message.
+    pub fn is_query_traffic(&self) -> bool {
+        matches!(self, Message::Query(_) | Message::QueryResult { .. })
+    }
+
+    /// Whether this is replication control traffic (counted against the
+    /// paper's "load balancing messages" budget).
+    pub fn is_control(&self) -> bool {
+        !self.is_query_traffic()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pkt() -> QueryPacket {
+        QueryPacket::new(1, ServerId(0), NodeId(5), 0.0)
+    }
+
+    #[test]
+    fn new_packet_is_clean() {
+        let p = pkt();
+        assert_eq!(p.hops, 0);
+        assert!(p.path.is_empty());
+        assert!(p.sender_load.is_none());
+    }
+
+    #[test]
+    fn push_path_updates_existing_entry() {
+        let mut p = pkt();
+        p.push_path(NodeId(1), NodeMap::singleton(ServerId(1)), 4);
+        p.push_path(NodeId(1), NodeMap::singleton(ServerId(2)), 4);
+        assert_eq!(p.path.len(), 1);
+        assert_eq!(p.path[0].1.entries(), &[ServerId(2)]);
+    }
+
+    #[test]
+    fn push_path_drops_middle_when_full() {
+        let mut p = pkt();
+        for i in 0..6 {
+            p.push_path(NodeId(i), NodeMap::singleton(ServerId(i)), 4);
+        }
+        assert_eq!(p.path.len(), 4);
+        // The first entry (far end) survives.
+        assert_eq!(p.path[0].0, NodeId(0));
+        // The latest entry (near end) survives.
+        assert_eq!(p.path.last().unwrap().0, NodeId(5));
+    }
+
+    #[test]
+    fn traffic_classification() {
+        assert!(Message::Query(pkt()).is_query_traffic());
+        assert!(!Message::Query(pkt()).is_control());
+        let probe = Message::LoadProbe {
+            from: ServerId(0),
+            load: 0.9,
+        };
+        assert!(probe.is_control());
+        let res = Message::QueryResult {
+            packet: pkt(),
+            resolved_by: ServerId(1),
+            meta: crate::meta::Meta::new(),
+            children: Vec::new(),
+        };
+        assert!(res.is_query_traffic());
+    }
+}

@@ -1,0 +1,1089 @@
+//! The per-server TerraDir protocol state machine.
+//!
+//! [`ServerState`] holds everything one peer keeps (the paper's Table 1
+//! state plus the replication-protocol bookkeeping) and reacts to incoming
+//! [`Message`]s by mutating local state and emitting [`Outgoing`] effects.
+//! It is substrate-agnostic: the discrete-event [`System`](crate::system)
+//! and the live `terradir-net` runtime both drive it.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use rand::rngs::StdRng;
+
+
+use terradir_bloom::Digest;
+use terradir_namespace::{Namespace, NodeId, OwnerAssignment, ServerId};
+
+use crate::cache::RouteCache;
+use crate::config::Config;
+use crate::digests::{build_digest, DigestStore};
+use crate::load::LoadMeter;
+use crate::map::NodeMap;
+use crate::messages::{Message, QueryKind, QueryPacket};
+use crate::meta::Meta;
+use crate::ranking::NodeWeights;
+use crate::records::NodeRecord;
+use crate::replication::{KnownLoads, Session};
+use crate::routing::RouteChoice;
+
+/// Effects emitted while handling a message.
+#[derive(Debug, Clone)]
+pub enum Outgoing {
+    /// Transmit a message to a peer (the substrate adds network delay and
+    /// queueing).
+    Send {
+        /// Destination server.
+        to: ServerId,
+        /// The message.
+        msg: Message,
+    },
+    /// A protocol-level event for statistics/observability.
+    Event(ProtocolEvent),
+}
+
+/// Observable protocol events (consumed by [`RunStats`](crate::stats)).
+#[derive(Debug, Clone)]
+pub enum ProtocolEvent {
+    /// A query result arrived back at its origin.
+    Resolved {
+        /// Query id.
+        id: u64,
+        /// Lookup target.
+        target: NodeId,
+        /// Network hops the query took to resolve.
+        hops: u32,
+        /// Time the query entered the system.
+        issued_at: f64,
+        /// Meta-data version returned with the result.
+        meta_version: u64,
+        /// Children returned by a List query (empty for plain lookups).
+        children: Vec<NodeId>,
+    },
+    /// A query exceeded the hop TTL and was discarded.
+    DroppedTtl {
+        /// Query id.
+        id: u64,
+    },
+    /// A query could not be routed (no usable candidate — should not occur
+    /// with a connected namespace).
+    DroppedStuck {
+        /// Query id.
+        id: u64,
+    },
+    /// A replica was installed at this server.
+    ReplicaCreated {
+        /// The replicated node.
+        node: NodeId,
+        /// The installing server.
+        at: ServerId,
+    },
+    /// A replica was evicted from this server.
+    ReplicaDeleted {
+        /// The evicted node.
+        node: NodeId,
+        /// The evicting server.
+        at: ServerId,
+    },
+    /// A replication session started (probe sent).
+    SessionStarted {
+        /// The initiating (overloaded) server.
+        by: ServerId,
+    },
+    /// A replication session completed with `installed` new replicas.
+    SessionCompleted {
+        /// The initiating server.
+        by: ServerId,
+        /// Replicas installed at the partner.
+        installed: usize,
+    },
+    /// A replication session gave up (no eligible partner).
+    SessionAborted {
+        /// The initiating server.
+        by: ServerId,
+    },
+    /// A data fetch finished (step two of the two-step access).
+    DataFetched {
+        /// Fetch id passed to [`ServerState::begin_fetch`].
+        id: u64,
+        /// The node.
+        node: NodeId,
+        /// Whether data was obtained.
+        ok: bool,
+        /// Size of the data in bytes (0 on failure).
+        bytes: usize,
+    },
+}
+
+/// One peer's complete protocol state.
+#[derive(Debug)]
+pub struct ServerState {
+    pub(crate) id: ServerId,
+    pub(crate) ns: Arc<Namespace>,
+    pub(crate) cfg: Arc<Config>,
+    /// Nodes this server owns (full records; never evicted).
+    pub(crate) owned: HashMap<NodeId, NodeRecord>,
+    /// Soft-state replicas (bounded by `R_fact · |owned|`).
+    pub(crate) replicas: HashMap<NodeId, NodeRecord>,
+    /// Maps for the topological neighbors of every hosted node (the
+    /// routing *context* guaranteeing incremental progress).
+    pub(crate) neighbor_maps: HashMap<NodeId, NodeMap>,
+    /// LRU route cache (pointer state, no context).
+    pub(crate) cache: RouteCache,
+    /// Freshest inverse-mapping digest per remote server.
+    pub(crate) digest_store: DigestStore,
+    /// Demand counters ranking hosted nodes.
+    pub(crate) weights: NodeWeights,
+    /// The windowed busy-fraction load metric with hysteresis bias.
+    pub(crate) load: LoadMeter,
+    /// Profiled load information about other servers.
+    pub(crate) known_loads: KnownLoads,
+    /// This server's own current digest (rebuilt at maintenance when the
+    /// hosted set changed).
+    pub(crate) digest: Digest,
+    pub(crate) digest_dirty: bool,
+    pub(crate) digest_gen: u64,
+    /// In-flight replication session, if any.
+    pub(crate) session: Option<Session>,
+    /// No new session may start before this time.
+    pub(crate) cooldown_until: f64,
+    /// Forwarding steps received where the previous hop's map entry was
+    /// checked against our actual hosted set (routing-accuracy measurement).
+    pub(crate) hop_checks: u64,
+    /// Of those, how many were accurate (we really host the via node).
+    pub(crate) hop_accurate: u64,
+    /// Node data exported by this server (owners only; never replicated).
+    pub(crate) data_store: HashMap<NodeId, std::sync::Arc<[u8]>>,
+    /// In-progress data fetches initiated at this server.
+    pub(crate) pending_fetches: HashMap<u64, FetchState>,
+}
+
+/// Client-side state of one in-progress data fetch.
+#[derive(Debug, Clone)]
+pub(crate) struct FetchState {
+    node: NodeId,
+    candidates: Vec<ServerId>,
+    next: usize,
+}
+
+impl ServerState {
+    /// Bootstraps a server from the global ownership assignment: owned
+    /// records with singleton self maps, neighbor maps pointing at the true
+    /// owners (the static bootstrap state of the paper's system), and an
+    /// initial digest over the owned set.
+    pub fn new(
+        id: ServerId,
+        ns: Arc<Namespace>,
+        cfg: Arc<Config>,
+        assignment: &OwnerAssignment,
+    ) -> ServerState {
+        let mut owned = HashMap::new();
+        let mut neighbor_maps: HashMap<NodeId, NodeMap> = HashMap::new();
+        for &node in assignment.owned_by(id) {
+            owned.insert(
+                node,
+                NodeRecord::new(node, NodeMap::singleton(id), Meta::new(), 0.0),
+            );
+            for nb in ns.neighbors(node) {
+                neighbor_maps
+                    .entry(nb)
+                    .or_insert_with(|| NodeMap::singleton(assignment.owner(nb)));
+            }
+        }
+        let digest = build_digest(
+            &ns,
+            id,
+            owned.keys(),
+            Self::digest_capacity(&cfg, owned.len()),
+            cfg.digest_fpr,
+            0,
+        );
+        ServerState {
+            id,
+            owned,
+            replicas: HashMap::new(),
+            neighbor_maps,
+            cache: RouteCache::new(if cfg.caching { cfg.cache_slots } else { 0 }),
+            digest_store: DigestStore::new(if cfg.digests { cfg.digest_store_slots } else { 0 }),
+            weights: NodeWeights::new(cfg.weight_half_life),
+            load: LoadMeter::new(cfg.load_window, cfg.load_window * 4.0),
+            known_loads: KnownLoads::new(cfg.known_load_slots),
+            digest,
+            digest_dirty: false,
+            digest_gen: 0,
+            session: None,
+            cooldown_until: 0.0,
+            hop_checks: 0,
+            hop_accurate: 0,
+            data_store: HashMap::new(),
+            pending_fetches: HashMap::new(),
+            ns,
+            cfg,
+        }
+    }
+
+    fn digest_capacity(cfg: &Config, owned: usize) -> usize {
+        owned + cfg.replica_cap(owned)
+    }
+
+    /// This server's id.
+    #[inline]
+    pub fn id(&self) -> ServerId {
+        self.id
+    }
+
+    /// Whether this server hosts (owns or replicates) the node.
+    #[inline]
+    pub fn hosts(&self, node: NodeId) -> bool {
+        self.owned.contains_key(&node) || self.replicas.contains_key(&node)
+    }
+
+    /// The hosted record for a node, if any.
+    pub fn host_record(&self, node: NodeId) -> Option<&NodeRecord> {
+        self.owned.get(&node).or_else(|| self.replicas.get(&node))
+    }
+
+    pub(crate) fn host_record_mut(&mut self, node: NodeId) -> Option<&mut NodeRecord> {
+        if let Some(r) = self.owned.get_mut(&node) {
+            return Some(r);
+        }
+        self.replicas.get_mut(&node)
+    }
+
+    /// Number of owned nodes.
+    pub fn owned_count(&self) -> usize {
+        self.owned.len()
+    }
+
+    /// Number of replicas currently hosted.
+    pub fn replica_count(&self) -> usize {
+        self.replicas.len()
+    }
+
+    /// Iterator over owned node ids.
+    pub fn owned_ids(&self) -> impl Iterator<Item = NodeId> + '_ {
+        self.owned.keys().copied()
+    }
+
+    /// Iterator over replica node ids.
+    pub fn replica_ids(&self) -> impl Iterator<Item = NodeId> + '_ {
+        self.replicas.keys().copied()
+    }
+
+    /// Iterator over all hosted node ids (owned then replicas).
+    pub fn hosted_ids(&self) -> impl Iterator<Item = NodeId> + '_ {
+        self.owned.keys().chain(self.replicas.keys()).copied()
+    }
+
+    /// The effective (biased) load at `now`.
+    pub fn effective_load(&self, now: f64) -> f64 {
+        self.load.effective(now)
+    }
+
+    /// The measured (unbiased) load of the last completed window.
+    pub fn measured_load(&self) -> f64 {
+        self.load.measured()
+    }
+
+    /// Records a busy interval (called by the substrate when service
+    /// starts).
+    pub fn record_busy(&mut self, start: f64, duration: f64) {
+        self.load.record_busy(start, duration);
+    }
+
+    /// Adds a decaying bias to the effective load (the hysteresis hook of
+    /// §3.3 step 4; also used as an operational lever by the live runtime
+    /// to drive the replication trigger).
+    pub fn add_load_bias(&mut self, now: f64, delta: f64) {
+        self.load.add_bias(now, delta);
+    }
+
+    /// Read-only view of the route cache.
+    pub fn cache(&self) -> &RouteCache {
+        &self.cache
+    }
+
+    /// The stored map for a topological neighbor of a hosted node, if any.
+    pub fn neighbor_map(&self, node: NodeId) -> Option<&NodeMap> {
+        self.neighbor_maps.get(&node)
+    }
+
+    /// Whether this server keeps the full routing context for `node`
+    /// (a map for every topological neighbor) — the Table 1 "Context"
+    /// column.
+    pub fn has_context(&self, node: NodeId) -> bool {
+        self.ns
+            .neighbors(node)
+            .iter()
+            .all(|nb| self.neighbor_maps.contains_key(nb))
+    }
+
+    /// The server's current digest snapshot.
+    pub fn digest(&self) -> &Digest {
+        &self.digest
+    }
+
+    /// Main entry point: process one message, pushing effects into `out`.
+    pub fn handle_message(
+        &mut self,
+        now: f64,
+        msg: Message,
+        rng: &mut StdRng,
+        out: &mut Vec<Outgoing>,
+    ) {
+        match msg {
+            Message::Query(packet) => self.on_query(now, packet, rng, out),
+            Message::QueryResult {
+                packet,
+                resolved_by,
+                meta,
+                children,
+            } => self.on_result(now, packet, resolved_by, meta, children, rng, out),
+            Message::GetData { id, node, from } => {
+                let data = if self.owned.contains_key(&node) {
+                    self.data_store.get(&node).cloned()
+                } else {
+                    None
+                };
+                out.push(Outgoing::Send {
+                    to: from,
+                    msg: Message::DataReply {
+                        id,
+                        node,
+                        from: self.id,
+                        data,
+                    },
+                });
+            }
+            Message::DataReply { id, node, data, .. } => {
+                self.on_data_reply(id, node, data, out);
+            }
+            Message::LoadProbe { from, load } => {
+                self.known_loads.observe(from, load, now);
+                out.push(Outgoing::Send {
+                    to: from,
+                    msg: Message::LoadProbeReply {
+                        from: self.id,
+                        load: self.load.effective(now),
+                    },
+                });
+            }
+            Message::LoadProbeReply { from, load } => {
+                self.on_probe_reply(now, from, load, rng, out);
+            }
+            Message::ReplicateRequest {
+                from,
+                sender_load,
+                replicas,
+            } => self.on_replicate_request(now, from, sender_load, replicas, rng, out),
+            Message::ReplicateAck {
+                from,
+                installed,
+                shift,
+            } => self.on_replicate_ack(now, from, installed, shift, out),
+            Message::ReplicateDeny { from, load } => {
+                self.on_replicate_deny(now, from, load, rng, out);
+            }
+            Message::MapUpdate { node, map } => {
+                self.absorb_mapping(node, &map, rng);
+            }
+            Message::NotHosting { node, from } => {
+                self.drop_stale_host(node, from);
+            }
+        }
+    }
+
+    /// Removes a server proven stale from whatever map tracks `node`, and
+    /// denies the corresponding digest hit (a Bloom false positive repeats
+    /// deterministically until the digest is regenerated).
+    fn drop_stale_host(&mut self, node: NodeId, stale: ServerId) {
+        if stale == self.id {
+            return;
+        }
+        self.digest_store.deny(stale, node);
+        if let Some(rec) = self.host_record_mut(node) {
+            rec.map.remove(stale, false);
+            return;
+        }
+        if let Some(m) = self.neighbor_maps.get_mut(&node) {
+            m.remove(stale, false);
+            return;
+        }
+        let mut drop_entry = false;
+        if let Some(m) = self.cache.get_mut(node) {
+            m.remove(stale, true);
+            drop_entry = m.is_empty();
+        }
+        if drop_entry {
+            self.cache.remove(node);
+        }
+    }
+
+    /// Sends the record's map upstream if it was freshly advertised and the
+    /// rate limit allows.
+    fn maybe_backprop(&mut self, now: f64, node: NodeId, prev: ServerId, out: &mut Vec<Outgoing>) {
+        if !self.cfg.replication || prev == self.id {
+            return;
+        }
+        let window = self.cfg.backprop_window;
+        let min_gap = self.cfg.backprop_min_gap;
+        let Some(rec) = self.host_record_mut(node) else {
+            return;
+        };
+        if rec.map.len() <= 1
+            || now - rec.advertised_at > window
+            || now - rec.backprop_at < min_gap
+        {
+            return;
+        }
+        rec.backprop_at = now;
+        let map = rec.map.clone();
+        out.push(Outgoing::Send {
+            to: prev,
+            msg: Message::MapUpdate { node, map },
+        });
+    }
+
+    /// Routing step for an incoming query.
+    fn on_query(
+        &mut self,
+        now: f64,
+        mut p: QueryPacket,
+        rng: &mut StdRng,
+        out: &mut Vec<Outgoing>,
+    ) {
+        self.absorb_piggyback(now, &mut p, rng);
+        if let Some(via) = p.intended_via.take() {
+            self.hop_checks += 1;
+            if self.hosts(via) {
+                self.hop_accurate += 1;
+                // Back-propagation (§3.7): if we recently advertised new
+                // replicas for the node the sender routed via, push our
+                // fresh map one hop upstream so it splits future traffic.
+                if let Some(prev) = p.prev_hop {
+                    self.maybe_backprop(now, via, prev, out);
+                }
+            } else if let Some(prev) = p.prev_hop {
+                // Stale-entry correction (§3.5): the sender's map for
+                // `via` named us, but we no longer host it.
+                if prev != self.id {
+                    out.push(Outgoing::Send {
+                        to: prev,
+                        msg: Message::NotHosting {
+                            node: via,
+                            from: self.id,
+                        },
+                    });
+                }
+            }
+        }
+        let avoid = p.recent.clone();
+        match self.decide_route(p.target, &avoid, rng) {
+            RouteChoice::Resolve => {
+                self.weights.bump(p.target, now, 1.0);
+                let (map, meta) = {
+                    let rec = self.host_record(p.target).expect("decide said hosted");
+                    (rec.map.clone(), rec.meta.clone())
+                };
+                // List queries also return the children with the maps from
+                // our routing context (hosting the node guarantees one per
+                // child).
+                let children: Vec<(NodeId, NodeMap)> = if p.kind == QueryKind::List {
+                    self.ns
+                        .children(p.target)
+                        .iter()
+                        .filter_map(|&c| {
+                            self.neighbor_maps.get(&c).map(|m| (c, m.clone()))
+                        })
+                        .collect()
+                } else {
+                    Vec::new()
+                };
+                p.push_path(p.target, map, self.cfg.path_cap);
+                out.push(Outgoing::Send {
+                    to: p.origin,
+                    msg: Message::QueryResult {
+                        packet: p,
+                        resolved_by: self.id,
+                        meta,
+                        children,
+                    },
+                });
+            }
+            RouteChoice::Forward {
+                via,
+                to,
+                used_context_of,
+                map_snapshot,
+            } => {
+                if let Some(h) = used_context_of {
+                    self.weights.bump(h, now, 1.0);
+                }
+                if self.cfg.path_propagation {
+                    p.push_path(via, map_snapshot, self.cfg.path_cap);
+                }
+                p.hops += 1;
+                if p.hops > self.cfg.ttl_hops {
+                    if std::env::var_os("TERRADIR_TRACE_TTL").is_some() {
+                        eprintln!(
+                            "TTL drop at {}: target={} via={} recent={:?} path={:?}",
+                            self.id,
+                            p.target,
+                            via,
+                            p.recent,
+                            p.path
+                                .iter()
+                                .map(|(n, m)| (n.0, m.entries().to_vec()))
+                                .collect::<Vec<_>>()
+                        );
+                    }
+                    out.push(Outgoing::Event(ProtocolEvent::DroppedTtl { id: p.id }));
+                    return;
+                }
+                p.intended_via = Some(via);
+                p.prev_hop = Some(self.id);
+                p.push_recent(self.id);
+                p.sender_load = Some((self.id, self.load.effective(now)));
+                p.sender_digest = if self.cfg.digests {
+                    Some((self.id, self.digest.clone()))
+                } else {
+                    None
+                };
+                out.push(Outgoing::Send {
+                    to,
+                    msg: Message::Query(p),
+                });
+            }
+            RouteChoice::Stuck => {
+                out.push(Outgoing::Event(ProtocolEvent::DroppedStuck { id: p.id }));
+            }
+        }
+    }
+
+    /// A resolved query returned to this server (the origin): cache the
+    /// whole propagated path ("culminating in the entire path being cached
+    /// at the source when the query completes").
+    fn on_result(
+        &mut self,
+        now: f64,
+        mut p: QueryPacket,
+        _resolved_by: ServerId,
+        meta: Meta,
+        children: Vec<(NodeId, NodeMap)>,
+        rng: &mut StdRng,
+        out: &mut Vec<Outgoing>,
+    ) {
+        self.absorb_piggyback(now, &mut p, rng);
+        // If we happen to host the node (e.g. we replicate it), keep the
+        // newest meta we have encountered.
+        if let Some(rec) = self.host_record_mut(p.target) {
+            rec.absorb_meta(&meta);
+        }
+        // Child maps returned by a List query feed the local soft state:
+        // the follow-up per-child lookups of a decomposed search start
+        // with direct pointers.
+        let child_ids: Vec<NodeId> = children.iter().map(|(c, _)| *c).collect();
+        for (c, m) in &children {
+            self.absorb_mapping(*c, m, rng);
+        }
+        out.push(Outgoing::Event(ProtocolEvent::Resolved {
+            id: p.id,
+            target: p.target,
+            hops: p.hops,
+            issued_at: p.issued_at,
+            meta_version: meta.version(),
+            children: child_ids,
+        }));
+    }
+
+    /// Absorbs everything a packet carries: sender load, sender digest, and
+    /// the propagated path (merged into hosted records / neighbor maps /
+    /// the cache, whichever tracks the node).
+    fn absorb_piggyback(&mut self, now: f64, p: &mut QueryPacket, rng: &mut StdRng) {
+        if let Some((s, l)) = p.sender_load {
+            if s != self.id {
+                self.known_loads.observe(s, l, now);
+            }
+        }
+        if self.cfg.digests {
+            if let Some((s, d)) = &p.sender_digest {
+                if *s != self.id {
+                    self.digest_store.observe(*s, d);
+                }
+            }
+        }
+        let mut path = std::mem::take(&mut p.path);
+        // Correct the packet in flight: a path entry claiming *we* host a
+        // node we don't is authoritatively wrong. Left in place it
+        // re-poisons every downstream cache (including the sender's, on
+        // the next bounce) and sustains routing loops.
+        let my_id = self.id;
+        path.retain_mut(|(node, map)| {
+            if map.contains(my_id) && !self.hosts(*node) {
+                map.remove(my_id, true);
+            }
+            !map.is_empty()
+        });
+        if self.cfg.path_propagation {
+            for (node, map) in &path {
+                self.absorb_mapping(*node, map, rng);
+            }
+        } else {
+            // Endpoint-only caching (the strawman of §2.4): only the
+            // looked-up target's map is absorbed, and only at the origin
+            // when the result returns.
+            if let Some((node, map)) = path.iter().find(|(n, _)| *n == p.target) {
+                self.absorb_mapping(*node, map, rng);
+            }
+        }
+        p.path = path;
+    }
+
+    /// Merges an incoming map for `node` into whichever local structure
+    /// tracks it (paper §3.7 "maps are merged whenever a server keeps a map
+    /// for a node, and an incoming query contains another map for the same
+    /// node"), with digest-based filtering applied at merge time.
+    pub(crate) fn absorb_mapping(&mut self, node: NodeId, incoming: &NodeMap, rng: &mut StdRng) {
+        let r_map = self.cfg.r_map;
+        let mut incoming = incoming.clone();
+        self.filter_map(node, &mut incoming);
+        if incoming.is_empty() {
+            return;
+        }
+        let my_id = self.id;
+        if let Some(rec) = self.host_record_mut(node) {
+            let mut merged = rec.map.merge(&incoming, r_map, rng);
+            // A host is authoritative about itself: never lose the self
+            // entry to a merge.
+            if !merged.contains(my_id) {
+                merged.advertise(my_id, r_map);
+            }
+            rec.map = merged;
+            return;
+        }
+        // For nodes we do NOT host, a self entry is authoritatively wrong
+        // (it can arrive via digest-shortcut path entries or maps that
+        // advertised a replica we have since evicted) — strip it before it
+        // can poison neighbor maps or the cache.
+        incoming.remove(my_id, true);
+        if incoming.is_empty() {
+            return;
+        }
+        if let Some(m) = self.neighbor_maps.get_mut(&node) {
+            let mut merged = m.merge(&incoming, r_map, rng);
+            merged.remove(my_id, true);
+            if !merged.is_empty() {
+                *m = merged;
+            }
+            return;
+        }
+        if self.cfg.caching {
+            if let Some(m) = self.cache.get_mut(node) {
+                let mut merged = m.merge(&incoming, r_map, rng);
+                merged.remove(my_id, true);
+                if !merged.is_empty() {
+                    *m = merged;
+                }
+            } else {
+                self.cache.insert(node, incoming);
+            }
+        }
+    }
+
+    /// Digest-based conservative map filtering (paper §3.6.2): drop hosts
+    /// whose stored digest proves they do not host `node`. Never empties
+    /// the map.
+    pub(crate) fn filter_map(&self, node: NodeId, map: &mut NodeMap) {
+        if !self.cfg.digests {
+            return;
+        }
+        let name = self.ns.name(node).as_str();
+        map.filter_stale(|h| {
+            h != self.id && self.digest_store.test(h, name) == Some(false)
+        });
+    }
+
+    /// Periodic maintenance, called every load window by the substrate:
+    /// rolls the load metric, evicts idle replicas, abandons timed-out
+    /// sessions, and rebuilds the digest if the hosted set changed.
+    pub fn maintenance(&mut self, now: f64, out: &mut Vec<Outgoing>) {
+        self.load.roll(now);
+        if self.cfg.replication {
+            self.evict_idle_replicas(now, out);
+            if let Some(s) = &self.session {
+                if now - s.started_at > self.cfg.session_timeout {
+                    self.session = None;
+                    self.cooldown_until = now + self.cfg.session_cooldown;
+                    out.push(Outgoing::Event(ProtocolEvent::SessionAborted { by: self.id }));
+                }
+            }
+        }
+        if self.digest_dirty {
+            self.rebuild_digest();
+        }
+    }
+
+    fn evict_idle_replicas(&mut self, now: f64, out: &mut Vec<Outgoing>) {
+        let cfg = Arc::clone(&self.cfg);
+        let mut victims: Vec<NodeId> = self
+            .replicas
+            .values()
+            .filter(|r| {
+                now - r.installed_at > cfg.evict_min_age
+                    && self.weights.value(r.node, now) < cfg.evict_weight_threshold
+            })
+            .map(|r| r.node)
+            .collect();
+        victims.sort_unstable();
+        for v in victims {
+            self.remove_replica(v, out);
+        }
+    }
+
+    /// Removes a replica, garbage-collecting neighbor context that no other
+    /// hosted node needs, and marks the digest dirty.
+    pub(crate) fn remove_replica(&mut self, node: NodeId, out: &mut Vec<Outgoing>) {
+        if self.replicas.remove(&node).is_none() {
+            return;
+        }
+        self.weights.remove(node);
+        self.digest_dirty = true;
+        for nb in self.ns.neighbors(node) {
+            let still_needed = self
+                .ns
+                .neighbors(nb)
+                .iter()
+                .any(|&h| self.hosts(h));
+            if !still_needed {
+                self.neighbor_maps.remove(&nb);
+            }
+        }
+        out.push(Outgoing::Event(ProtocolEvent::ReplicaDeleted {
+            node,
+            at: self.id,
+        }));
+    }
+
+    /// Rebuilds the digest only when the hosted set changed.
+    pub(crate) fn rebuild_digest_if_dirty(&mut self) {
+        if self.digest_dirty {
+            self.rebuild_digest();
+        }
+    }
+
+    pub(crate) fn rebuild_digest(&mut self) {
+        self.digest_gen += 1;
+        self.digest = build_digest(
+            &self.ns,
+            self.id,
+            self.owned.keys().chain(self.replicas.keys()),
+            Self::digest_capacity(&self.cfg, self.owned.len()),
+            self.cfg.digest_fpr,
+            self.digest_gen,
+        );
+        self.digest_dirty = false;
+    }
+
+    /// For tests/oracle: a deterministic snapshot of all hosted node ids.
+    pub fn hosted_snapshot(&self) -> Vec<NodeId> {
+        let mut v: Vec<NodeId> = self.hosted_ids().collect();
+        v.sort_unstable();
+        v
+    }
+
+    /// Bumps a weight directly (used by tests and the live runtime's local
+    /// bookkeeping).
+    pub fn bump_weight(&mut self, node: NodeId, now: f64) {
+        self.weights.bump(node, now, 1.0);
+    }
+
+    /// The decayed demand weight of a node.
+    pub fn weight_of(&self, node: NodeId, now: f64) -> f64 {
+        self.weights.value(node, now)
+    }
+
+    /// Direct access to the rng-free route decision, exposed for the
+    /// routing-accuracy oracle and property tests.
+    pub fn peek_route(&mut self, target: NodeId, rng: &mut StdRng) -> RouteChoice {
+        self.decide_route(target, &[], rng)
+    }
+
+    /// Owner-side meta-data update: sets an attribute on an owned node and
+    /// bumps its version ("only the owner server of a node is allowed to
+    /// modify meta-data"). Returns `false` if this server does not own the
+    /// node.
+    pub fn update_meta(&mut self, node: NodeId, key: &str, value: &str) -> bool {
+        match self.owned.get_mut(&node) {
+            Some(rec) => {
+                rec.meta.set_attr(key, value);
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// The meta-data this host keeps for a node (owned or replicated).
+    pub fn meta_of(&self, node: NodeId) -> Option<&Meta> {
+        self.host_record(node).map(|r| &r.meta)
+    }
+
+    /// Exports data for an owned node (data never replicates). Returns
+    /// `false` if this server does not own the node.
+    pub fn set_data(&mut self, node: NodeId, data: impl Into<std::sync::Arc<[u8]>>) -> bool {
+        if !self.owned.contains_key(&node) {
+            return false;
+        }
+        self.data_store.insert(node, data.into());
+        true
+    }
+
+    /// The data this server exports for a node, if any.
+    pub fn data_of(&self, node: NodeId) -> Option<&std::sync::Arc<[u8]>> {
+        self.data_store.get(&node)
+    }
+
+    /// Starts the second step of the two-step access: fetch `node`'s data
+    /// using whatever mapping this server holds (typically populated by a
+    /// preceding lookup). Completion is reported via
+    /// [`ProtocolEvent::DataFetched`].
+    pub fn begin_fetch(&mut self, id: u64, node: NodeId, out: &mut Vec<Outgoing>) {
+        // Serve locally when we own the node and export data.
+        if self.owned.contains_key(&node) {
+            if let Some(d) = self.data_store.get(&node) {
+                let bytes = d.len();
+                out.push(Outgoing::Event(ProtocolEvent::DataFetched {
+                    id,
+                    node,
+                    ok: true,
+                    bytes,
+                }));
+                return;
+            }
+        }
+        // Candidate hosts from any map we keep for the node.
+        let mut candidates: Vec<ServerId> = self
+            .host_record(node)
+            .map(|r| r.map.entries().to_vec())
+            .or_else(|| self.neighbor_maps.get(&node).map(|m| m.entries().to_vec()))
+            .or_else(|| self.cache.peek(node).map(|m| m.entries().to_vec()))
+            .unwrap_or_default();
+        candidates.retain(|&h| h != self.id);
+        if candidates.is_empty() {
+            out.push(Outgoing::Event(ProtocolEvent::DataFetched {
+                id,
+                node,
+                ok: false,
+                bytes: 0,
+            }));
+            return;
+        }
+        let first = candidates[0];
+        self.pending_fetches.insert(
+            id,
+            FetchState {
+                node,
+                candidates,
+                next: 1,
+            },
+        );
+        out.push(Outgoing::Send {
+            to: first,
+            msg: Message::GetData {
+                id,
+                node,
+                from: self.id,
+            },
+        });
+    }
+
+    fn on_data_reply(
+        &mut self,
+        id: u64,
+        node: NodeId,
+        data: Option<std::sync::Arc<[u8]>>,
+        out: &mut Vec<Outgoing>,
+    ) {
+        let Some(mut st) = self.pending_fetches.remove(&id) else {
+            return;
+        };
+        debug_assert_eq!(st.node, node, "fetch reply for the wrong node");
+        if let Some(d) = data {
+            out.push(Outgoing::Event(ProtocolEvent::DataFetched {
+                id,
+                node,
+                ok: true,
+                bytes: d.len(),
+            }));
+            return;
+        }
+        // Not a data host; try the next candidate.
+        if st.next < st.candidates.len() {
+            let target = st.candidates[st.next];
+            st.next += 1;
+            self.pending_fetches.insert(id, st);
+            out.push(Outgoing::Send {
+                to: target,
+                msg: Message::GetData {
+                    id,
+                    node,
+                    from: self.id,
+                },
+            });
+            return;
+        }
+        out.push(Outgoing::Event(ProtocolEvent::DataFetched {
+            id,
+            node,
+            ok: false,
+            bytes: 0,
+        }));
+    }
+
+    /// Routing-accuracy counters `(checks, accurate)` accumulated from
+    /// incoming forwarded queries.
+    pub fn accuracy_counters(&self) -> (u64, u64) {
+        (self.hop_checks, self.hop_accurate)
+    }
+
+    /// How many other servers this server currently has profiled load
+    /// information about.
+    pub fn known_load_count(&self) -> usize {
+        self.known_loads.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use terradir_namespace::balanced_tree;
+
+    fn fixture(n_servers: u32) -> (Arc<Namespace>, Arc<Config>, OwnerAssignment) {
+        let ns = Arc::new(balanced_tree(2, 4)); // 31 nodes
+        let cfg = Arc::new(Config::paper_default(n_servers));
+        let assignment = OwnerAssignment::round_robin(&ns, n_servers);
+        (ns, cfg, assignment)
+    }
+
+    #[test]
+    fn bootstrap_covers_owned_and_context() {
+        let (ns, cfg, asg) = fixture(4);
+        let s = ServerState::new(ServerId(0), Arc::clone(&ns), cfg, &asg);
+        assert_eq!(s.owned_count(), asg.owned_by(ServerId(0)).len());
+        assert_eq!(s.replica_count(), 0);
+        // Every neighbor of every owned node has a bootstrap map pointing
+        // at its true owner.
+        for node in s.owned_ids().collect::<Vec<_>>() {
+            for nb in ns.neighbors(node) {
+                let m = s.neighbor_maps.get(&nb).expect("context present");
+                assert!(m.contains(asg.owner(nb)));
+            }
+        }
+    }
+
+    #[test]
+    fn bootstrap_digest_matches_owned_set() {
+        let (ns, cfg, asg) = fixture(4);
+        let s = ServerState::new(ServerId(1), Arc::clone(&ns), cfg, &asg);
+        for node in s.owned_ids().collect::<Vec<_>>() {
+            assert!(s.digest().test(ns.name(node).as_str()));
+        }
+    }
+
+    #[test]
+    fn absorb_mapping_routes_to_right_structure() {
+        let (ns, cfg, asg) = fixture(4);
+        let mut s = ServerState::new(ServerId(0), Arc::clone(&ns), cfg, &asg);
+        let mut rng = StdRng::seed_from_u64(1);
+        let owned: Vec<NodeId> = s.owned_ids().collect();
+        let own = owned[0];
+        // Merging into an owned record keeps self.
+        s.absorb_mapping(own, &NodeMap::from_entries([ServerId(2), ServerId(3)]), &mut rng);
+        assert!(s.host_record(own).unwrap().map.contains(ServerId(0)));
+        // A node that is neither hosted nor a neighbor lands in the cache.
+        let far = ns
+            .ids()
+            .find(|&n| !s.hosts(n) && !s.neighbor_maps.contains_key(&n))
+            .unwrap();
+        s.absorb_mapping(far, &NodeMap::singleton(ServerId(3)), &mut rng);
+        assert!(s.cache.peek(far).is_some());
+    }
+
+    #[test]
+    fn remove_replica_gcs_context() {
+        let (ns, cfg, asg) = fixture(4);
+        let mut s = ServerState::new(ServerId(0), Arc::clone(&ns), cfg, &asg);
+        // Install a replica for a node far from everything owned.
+        let far = ns
+            .ids()
+            .filter(|&n| {
+                !s.hosts(n) && ns.neighbors(n).iter().all(|&nb| !s.hosts(nb))
+            })
+            .find(|&n| {
+                // also require no owned node adjacent to its neighbors
+                ns.neighbors(n)
+                    .iter()
+                    .all(|&nb| ns.neighbors(nb).iter().all(|&x| !s.hosts(x) || x == n))
+            });
+        let Some(far) = far else { return }; // tree too small: skip
+        s.replicas.insert(
+            far,
+            NodeRecord::new(far, NodeMap::singleton(ServerId(0)), Meta::new(), 0.0),
+        );
+        for nb in ns.neighbors(far) {
+            s.neighbor_maps
+                .entry(nb)
+                .or_insert_with(|| NodeMap::singleton(asg.owner(nb)));
+        }
+        let mut out = Vec::new();
+        s.remove_replica(far, &mut out);
+        assert_eq!(s.replica_count(), 0);
+        assert!(s.digest_dirty);
+        assert!(matches!(
+            out[0],
+            Outgoing::Event(ProtocolEvent::ReplicaDeleted { .. })
+        ));
+    }
+
+    #[test]
+    fn load_probe_replies_with_effective_load() {
+        let (ns, cfg, asg) = fixture(4);
+        let mut s = ServerState::new(ServerId(0), ns, cfg, &asg);
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut out = Vec::new();
+        s.handle_message(
+            1.0,
+            Message::LoadProbe {
+                from: ServerId(3),
+                load: 0.9,
+            },
+            &mut rng,
+            &mut out,
+        );
+        assert_eq!(out.len(), 1);
+        match &out[0] {
+            Outgoing::Send { to, msg } => {
+                assert_eq!(*to, ServerId(3));
+                assert!(matches!(msg, Message::LoadProbeReply { from, .. } if *from == ServerId(0)));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn maintenance_rebuilds_dirty_digest() {
+        let (ns, cfg, asg) = fixture(4);
+        let mut s = ServerState::new(ServerId(0), Arc::clone(&ns), cfg, &asg);
+        let far = ns.ids().find(|&n| !s.hosts(n)).unwrap();
+        s.replicas.insert(
+            far,
+            NodeRecord::new(far, NodeMap::singleton(ServerId(0)), Meta::new(), 0.0),
+        );
+        s.digest_dirty = true;
+        let gen_before = s.digest().generation();
+        let mut out = Vec::new();
+        s.maintenance(0.5, &mut out);
+        assert!(s.digest().generation() > gen_before);
+        assert!(s.digest().test(ns.name(far).as_str()));
+    }
+}

@@ -1,0 +1,297 @@
+//! Run statistics: everything the paper's figures plot.
+
+use serde::{Deserialize, Serialize};
+use terradir_sim::{BinnedCounter, Histogram};
+
+/// Counters, per-second series, and distributions collected over a run.
+///
+/// Fields are public: the benchmark harness reads them directly to print
+/// the paper's series.
+#[derive(Debug)]
+pub struct RunStats {
+    /// Queries injected.
+    pub injected: u64,
+    /// Queries resolved (result delivered at the origin).
+    pub resolved: u64,
+    /// Query-traffic messages dropped at full request queues.
+    pub dropped_queue: u64,
+    /// Queries dropped for exceeding the hop TTL.
+    pub dropped_ttl: u64,
+    /// Queries dropped with no routable candidate.
+    pub dropped_stuck: u64,
+    /// Query-path messages serviced (each is one routing/result step).
+    pub query_messages: u64,
+    /// Replication control messages sent (probes, replies, requests, acks,
+    /// denies) — the paper's "load balancing messages".
+    pub control_messages: u64,
+    /// Replicas installed.
+    pub replicas_created: u64,
+    /// Replicas evicted.
+    pub replicas_deleted: u64,
+    /// Replication sessions started.
+    pub sessions_started: u64,
+    /// Replication sessions that installed replicas.
+    pub sessions_completed: u64,
+    /// Replication sessions aborted.
+    pub sessions_aborted: u64,
+    /// Dropped queries per second (Fig. 3).
+    pub drops_per_sec: BinnedCounter,
+    /// Replicas created per second (Fig. 4) / per minute (Fig. 8).
+    pub replicas_per_sec: BinnedCounter,
+    /// Query latency in seconds, injection → result at origin (Fig. 9).
+    pub latency: Histogram,
+    /// Network hops per resolved query.
+    pub hops: Histogram,
+    /// Mean server utilization each second (Fig. 6).
+    pub load_mean_per_sec: Vec<f64>,
+    /// Maximum server utilization each second (Fig. 6).
+    pub load_max_per_sec: Vec<f64>,
+    /// Replicas created per namespace level (Fig. 7), indexed by depth.
+    pub created_per_level: Vec<u64>,
+    /// Data retrievals (two-step access) that obtained data.
+    pub data_fetches_ok: u64,
+    /// Data retrievals that exhausted every mapped host.
+    pub data_fetches_failed: u64,
+}
+
+impl RunStats {
+    /// Fresh statistics for a namespace with `max_depth` levels.
+    pub fn new(max_depth: u16) -> RunStats {
+        RunStats {
+            injected: 0,
+            resolved: 0,
+            dropped_queue: 0,
+            dropped_ttl: 0,
+            dropped_stuck: 0,
+            query_messages: 0,
+            control_messages: 0,
+            replicas_created: 0,
+            replicas_deleted: 0,
+            sessions_started: 0,
+            sessions_completed: 0,
+            sessions_aborted: 0,
+            drops_per_sec: BinnedCounter::new(1.0),
+            replicas_per_sec: BinnedCounter::new(1.0),
+            latency: Histogram::new(30.0, 3000),
+            hops: Histogram::new(64.0, 64),
+            load_mean_per_sec: Vec::new(),
+            load_max_per_sec: Vec::new(),
+            created_per_level: vec![0; max_depth as usize + 1],
+            data_fetches_ok: 0,
+            data_fetches_failed: 0,
+        }
+    }
+
+    /// Total dropped queries (queue + TTL + stuck).
+    pub fn dropped_total(&self) -> u64 {
+        self.dropped_queue + self.dropped_ttl + self.dropped_stuck
+    }
+
+    /// Fraction of injected queries that were dropped.
+    pub fn drop_fraction(&self) -> f64 {
+        if self.injected == 0 {
+            0.0
+        } else {
+            self.dropped_total() as f64 / self.injected as f64
+        }
+    }
+
+    /// Fraction of injected queries resolved.
+    pub fn resolve_fraction(&self) -> f64 {
+        if self.injected == 0 {
+            0.0
+        } else {
+            self.resolved as f64 / self.injected as f64
+        }
+    }
+
+    /// Records a dropped query at time `t`.
+    pub fn on_drop(&mut self, t: f64, kind: DropKind) {
+        match kind {
+            DropKind::Queue => self.dropped_queue += 1,
+            DropKind::Ttl => self.dropped_ttl += 1,
+            DropKind::Stuck => self.dropped_stuck += 1,
+        }
+        self.drops_per_sec.record(t);
+    }
+
+    /// Records a resolved query.
+    pub fn on_resolved(&mut self, t: f64, issued_at: f64, hops: u32) {
+        self.resolved += 1;
+        self.latency.record((t - issued_at).max(0.0));
+        self.hops.record(hops as f64);
+    }
+
+    /// Records a replica installation at a node of the given depth.
+    pub fn on_replica_created(&mut self, t: f64, level: u16) {
+        self.replicas_created += 1;
+        self.replicas_per_sec.record(t);
+        let idx = level as usize;
+        if idx >= self.created_per_level.len() {
+            self.created_per_level.resize(idx + 1, 0);
+        }
+        self.created_per_level[idx] += 1;
+    }
+}
+
+/// A flat, serializable snapshot of a run's headline numbers (JSON export
+/// for harnesses and the CLI's `--json` flag).
+#[derive(Debug, Clone, Serialize, Deserialize, PartialEq)]
+pub struct Summary {
+    /// Queries injected.
+    pub injected: u64,
+    /// Queries resolved.
+    pub resolved: u64,
+    /// Total dropped (queue + TTL + stuck).
+    pub dropped: u64,
+    /// Drop fraction.
+    pub drop_fraction: f64,
+    /// Mean latency in seconds (0 when nothing resolved).
+    pub latency_mean_s: f64,
+    /// 99th-percentile latency in seconds.
+    pub latency_p99_s: f64,
+    /// Mean hops per resolved query.
+    pub hops_mean: f64,
+    /// Replicas created.
+    pub replicas_created: u64,
+    /// Replicas deleted.
+    pub replicas_deleted: u64,
+    /// Replication sessions completed.
+    pub sessions_completed: u64,
+    /// Control messages sent.
+    pub control_messages: u64,
+    /// Successful data fetches.
+    pub data_fetches_ok: u64,
+}
+
+impl Summary {
+    /// Renders the summary as a JSON object (hand-rolled: every field is
+    /// numeric, so no JSON library is needed).
+    pub fn to_json(&self) -> String {
+        format!(
+            concat!(
+                "{{\"injected\":{},\"resolved\":{},\"dropped\":{},",
+                "\"drop_fraction\":{:.6},\"latency_mean_s\":{:.6},",
+                "\"latency_p99_s\":{:.6},\"hops_mean\":{:.4},",
+                "\"replicas_created\":{},\"replicas_deleted\":{},",
+                "\"sessions_completed\":{},\"control_messages\":{},",
+                "\"data_fetches_ok\":{}}}"
+            ),
+            self.injected,
+            self.resolved,
+            self.dropped,
+            self.drop_fraction,
+            self.latency_mean_s,
+            self.latency_p99_s,
+            self.hops_mean,
+            self.replicas_created,
+            self.replicas_deleted,
+            self.sessions_completed,
+            self.control_messages,
+            self.data_fetches_ok,
+        )
+    }
+}
+
+impl RunStats {
+    /// Builds the serializable summary.
+    pub fn summary(&self) -> Summary {
+        Summary {
+            injected: self.injected,
+            resolved: self.resolved,
+            dropped: self.dropped_total(),
+            drop_fraction: self.drop_fraction(),
+            latency_mean_s: self.latency.mean().unwrap_or(0.0),
+            latency_p99_s: self.latency.quantile(0.99).unwrap_or(0.0),
+            hops_mean: self.hops.mean().unwrap_or(0.0),
+            replicas_created: self.replicas_created,
+            replicas_deleted: self.replicas_deleted,
+            sessions_completed: self.sessions_completed,
+            control_messages: self.control_messages,
+            data_fetches_ok: self.data_fetches_ok,
+        }
+    }
+}
+
+/// Why a query was dropped.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DropKind {
+    /// Request queue overflow.
+    Queue,
+    /// Hop TTL exceeded.
+    Ttl,
+    /// No routable candidate.
+    Stuck,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fractions_handle_empty_run() {
+        let s = RunStats::new(4);
+        assert_eq!(s.drop_fraction(), 0.0);
+        assert_eq!(s.resolve_fraction(), 0.0);
+    }
+
+    #[test]
+    fn drop_accounting_by_kind() {
+        let mut s = RunStats::new(4);
+        s.injected = 10;
+        s.on_drop(0.5, DropKind::Queue);
+        s.on_drop(1.5, DropKind::Ttl);
+        s.on_drop(1.7, DropKind::Stuck);
+        assert_eq!(s.dropped_total(), 3);
+        assert_eq!(s.drop_fraction(), 0.3);
+        assert_eq!(s.drops_per_sec.bins(), &[1, 2]);
+    }
+
+    #[test]
+    fn resolved_records_latency_and_hops() {
+        let mut s = RunStats::new(4);
+        s.injected = 1;
+        s.on_resolved(2.0, 1.5, 7);
+        assert_eq!(s.resolved, 1);
+        assert!((s.latency.mean().unwrap() - 0.5).abs() < 1e-9);
+        assert_eq!(s.hops.mean(), Some(7.0));
+    }
+
+    #[test]
+    fn summary_snapshot_matches_fields() {
+        let mut s = RunStats::new(2);
+        s.injected = 4;
+        s.on_resolved(1.0, 0.5, 3);
+        s.on_drop(1.0, DropKind::Queue);
+        let sum = s.summary();
+        assert_eq!(sum.injected, 4);
+        assert_eq!(sum.resolved, 1);
+        assert_eq!(sum.dropped, 1);
+        assert!((sum.drop_fraction - 0.25).abs() < 1e-12);
+        assert!((sum.latency_mean_s - 0.5).abs() < 1e-9);
+        assert_eq!(sum.hops_mean, 3.0);
+    }
+
+    #[test]
+    fn summary_json_is_well_formed() {
+        let mut s = RunStats::new(2);
+        s.injected = 2;
+        s.on_resolved(1.0, 0.5, 3);
+        let json = s.summary().to_json();
+        assert!(json.starts_with('{') && json.ends_with('}'));
+        assert!(json.contains("\"injected\":2"));
+        assert!(json.contains("\"hops_mean\":3.0000"));
+        // Balanced quotes and braces (cheap well-formedness probe).
+        assert_eq!(json.matches('"').count() % 2, 0);
+    }
+
+    #[test]
+    fn per_level_counts_grow_dynamically() {
+        let mut s = RunStats::new(2);
+        s.on_replica_created(0.0, 1);
+        s.on_replica_created(0.0, 5); // beyond initial depth
+        assert_eq!(s.created_per_level[1], 1);
+        assert_eq!(s.created_per_level[5], 1);
+        assert_eq!(s.replicas_created, 2);
+    }
+}

@@ -1,0 +1,32 @@
+//! Workload generation for TerraDir experiments.
+//!
+//! The paper's evaluation (§4.1) drives the system with:
+//!
+//! - **Poisson arrivals**: the global query arrival rate λ is modeled as a
+//!   Poisson process ([`poisson`]).
+//! - **Exponential service times** with a per-server mean ([`service`]).
+//! - **Uniform sources**: lookups are initiated uniformly at random over
+//!   the participating servers.
+//! - **Destinations** drawn either uniformly (`unif` traces) or from a Zipf
+//!   popularity law over a random node ranking (`uzipf` traces), optionally
+//!   with *instantaneous random reshuffles* of the ranking to model shifting
+//!   hot-spots ([`zipf`], [`ranking`], [`stream`]).
+//!
+//! Everything is deterministic given a master seed ([`seed`]).
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod poisson;
+pub mod ranking;
+pub mod seed;
+pub mod service;
+pub mod stream;
+pub mod zipf;
+
+pub use poisson::PoissonArrivals;
+pub use ranking::PopularityRanking;
+pub use seed::{derive_seed, seeded_rng};
+pub use service::ExpService;
+pub use stream::{DestinationMode, QueryStream, Segment, StreamPlan};
+pub use zipf::ZipfSampler;

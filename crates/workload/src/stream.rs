@@ -1,0 +1,304 @@
+//! Composite query streams.
+//!
+//! The paper composes runs out of segments: e.g. the adaptation streams
+//! `uzipf_TS(α)` are "the sequence ⟨unif, uzipf, uzipf, uzipf, uzipf⟩" — a
+//! uniform warm-up (letting a cold system replicate away the hierarchical
+//! bottleneck) followed by Zipf segments, each of which *reshuffles* node
+//! popularity on entry (an instantaneous hot-spot shift). A [`StreamPlan`]
+//! describes the segments; a [`QueryStream`] executes the plan against a
+//! concrete namespace size, producing `(source server, destination node)`
+//! pairs as a function of simulation time.
+
+use rand::rngs::StdRng;
+use rand::Rng;
+
+use terradir_namespace::{NodeId, ServerId};
+
+use crate::ranking::PopularityRanking;
+use crate::seed::{seeded_rng, tags};
+use crate::zipf::ZipfSampler;
+
+/// How a segment draws destination nodes.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum DestinationMode {
+    /// Destinations uniform over all nodes (`unif` traces).
+    Uniform,
+    /// Destinations Zipf-distributed over the current popularity ranking
+    /// (`uzipf` traces).
+    Zipf {
+        /// Zipf order α.
+        order: f64,
+    },
+}
+
+/// One segment of a stream plan.
+#[derive(Debug, Clone)]
+pub struct Segment {
+    /// Segment length in seconds.
+    pub duration: f64,
+    /// Destination distribution during the segment.
+    pub mode: DestinationMode,
+    /// Whether to instantaneously re-randomize the popularity ranking when
+    /// the segment starts (a hot-spot shift). Ignored for uniform segments.
+    pub reshuffle_on_entry: bool,
+}
+
+/// A sequence of segments describing a whole run.
+#[derive(Debug, Clone)]
+pub struct StreamPlan {
+    /// The segments, played back to back. The final segment is extended
+    /// indefinitely if the run outlives the plan.
+    pub segments: Vec<Segment>,
+}
+
+impl StreamPlan {
+    /// A single uniform segment (`unif` trace).
+    pub fn unif(duration: f64) -> StreamPlan {
+        StreamPlan {
+            segments: vec![Segment {
+                duration,
+                mode: DestinationMode::Uniform,
+                reshuffle_on_entry: false,
+            }],
+        }
+    }
+
+    /// A single Zipf segment with a fresh random ranking (`uzipf` trace).
+    pub fn uzipf(order: f64, duration: f64) -> StreamPlan {
+        StreamPlan {
+            segments: vec![Segment {
+                duration,
+                mode: DestinationMode::Zipf { order },
+                reshuffle_on_entry: true,
+            }],
+        }
+    }
+
+    /// The paper's adaptation stream: a uniform warm-up followed by
+    /// `n_shifts` Zipf segments, each reshuffling popularity on entry.
+    ///
+    /// `⟨unif(warmup), uzipf(seg), uzipf(seg), …⟩`
+    pub fn adaptation(order: f64, warmup: f64, n_shifts: usize, seg_duration: f64) -> StreamPlan {
+        let mut segments = vec![Segment {
+            duration: warmup,
+            mode: DestinationMode::Uniform,
+            reshuffle_on_entry: false,
+        }];
+        for _ in 0..n_shifts {
+            segments.push(Segment {
+                duration: seg_duration,
+                mode: DestinationMode::Zipf { order },
+                reshuffle_on_entry: true,
+            });
+        }
+        StreamPlan { segments }
+    }
+
+    /// Total planned duration in seconds.
+    pub fn total_duration(&self) -> f64 {
+        self.segments.iter().map(|s| s.duration).sum()
+    }
+
+    /// Simulation times at which a reshuffle occurs (segment entries with
+    /// `reshuffle_on_entry`, excluding time 0 entry of the first segment
+    /// which establishes the initial ranking rather than shifting it).
+    pub fn reshuffle_times(&self) -> Vec<f64> {
+        let mut out = Vec::new();
+        let mut t = 0.0;
+        for (i, s) in self.segments.iter().enumerate() {
+            if i > 0 && s.reshuffle_on_entry {
+                out.push(t);
+            }
+            t += s.duration;
+        }
+        out
+    }
+}
+
+/// Executes a [`StreamPlan`]: yields `(source, destination)` per query.
+///
+/// Sources are uniform over servers (paper §4.1: "lookups are initiated
+/// uniformly at source servers"). Destination sampling follows the active
+/// segment. Deterministic given the master seed.
+#[derive(Debug)]
+pub struct QueryStream {
+    plan: StreamPlan,
+    n_servers: u32,
+    ranking: PopularityRanking,
+    samplers: Vec<(u64, ZipfSampler)>,
+    seg_idx: usize,
+    seg_end: f64,
+    dest_rng: StdRng,
+    src_rng: StdRng,
+    rank_rng: StdRng,
+    n_nodes: usize,
+}
+
+impl QueryStream {
+    /// Creates a stream over `n_nodes` destination nodes and `n_servers`
+    /// source servers.
+    pub fn new(plan: StreamPlan, n_nodes: usize, n_servers: u32, master_seed: u64) -> QueryStream {
+        assert!(!plan.segments.is_empty(), "plan needs at least one segment");
+        assert!(n_nodes >= 1 && n_servers >= 1);
+        let mut rank_rng = seeded_rng(master_seed, tags::RANKING);
+        let ranking = PopularityRanking::random(n_nodes, &mut rank_rng);
+        let seg_end = plan.segments[0].duration;
+        QueryStream {
+            plan,
+            n_servers,
+            ranking,
+            samplers: Vec::new(),
+            seg_idx: 0,
+            seg_end,
+            dest_rng: seeded_rng(master_seed, tags::DESTINATIONS),
+            src_rng: seeded_rng(master_seed, tags::SOURCES),
+            rank_rng,
+            n_nodes,
+        }
+    }
+
+    fn sampler_for(&mut self, order: f64) -> usize {
+        let key = order.to_bits();
+        if let Some(pos) = self.samplers.iter().position(|(k, _)| *k == key) {
+            return pos;
+        }
+        self.samplers.push((key, ZipfSampler::new(self.n_nodes, order)));
+        self.samplers.len() - 1
+    }
+
+    fn advance_to(&mut self, now: f64) {
+        while now >= self.seg_end && self.seg_idx + 1 < self.plan.segments.len() {
+            self.seg_idx += 1;
+            let seg = &self.plan.segments[self.seg_idx];
+            self.seg_end += seg.duration;
+            if seg.reshuffle_on_entry && matches!(seg.mode, DestinationMode::Zipf { .. }) {
+                self.ranking.reshuffle(&mut self.rank_rng);
+            }
+        }
+    }
+
+    /// Draws the next query issued at simulation time `now`: a uniformly
+    /// random source server and a destination node per the active segment.
+    pub fn next_query(&mut self, now: f64) -> (ServerId, NodeId) {
+        self.advance_to(now);
+        let src = ServerId(self.src_rng.gen_range(0..self.n_servers));
+        let dst = match self.plan.segments[self.seg_idx].mode {
+            DestinationMode::Uniform => NodeId(self.dest_rng.gen_range(0..self.n_nodes as u32)),
+            DestinationMode::Zipf { order } => {
+                let idx = self.sampler_for(order);
+                let rank = self.samplers[idx].1.sample(&mut self.dest_rng);
+                self.ranking.node_at_rank(rank)
+            }
+        };
+        (src, dst)
+    }
+
+    /// The plan being executed.
+    pub fn plan(&self) -> &StreamPlan {
+        &self.plan
+    }
+
+    /// Number of popularity reshuffles performed so far.
+    pub fn reshuffles(&self) -> u64 {
+        self.ranking.reshuffles()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashMap;
+
+    #[test]
+    fn plan_durations_and_reshuffle_times() {
+        let p = StreamPlan::adaptation(1.0, 50.0, 4, 50.0);
+        assert_eq!(p.segments.len(), 5);
+        assert!((p.total_duration() - 250.0).abs() < 1e-9);
+        assert_eq!(p.reshuffle_times(), vec![50.0, 100.0, 150.0, 200.0]);
+    }
+
+    #[test]
+    fn unif_plan_has_no_reshuffles() {
+        let p = StreamPlan::unif(100.0);
+        assert!(p.reshuffle_times().is_empty());
+    }
+
+    #[test]
+    fn uniform_stream_covers_nodes_and_servers() {
+        let mut qs = QueryStream::new(StreamPlan::unif(10.0), 16, 4, 1);
+        let mut nodes = std::collections::HashSet::new();
+        let mut servers = std::collections::HashSet::new();
+        for i in 0..2000 {
+            let (s, d) = qs.next_query(i as f64 * 0.001);
+            nodes.insert(d);
+            servers.insert(s);
+        }
+        assert_eq!(nodes.len(), 16);
+        assert_eq!(servers.len(), 4);
+    }
+
+    #[test]
+    fn zipf_stream_skews_to_head() {
+        let mut qs = QueryStream::new(StreamPlan::uzipf(1.5, 10.0), 1000, 8, 2);
+        let mut counts: HashMap<NodeId, u32> = HashMap::new();
+        for i in 0..20_000 {
+            let (_, d) = qs.next_query(i as f64 * 1e-4);
+            *counts.entry(d).or_default() += 1;
+        }
+        let max = *counts.values().max().unwrap();
+        assert!(
+            max > 2_000,
+            "most popular node should dominate under Zipf 1.5, got max {max}"
+        );
+    }
+
+    #[test]
+    fn reshuffles_happen_at_segment_boundaries() {
+        let plan = StreamPlan::adaptation(1.0, 10.0, 2, 10.0);
+        let mut qs = QueryStream::new(plan, 100, 4, 3);
+        qs.next_query(0.0);
+        assert_eq!(qs.reshuffles(), 0);
+        qs.next_query(10.5); // entered first zipf segment
+        assert_eq!(qs.reshuffles(), 1);
+        qs.next_query(15.0);
+        assert_eq!(qs.reshuffles(), 1);
+        qs.next_query(20.0); // second zipf segment
+        assert_eq!(qs.reshuffles(), 2);
+        // Running past the plan keeps the last segment active.
+        qs.next_query(500.0);
+        assert_eq!(qs.reshuffles(), 2);
+    }
+
+    #[test]
+    fn hot_set_changes_across_reshuffle() {
+        let plan = StreamPlan::adaptation(1.5, 1.0, 1, 1.0);
+        let mut qs = QueryStream::new(plan, 10_000, 4, 4);
+        // Warm-up is uniform; jump into the zipf segment.
+        let mut first: HashMap<NodeId, u32> = HashMap::new();
+        for _ in 0..5_000 {
+            let (_, d) = qs.next_query(1.5);
+            *first.entry(d).or_default() += 1;
+        }
+        let hot1 = *first.iter().max_by_key(|(_, c)| **c).unwrap().0;
+        // No way to reshuffle within a segment; rebuild with two shifts.
+        let plan = StreamPlan::adaptation(1.5, 1.0, 2, 1.0);
+        let mut qs = QueryStream::new(plan, 10_000, 4, 4);
+        let mut second: HashMap<NodeId, u32> = HashMap::new();
+        for _ in 0..5_000 {
+            let (_, d) = qs.next_query(2.5);
+            *second.entry(d).or_default() += 1;
+        }
+        let hot2 = *second.iter().max_by_key(|(_, c)| **c).unwrap().0;
+        assert_ne!(hot1, hot2, "reshuffle should move the hot spot");
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let mk = || QueryStream::new(StreamPlan::uzipf(1.0, 5.0), 50, 3, 77);
+        let mut a = mk();
+        let mut b = mk();
+        for i in 0..100 {
+            assert_eq!(a.next_query(i as f64 * 0.01), b.next_query(i as f64 * 0.01));
+        }
+    }
+}

@@ -1,0 +1,27 @@
+//! Façade crate for the TerraDir reproduction workspace.
+//!
+//! Re-exports the public API of every workspace crate so examples,
+//! integration tests, and downstream users can depend on a single crate:
+//!
+//! - [`namespace`] — hierarchical names, tree topology, distance metric,
+//!   namespace generators, and node→server ownership.
+//! - [`bloom`] — Bloom-filter inverse-mapping digests.
+//! - [`workload`] — uniform/Zipf query streams, popularity reshuffles,
+//!   Poisson arrivals, exponential service times.
+//! - [`sim`] — deterministic discrete-event simulation kernel and metrics.
+//! - [`protocol`] — the TerraDir routing + soft-state replication protocol
+//!   and the simulated system harness.
+//! - [`net`] — live thread-per-peer deployment over in-process channels.
+//!
+//! See `README.md` for a quickstart and `DESIGN.md` for the system
+//! inventory; `EXPERIMENTS.md` records paper-vs-measured results for every
+//! figure of the paper.
+
+#![warn(missing_docs)]
+
+pub use terradir as protocol;
+pub use terradir_bloom as bloom;
+pub use terradir_namespace as namespace;
+pub use terradir_net as net;
+pub use terradir_sim as sim;
+pub use terradir_workload as workload;

@@ -1,0 +1,89 @@
+//! Whole-run determinism: identical seeds must reproduce identical
+//! statistics bit-for-bit across every subsystem combination — the property
+//! that makes every number in EXPERIMENTS.md reproducible.
+
+use terradir_repro::namespace::{balanced_tree, coda_like, CodaParams, ServerId};
+use terradir_repro::protocol::{Config, System};
+use terradir_repro::workload::{seeded_rng, StreamPlan};
+
+fn fingerprint(sys: &System) -> (u64, u64, u64, u64, u64, Option<f64>, Option<f64>) {
+    let st = sys.stats();
+    (
+        st.injected,
+        st.resolved,
+        st.dropped_total(),
+        st.replicas_created,
+        st.control_messages,
+        st.latency.mean(),
+        st.hops.mean(),
+    )
+}
+
+#[test]
+fn full_protocol_run_is_bit_reproducible() {
+    let run = || {
+        let ns = balanced_tree(2, 6);
+        let cfg = Config::paper_default(16).with_seed(77);
+        let mut sys = System::new(ns, cfg, StreamPlan::adaptation(1.25, 5.0, 2, 10.0), 150.0);
+        sys.run_until(25.0);
+        fingerprint(&sys)
+    };
+    assert_eq!(run(), run());
+}
+
+#[test]
+fn coda_namespace_runs_are_reproducible() {
+    let run = || {
+        let params = CodaParams {
+            nodes: 1000,
+            ..CodaParams::default()
+        };
+        let mut rng = seeded_rng(5, 8);
+        let ns = coda_like(&params, &mut rng);
+        let cfg = Config::paper_default(8).with_seed(5);
+        let mut sys = System::new(ns, cfg, StreamPlan::uzipf(1.0, 15.0), 60.0);
+        sys.run_until(15.0);
+        fingerprint(&sys)
+    };
+    assert_eq!(run(), run());
+}
+
+#[test]
+fn failure_injection_is_reproducible() {
+    let run = || {
+        let ns = balanced_tree(2, 5);
+        let cfg = Config::paper_default(8).with_seed(3);
+        let mut sys = System::new(ns, cfg, StreamPlan::unif(20.0), 60.0);
+        sys.run_until(8.0);
+        sys.fail_server(ServerId(2));
+        sys.run_until(20.0);
+        fingerprint(&sys)
+    };
+    assert_eq!(run(), run());
+}
+
+#[test]
+fn heterogeneity_and_static_bootstrap_are_reproducible() {
+    let run = || {
+        let ns = balanced_tree(2, 5);
+        let mut cfg = Config::paper_default(8).with_seed(11);
+        cfg.speed_spread = 3.0;
+        cfg.static_top_levels = 2;
+        let mut sys = System::new(ns, cfg, StreamPlan::uzipf(1.2, 15.0), 60.0);
+        sys.run_until(15.0);
+        fingerprint(&sys)
+    };
+    assert_eq!(run(), run());
+}
+
+#[test]
+fn different_seeds_give_different_runs() {
+    let run = |seed| {
+        let ns = balanced_tree(2, 5);
+        let cfg = Config::paper_default(8).with_seed(seed);
+        let mut sys = System::new(ns, cfg, StreamPlan::uzipf(1.0, 10.0), 60.0);
+        sys.run_until(10.0);
+        fingerprint(&sys)
+    };
+    assert_ne!(run(1), run(2));
+}
