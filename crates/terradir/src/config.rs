@@ -1,6 +1,5 @@
 //! Protocol and simulation configuration.
 
-use serde::{Deserialize, Serialize};
 
 /// All protocol and environment knobs, with the paper's evaluation defaults
 /// (§4.1 and DESIGN.md §3 for glyph-decoded values).
@@ -12,7 +11,7 @@ use serde::{Deserialize, Serialize};
 /// | B      | false     | false         |
 /// | BC     | true      | false         |
 /// | BCR    | true      | true          |
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct Config {
     /// Number of participating servers.
     pub n_servers: u32,

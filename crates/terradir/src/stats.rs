@@ -1,6 +1,5 @@
 //! Run statistics: everything the paper's figures plot.
 
-use serde::{Deserialize, Serialize};
 use terradir_sim::{BinnedCounter, Histogram};
 
 /// Counters, per-second series, and distributions collected over a run.
@@ -136,7 +135,7 @@ impl RunStats {
 
 /// A flat, serializable snapshot of a run's headline numbers (JSON export
 /// for harnesses and the CLI's `--json` flag).
-#[derive(Debug, Clone, Serialize, Deserialize, PartialEq)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Summary {
     /// Queries injected.
     pub injected: u64,

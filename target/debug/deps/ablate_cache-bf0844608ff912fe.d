@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablate_cache-bf0844608ff912fe.d: crates/bench/src/bin/ablate_cache.rs
+
+/root/repo/target/debug/deps/ablate_cache-bf0844608ff912fe: crates/bench/src/bin/ablate_cache.rs
+
+crates/bench/src/bin/ablate_cache.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablate_digests-c011f8098b85c05c.d: crates/bench/src/bin/ablate_digests.rs
+
+/root/repo/target/debug/deps/ablate_digests-c011f8098b85c05c: crates/bench/src/bin/ablate_digests.rs
+
+crates/bench/src/bin/ablate_digests.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablate_hysteresis-baa8da45c7216bf2.d: crates/bench/src/bin/ablate_hysteresis.rs
+
+/root/repo/target/debug/deps/ablate_hysteresis-baa8da45c7216bf2: crates/bench/src/bin/ablate_hysteresis.rs
+
+crates/bench/src/bin/ablate_hysteresis.rs:

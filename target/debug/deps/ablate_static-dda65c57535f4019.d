@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablate_static-dda65c57535f4019.d: crates/bench/src/bin/ablate_static.rs
+
+/root/repo/target/debug/deps/ablate_static-dda65c57535f4019: crates/bench/src/bin/ablate_static.rs
+
+crates/bench/src/bin/ablate_static.rs:

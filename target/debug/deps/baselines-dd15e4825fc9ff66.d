@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/baselines-dd15e4825fc9ff66.d: tests/baselines.rs
+
+/root/repo/target/debug/deps/baselines-dd15e4825fc9ff66: tests/baselines.rs
+
+tests/baselines.rs:

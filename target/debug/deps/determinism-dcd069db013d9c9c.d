@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/determinism-dcd069db013d9c9c.d: tests/determinism.rs
+
+/root/repo/target/debug/deps/determinism-dcd069db013d9c9c: tests/determinism.rs
+
+tests/determinism.rs:

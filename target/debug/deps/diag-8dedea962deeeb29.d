@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/diag-8dedea962deeeb29.d: crates/bench/src/bin/diag.rs
+
+/root/repo/target/debug/deps/diag-8dedea962deeeb29: crates/bench/src/bin/diag.rs
+
+crates/bench/src/bin/diag.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/diag2-13b0449e75faca8e.d: crates/bench/src/bin/diag2.rs
+
+/root/repo/target/debug/deps/diag2-13b0449e75faca8e: crates/bench/src/bin/diag2.rs
+
+crates/bench/src/bin/diag2.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/extensions-e8c567eea70c10be.d: tests/extensions.rs
+
+/root/repo/target/debug/deps/extensions-e8c567eea70c10be: tests/extensions.rs
+
+tests/extensions.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig4-272214bc3f9bf8e4.d: crates/bench/src/bin/fig4.rs
+
+/root/repo/target/debug/deps/fig4-272214bc3f9bf8e4: crates/bench/src/bin/fig4.rs
+
+crates/bench/src/bin/fig4.rs:

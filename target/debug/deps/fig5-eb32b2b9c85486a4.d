@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig5-eb32b2b9c85486a4.d: crates/bench/src/bin/fig5.rs
+
+/root/repo/target/debug/deps/fig5-eb32b2b9c85486a4: crates/bench/src/bin/fig5.rs
+
+crates/bench/src/bin/fig5.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig6-c483ce5c8b62b250.d: crates/bench/src/bin/fig6.rs
+
+/root/repo/target/debug/deps/fig6-c483ce5c8b62b250: crates/bench/src/bin/fig6.rs
+
+crates/bench/src/bin/fig6.rs:

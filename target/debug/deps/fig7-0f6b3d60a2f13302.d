@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig7-0f6b3d60a2f13302.d: crates/bench/src/bin/fig7.rs
+
+/root/repo/target/debug/deps/fig7-0f6b3d60a2f13302: crates/bench/src/bin/fig7.rs
+
+crates/bench/src/bin/fig7.rs:

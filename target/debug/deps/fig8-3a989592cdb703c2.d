@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig8-3a989592cdb703c2.d: crates/bench/src/bin/fig8.rs
+
+/root/repo/target/debug/deps/fig8-3a989592cdb703c2: crates/bench/src/bin/fig8.rs
+
+crates/bench/src/bin/fig8.rs:

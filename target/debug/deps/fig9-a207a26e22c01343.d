@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig9-a207a26e22c01343.d: crates/bench/src/bin/fig9.rs
+
+/root/repo/target/debug/deps/fig9-a207a26e22c01343: crates/bench/src/bin/fig9.rs
+
+crates/bench/src/bin/fig9.rs:

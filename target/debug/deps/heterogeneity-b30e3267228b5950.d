@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/heterogeneity-b30e3267228b5950.d: crates/bench/src/bin/heterogeneity.rs
+
+/root/repo/target/debug/deps/heterogeneity-b30e3267228b5950: crates/bench/src/bin/heterogeneity.rs
+
+crates/bench/src/bin/heterogeneity.rs:

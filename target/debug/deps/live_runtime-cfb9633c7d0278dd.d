@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/live_runtime-cfb9633c7d0278dd.d: tests/live_runtime.rs
+
+/root/repo/target/debug/deps/live_runtime-cfb9633c7d0278dd: tests/live_runtime.rs
+
+tests/live_runtime.rs:

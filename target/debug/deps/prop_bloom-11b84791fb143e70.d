@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/prop_bloom-11b84791fb143e70.d: tests/prop_bloom.rs
+
+/root/repo/target/debug/deps/prop_bloom-11b84791fb143e70: tests/prop_bloom.rs
+
+tests/prop_bloom.rs:

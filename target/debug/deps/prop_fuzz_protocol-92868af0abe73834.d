@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/prop_fuzz_protocol-92868af0abe73834.d: tests/prop_fuzz_protocol.rs
+
+/root/repo/target/debug/deps/prop_fuzz_protocol-92868af0abe73834: tests/prop_fuzz_protocol.rs
+
+tests/prop_fuzz_protocol.rs:

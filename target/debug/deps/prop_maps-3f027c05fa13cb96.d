@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/prop_maps-3f027c05fa13cb96.d: tests/prop_maps.rs
+
+/root/repo/target/debug/deps/prop_maps-3f027c05fa13cb96: tests/prop_maps.rs
+
+tests/prop_maps.rs:

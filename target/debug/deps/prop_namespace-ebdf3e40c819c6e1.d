@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/prop_namespace-ebdf3e40c819c6e1.d: tests/prop_namespace.rs
+
+/root/repo/target/debug/deps/prop_namespace-ebdf3e40c819c6e1: tests/prop_namespace.rs
+
+tests/prop_namespace.rs:

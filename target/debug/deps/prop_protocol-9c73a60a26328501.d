@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/prop_protocol-9c73a60a26328501.d: tests/prop_protocol.rs
+
+/root/repo/target/debug/deps/prop_protocol-9c73a60a26328501: tests/prop_protocol.rs
+
+tests/prop_protocol.rs:

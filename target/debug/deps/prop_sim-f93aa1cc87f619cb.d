@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/prop_sim-f93aa1cc87f619cb.d: tests/prop_sim.rs
+
+/root/repo/target/debug/deps/prop_sim-f93aa1cc87f619cb: tests/prop_sim.rs
+
+tests/prop_sim.rs:

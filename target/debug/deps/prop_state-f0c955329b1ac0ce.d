@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/prop_state-f0c955329b1ac0ce.d: tests/prop_state.rs
+
+/root/repo/target/debug/deps/prop_state-f0c955329b1ac0ce: tests/prop_state.rs
+
+tests/prop_state.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/prop_workload-70be5239bb08df0c.d: tests/prop_workload.rs
+
+/root/repo/target/debug/deps/prop_workload-70be5239bb08df0c: tests/prop_workload.rs
+
+tests/prop_workload.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/replication_behavior-f4a6b26c90b8d1c3.d: tests/replication_behavior.rs
+
+/root/repo/target/debug/deps/replication_behavior-f4a6b26c90b8d1c3: tests/replication_behavior.rs
+
+tests/replication_behavior.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/resilience-8091029d15f073af.d: crates/bench/src/bin/resilience.rs
+
+/root/repo/target/debug/deps/resilience-8091029d15f073af: crates/bench/src/bin/resilience.rs
+
+crates/bench/src/bin/resilience.rs:

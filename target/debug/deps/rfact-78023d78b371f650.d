@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/rfact-78023d78b371f650.d: crates/bench/src/bin/rfact.rs
+
+/root/repo/target/debug/deps/rfact-78023d78b371f650: crates/bench/src/bin/rfact.rs
+
+crates/bench/src/bin/rfact.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/routing_end_to_end-1bd9501ade874af7.d: tests/routing_end_to_end.rs
+
+/root/repo/target/debug/deps/routing_end_to_end-1bd9501ade874af7: tests/routing_end_to_end.rs
+
+tests/routing_end_to_end.rs:

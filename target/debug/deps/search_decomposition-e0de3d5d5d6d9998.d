@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/search_decomposition-e0de3d5d5d6d9998.d: tests/search_decomposition.rs
+
+/root/repo/target/debug/deps/search_decomposition-e0de3d5d5d6d9998: tests/search_decomposition.rs
+
+tests/search_decomposition.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/tab1-2308a30e0136c311.d: crates/bench/src/bin/tab1.rs
+
+/root/repo/target/debug/deps/tab1-2308a30e0136c311: crates/bench/src/bin/tab1.rs
+
+crates/bench/src/bin/tab1.rs:

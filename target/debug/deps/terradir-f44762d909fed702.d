@@ -1,0 +1,21 @@
+/root/repo/target/debug/deps/terradir-f44762d909fed702.d: crates/terradir/src/lib.rs crates/terradir/src/cache.rs crates/terradir/src/config.rs crates/terradir/src/digests.rs crates/terradir/src/load.rs crates/terradir/src/map.rs crates/terradir/src/messages.rs crates/terradir/src/meta.rs crates/terradir/src/oracle.rs crates/terradir/src/ranking.rs crates/terradir/src/records.rs crates/terradir/src/replication.rs crates/terradir/src/routing.rs crates/terradir/src/server.rs crates/terradir/src/stats.rs crates/terradir/src/system.rs crates/terradir/src/soft_state_tests.rs
+
+/root/repo/target/debug/deps/terradir-f44762d909fed702: crates/terradir/src/lib.rs crates/terradir/src/cache.rs crates/terradir/src/config.rs crates/terradir/src/digests.rs crates/terradir/src/load.rs crates/terradir/src/map.rs crates/terradir/src/messages.rs crates/terradir/src/meta.rs crates/terradir/src/oracle.rs crates/terradir/src/ranking.rs crates/terradir/src/records.rs crates/terradir/src/replication.rs crates/terradir/src/routing.rs crates/terradir/src/server.rs crates/terradir/src/stats.rs crates/terradir/src/system.rs crates/terradir/src/soft_state_tests.rs
+
+crates/terradir/src/lib.rs:
+crates/terradir/src/cache.rs:
+crates/terradir/src/config.rs:
+crates/terradir/src/digests.rs:
+crates/terradir/src/load.rs:
+crates/terradir/src/map.rs:
+crates/terradir/src/messages.rs:
+crates/terradir/src/meta.rs:
+crates/terradir/src/oracle.rs:
+crates/terradir/src/ranking.rs:
+crates/terradir/src/records.rs:
+crates/terradir/src/replication.rs:
+crates/terradir/src/routing.rs:
+crates/terradir/src/server.rs:
+crates/terradir/src/stats.rs:
+crates/terradir/src/system.rs:
+crates/terradir/src/soft_state_tests.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/terradir_bench-2d33d0c7d63f03d3.d: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/terradir_bench-2d33d0c7d63f03d3: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

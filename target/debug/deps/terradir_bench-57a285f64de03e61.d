@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/terradir_bench-57a285f64de03e61.d: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/libterradir_bench-57a285f64de03e61.rlib: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/libterradir_bench-57a285f64de03e61.rmeta: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

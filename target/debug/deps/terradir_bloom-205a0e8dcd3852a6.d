@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/terradir_bloom-205a0e8dcd3852a6.d: crates/bloom/src/lib.rs crates/bloom/src/bloom.rs crates/bloom/src/digest.rs crates/bloom/src/hashing.rs
+
+/root/repo/target/debug/deps/libterradir_bloom-205a0e8dcd3852a6.rlib: crates/bloom/src/lib.rs crates/bloom/src/bloom.rs crates/bloom/src/digest.rs crates/bloom/src/hashing.rs
+
+/root/repo/target/debug/deps/libterradir_bloom-205a0e8dcd3852a6.rmeta: crates/bloom/src/lib.rs crates/bloom/src/bloom.rs crates/bloom/src/digest.rs crates/bloom/src/hashing.rs
+
+crates/bloom/src/lib.rs:
+crates/bloom/src/bloom.rs:
+crates/bloom/src/digest.rs:
+crates/bloom/src/hashing.rs:

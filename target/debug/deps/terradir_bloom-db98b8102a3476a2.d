@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/terradir_bloom-db98b8102a3476a2.d: crates/bloom/src/lib.rs crates/bloom/src/bloom.rs crates/bloom/src/digest.rs crates/bloom/src/hashing.rs
+
+/root/repo/target/debug/deps/terradir_bloom-db98b8102a3476a2: crates/bloom/src/lib.rs crates/bloom/src/bloom.rs crates/bloom/src/digest.rs crates/bloom/src/hashing.rs
+
+crates/bloom/src/lib.rs:
+crates/bloom/src/bloom.rs:
+crates/bloom/src/digest.rs:
+crates/bloom/src/hashing.rs:

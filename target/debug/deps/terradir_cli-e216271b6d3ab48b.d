@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/terradir_cli-e216271b6d3ab48b.d: crates/cli/src/lib.rs
+
+/root/repo/target/debug/deps/libterradir_cli-e216271b6d3ab48b.rlib: crates/cli/src/lib.rs
+
+/root/repo/target/debug/deps/libterradir_cli-e216271b6d3ab48b.rmeta: crates/cli/src/lib.rs
+
+crates/cli/src/lib.rs:

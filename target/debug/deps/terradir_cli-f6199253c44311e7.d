@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/terradir_cli-f6199253c44311e7.d: crates/cli/src/lib.rs
+
+/root/repo/target/debug/deps/terradir_cli-f6199253c44311e7: crates/cli/src/lib.rs
+
+crates/cli/src/lib.rs:

@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/terradir_namespace-41465cea92c87aba.d: crates/namespace/src/lib.rs crates/namespace/src/builder.rs crates/namespace/src/distance.rs crates/namespace/src/error.rs crates/namespace/src/mapping.rs crates/namespace/src/name.rs crates/namespace/src/tree.rs
+
+/root/repo/target/debug/deps/libterradir_namespace-41465cea92c87aba.rlib: crates/namespace/src/lib.rs crates/namespace/src/builder.rs crates/namespace/src/distance.rs crates/namespace/src/error.rs crates/namespace/src/mapping.rs crates/namespace/src/name.rs crates/namespace/src/tree.rs
+
+/root/repo/target/debug/deps/libterradir_namespace-41465cea92c87aba.rmeta: crates/namespace/src/lib.rs crates/namespace/src/builder.rs crates/namespace/src/distance.rs crates/namespace/src/error.rs crates/namespace/src/mapping.rs crates/namespace/src/name.rs crates/namespace/src/tree.rs
+
+crates/namespace/src/lib.rs:
+crates/namespace/src/builder.rs:
+crates/namespace/src/distance.rs:
+crates/namespace/src/error.rs:
+crates/namespace/src/mapping.rs:
+crates/namespace/src/name.rs:
+crates/namespace/src/tree.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/terradir_namespace-5906e6ec43e16a4d.d: crates/namespace/src/lib.rs crates/namespace/src/builder.rs crates/namespace/src/distance.rs crates/namespace/src/error.rs crates/namespace/src/mapping.rs crates/namespace/src/name.rs crates/namespace/src/tree.rs
+
+/root/repo/target/debug/deps/terradir_namespace-5906e6ec43e16a4d: crates/namespace/src/lib.rs crates/namespace/src/builder.rs crates/namespace/src/distance.rs crates/namespace/src/error.rs crates/namespace/src/mapping.rs crates/namespace/src/name.rs crates/namespace/src/tree.rs
+
+crates/namespace/src/lib.rs:
+crates/namespace/src/builder.rs:
+crates/namespace/src/distance.rs:
+crates/namespace/src/error.rs:
+crates/namespace/src/mapping.rs:
+crates/namespace/src/name.rs:
+crates/namespace/src/tree.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/terradir_net-917a659d1c8eaa71.d: crates/net/src/lib.rs crates/net/src/error.rs crates/net/src/peer.rs crates/net/src/runtime.rs crates/net/src/transport.rs
+
+/root/repo/target/debug/deps/terradir_net-917a659d1c8eaa71: crates/net/src/lib.rs crates/net/src/error.rs crates/net/src/peer.rs crates/net/src/runtime.rs crates/net/src/transport.rs
+
+crates/net/src/lib.rs:
+crates/net/src/error.rs:
+crates/net/src/peer.rs:
+crates/net/src/runtime.rs:
+crates/net/src/transport.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/terradir_net-e4d9aa3cbf7cf11e.d: crates/net/src/lib.rs crates/net/src/error.rs crates/net/src/peer.rs crates/net/src/runtime.rs crates/net/src/transport.rs
+
+/root/repo/target/debug/deps/libterradir_net-e4d9aa3cbf7cf11e.rlib: crates/net/src/lib.rs crates/net/src/error.rs crates/net/src/peer.rs crates/net/src/runtime.rs crates/net/src/transport.rs
+
+/root/repo/target/debug/deps/libterradir_net-e4d9aa3cbf7cf11e.rmeta: crates/net/src/lib.rs crates/net/src/error.rs crates/net/src/peer.rs crates/net/src/runtime.rs crates/net/src/transport.rs
+
+crates/net/src/lib.rs:
+crates/net/src/error.rs:
+crates/net/src/peer.rs:
+crates/net/src/runtime.rs:
+crates/net/src/transport.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/terradir_repro-4ddeebc421b36eeb.d: src/lib.rs
+
+/root/repo/target/debug/deps/terradir_repro-4ddeebc421b36eeb: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/terradir_repro-ddb79ee10fc6d09b.d: src/lib.rs
+
+/root/repo/target/debug/deps/libterradir_repro-ddb79ee10fc6d09b.rlib: src/lib.rs
+
+/root/repo/target/debug/deps/libterradir_repro-ddb79ee10fc6d09b.rmeta: src/lib.rs
+
+src/lib.rs:

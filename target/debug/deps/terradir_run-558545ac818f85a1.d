@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/terradir_run-558545ac818f85a1.d: crates/cli/src/main.rs
+
+/root/repo/target/debug/deps/terradir_run-558545ac818f85a1: crates/cli/src/main.rs
+
+crates/cli/src/main.rs:

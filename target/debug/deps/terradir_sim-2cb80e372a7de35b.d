@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/terradir_sim-2cb80e372a7de35b.d: crates/sim/src/lib.rs crates/sim/src/calendar.rs crates/sim/src/engine.rs crates/sim/src/histogram.rs crates/sim/src/series.rs
+
+/root/repo/target/debug/deps/terradir_sim-2cb80e372a7de35b: crates/sim/src/lib.rs crates/sim/src/calendar.rs crates/sim/src/engine.rs crates/sim/src/histogram.rs crates/sim/src/series.rs
+
+crates/sim/src/lib.rs:
+crates/sim/src/calendar.rs:
+crates/sim/src/engine.rs:
+crates/sim/src/histogram.rs:
+crates/sim/src/series.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/terradir_sim-8253ce7cf5442bcc.d: crates/sim/src/lib.rs crates/sim/src/calendar.rs crates/sim/src/engine.rs crates/sim/src/histogram.rs crates/sim/src/series.rs
+
+/root/repo/target/debug/deps/libterradir_sim-8253ce7cf5442bcc.rlib: crates/sim/src/lib.rs crates/sim/src/calendar.rs crates/sim/src/engine.rs crates/sim/src/histogram.rs crates/sim/src/series.rs
+
+/root/repo/target/debug/deps/libterradir_sim-8253ce7cf5442bcc.rmeta: crates/sim/src/lib.rs crates/sim/src/calendar.rs crates/sim/src/engine.rs crates/sim/src/histogram.rs crates/sim/src/series.rs
+
+crates/sim/src/lib.rs:
+crates/sim/src/calendar.rs:
+crates/sim/src/engine.rs:
+crates/sim/src/histogram.rs:
+crates/sim/src/series.rs:

@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/terradir_workload-5caa373837d90763.d: crates/workload/src/lib.rs crates/workload/src/poisson.rs crates/workload/src/ranking.rs crates/workload/src/seed.rs crates/workload/src/service.rs crates/workload/src/stream.rs crates/workload/src/zipf.rs
+
+/root/repo/target/debug/deps/libterradir_workload-5caa373837d90763.rlib: crates/workload/src/lib.rs crates/workload/src/poisson.rs crates/workload/src/ranking.rs crates/workload/src/seed.rs crates/workload/src/service.rs crates/workload/src/stream.rs crates/workload/src/zipf.rs
+
+/root/repo/target/debug/deps/libterradir_workload-5caa373837d90763.rmeta: crates/workload/src/lib.rs crates/workload/src/poisson.rs crates/workload/src/ranking.rs crates/workload/src/seed.rs crates/workload/src/service.rs crates/workload/src/stream.rs crates/workload/src/zipf.rs
+
+crates/workload/src/lib.rs:
+crates/workload/src/poisson.rs:
+crates/workload/src/ranking.rs:
+crates/workload/src/seed.rs:
+crates/workload/src/service.rs:
+crates/workload/src/stream.rs:
+crates/workload/src/zipf.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/terradir_workload-9820f98144b8574b.d: crates/workload/src/lib.rs crates/workload/src/poisson.rs crates/workload/src/ranking.rs crates/workload/src/seed.rs crates/workload/src/service.rs crates/workload/src/stream.rs crates/workload/src/zipf.rs
+
+/root/repo/target/debug/deps/terradir_workload-9820f98144b8574b: crates/workload/src/lib.rs crates/workload/src/poisson.rs crates/workload/src/ranking.rs crates/workload/src/seed.rs crates/workload/src/service.rs crates/workload/src/stream.rs crates/workload/src/zipf.rs
+
+crates/workload/src/lib.rs:
+crates/workload/src/poisson.rs:
+crates/workload/src/ranking.rs:
+crates/workload/src/seed.rs:
+crates/workload/src/service.rs:
+crates/workload/src/stream.rs:
+crates/workload/src/zipf.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/two_step_access-3dbe8291e5823a5a.d: tests/two_step_access.rs
+
+/root/repo/target/debug/deps/two_step_access-3dbe8291e5823a5a: tests/two_step_access.rs
+
+tests/two_step_access.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/filesystem_directory-078e5662489b4879.d: examples/filesystem_directory.rs
+
+/root/repo/target/debug/examples/filesystem_directory-078e5662489b4879: examples/filesystem_directory.rs
+
+examples/filesystem_directory.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/flash_crowd-ec317dc4cbb810b0.d: examples/flash_crowd.rs
+
+/root/repo/target/debug/examples/flash_crowd-ec317dc4cbb810b0: examples/flash_crowd.rs
+
+examples/flash_crowd.rs:

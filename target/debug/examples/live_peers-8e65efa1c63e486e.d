@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/live_peers-8e65efa1c63e486e.d: examples/live_peers.rs
+
+/root/repo/target/debug/examples/live_peers-8e65efa1c63e486e: examples/live_peers.rs
+
+examples/live_peers.rs:

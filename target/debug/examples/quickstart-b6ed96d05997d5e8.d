@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-b6ed96d05997d5e8.d: examples/quickstart.rs
+
+/root/repo/target/debug/examples/quickstart-b6ed96d05997d5e8: examples/quickstart.rs
+
+examples/quickstart.rs:

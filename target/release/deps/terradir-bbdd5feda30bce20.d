@@ -1,0 +1,22 @@
+/root/repo/target/release/deps/terradir-bbdd5feda30bce20.d: crates/terradir/src/lib.rs crates/terradir/src/cache.rs crates/terradir/src/config.rs crates/terradir/src/digests.rs crates/terradir/src/load.rs crates/terradir/src/map.rs crates/terradir/src/messages.rs crates/terradir/src/meta.rs crates/terradir/src/oracle.rs crates/terradir/src/ranking.rs crates/terradir/src/records.rs crates/terradir/src/replication.rs crates/terradir/src/routing.rs crates/terradir/src/server.rs crates/terradir/src/stats.rs crates/terradir/src/system.rs
+
+/root/repo/target/release/deps/libterradir-bbdd5feda30bce20.rlib: crates/terradir/src/lib.rs crates/terradir/src/cache.rs crates/terradir/src/config.rs crates/terradir/src/digests.rs crates/terradir/src/load.rs crates/terradir/src/map.rs crates/terradir/src/messages.rs crates/terradir/src/meta.rs crates/terradir/src/oracle.rs crates/terradir/src/ranking.rs crates/terradir/src/records.rs crates/terradir/src/replication.rs crates/terradir/src/routing.rs crates/terradir/src/server.rs crates/terradir/src/stats.rs crates/terradir/src/system.rs
+
+/root/repo/target/release/deps/libterradir-bbdd5feda30bce20.rmeta: crates/terradir/src/lib.rs crates/terradir/src/cache.rs crates/terradir/src/config.rs crates/terradir/src/digests.rs crates/terradir/src/load.rs crates/terradir/src/map.rs crates/terradir/src/messages.rs crates/terradir/src/meta.rs crates/terradir/src/oracle.rs crates/terradir/src/ranking.rs crates/terradir/src/records.rs crates/terradir/src/replication.rs crates/terradir/src/routing.rs crates/terradir/src/server.rs crates/terradir/src/stats.rs crates/terradir/src/system.rs
+
+crates/terradir/src/lib.rs:
+crates/terradir/src/cache.rs:
+crates/terradir/src/config.rs:
+crates/terradir/src/digests.rs:
+crates/terradir/src/load.rs:
+crates/terradir/src/map.rs:
+crates/terradir/src/messages.rs:
+crates/terradir/src/meta.rs:
+crates/terradir/src/oracle.rs:
+crates/terradir/src/ranking.rs:
+crates/terradir/src/records.rs:
+crates/terradir/src/replication.rs:
+crates/terradir/src/routing.rs:
+crates/terradir/src/server.rs:
+crates/terradir/src/stats.rs:
+crates/terradir/src/system.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/release/deps/terradir_bloom-78adf43e1774c922.d: crates/bloom/src/lib.rs crates/bloom/src/bloom.rs crates/bloom/src/digest.rs crates/bloom/src/hashing.rs
+
+/root/repo/target/release/deps/libterradir_bloom-78adf43e1774c922.rlib: crates/bloom/src/lib.rs crates/bloom/src/bloom.rs crates/bloom/src/digest.rs crates/bloom/src/hashing.rs
+
+/root/repo/target/release/deps/libterradir_bloom-78adf43e1774c922.rmeta: crates/bloom/src/lib.rs crates/bloom/src/bloom.rs crates/bloom/src/digest.rs crates/bloom/src/hashing.rs
+
+crates/bloom/src/lib.rs:
+crates/bloom/src/bloom.rs:
+crates/bloom/src/digest.rs:
+crates/bloom/src/hashing.rs:

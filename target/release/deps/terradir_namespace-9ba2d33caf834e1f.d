@@ -1,0 +1,13 @@
+/root/repo/target/release/deps/terradir_namespace-9ba2d33caf834e1f.d: crates/namespace/src/lib.rs crates/namespace/src/builder.rs crates/namespace/src/distance.rs crates/namespace/src/error.rs crates/namespace/src/mapping.rs crates/namespace/src/name.rs crates/namespace/src/tree.rs
+
+/root/repo/target/release/deps/libterradir_namespace-9ba2d33caf834e1f.rlib: crates/namespace/src/lib.rs crates/namespace/src/builder.rs crates/namespace/src/distance.rs crates/namespace/src/error.rs crates/namespace/src/mapping.rs crates/namespace/src/name.rs crates/namespace/src/tree.rs
+
+/root/repo/target/release/deps/libterradir_namespace-9ba2d33caf834e1f.rmeta: crates/namespace/src/lib.rs crates/namespace/src/builder.rs crates/namespace/src/distance.rs crates/namespace/src/error.rs crates/namespace/src/mapping.rs crates/namespace/src/name.rs crates/namespace/src/tree.rs
+
+crates/namespace/src/lib.rs:
+crates/namespace/src/builder.rs:
+crates/namespace/src/distance.rs:
+crates/namespace/src/error.rs:
+crates/namespace/src/mapping.rs:
+crates/namespace/src/name.rs:
+crates/namespace/src/tree.rs:

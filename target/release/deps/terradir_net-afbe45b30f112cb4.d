@@ -1,0 +1,11 @@
+/root/repo/target/release/deps/terradir_net-afbe45b30f112cb4.d: crates/net/src/lib.rs crates/net/src/error.rs crates/net/src/peer.rs crates/net/src/runtime.rs crates/net/src/transport.rs
+
+/root/repo/target/release/deps/libterradir_net-afbe45b30f112cb4.rlib: crates/net/src/lib.rs crates/net/src/error.rs crates/net/src/peer.rs crates/net/src/runtime.rs crates/net/src/transport.rs
+
+/root/repo/target/release/deps/libterradir_net-afbe45b30f112cb4.rmeta: crates/net/src/lib.rs crates/net/src/error.rs crates/net/src/peer.rs crates/net/src/runtime.rs crates/net/src/transport.rs
+
+crates/net/src/lib.rs:
+crates/net/src/error.rs:
+crates/net/src/peer.rs:
+crates/net/src/runtime.rs:
+crates/net/src/transport.rs:

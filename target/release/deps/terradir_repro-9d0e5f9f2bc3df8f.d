@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/terradir_repro-9d0e5f9f2bc3df8f.d: src/lib.rs
+
+/root/repo/target/release/deps/libterradir_repro-9d0e5f9f2bc3df8f.rlib: src/lib.rs
+
+/root/repo/target/release/deps/libterradir_repro-9d0e5f9f2bc3df8f.rmeta: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/release/deps/terradir_sim-b56c6753d352b9aa.d: crates/sim/src/lib.rs crates/sim/src/calendar.rs crates/sim/src/engine.rs crates/sim/src/histogram.rs crates/sim/src/series.rs
+
+/root/repo/target/release/deps/libterradir_sim-b56c6753d352b9aa.rlib: crates/sim/src/lib.rs crates/sim/src/calendar.rs crates/sim/src/engine.rs crates/sim/src/histogram.rs crates/sim/src/series.rs
+
+/root/repo/target/release/deps/libterradir_sim-b56c6753d352b9aa.rmeta: crates/sim/src/lib.rs crates/sim/src/calendar.rs crates/sim/src/engine.rs crates/sim/src/histogram.rs crates/sim/src/series.rs
+
+crates/sim/src/lib.rs:
+crates/sim/src/calendar.rs:
+crates/sim/src/engine.rs:
+crates/sim/src/histogram.rs:
+crates/sim/src/series.rs:

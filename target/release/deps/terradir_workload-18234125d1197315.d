@@ -1,0 +1,13 @@
+/root/repo/target/release/deps/terradir_workload-18234125d1197315.d: crates/workload/src/lib.rs crates/workload/src/poisson.rs crates/workload/src/ranking.rs crates/workload/src/seed.rs crates/workload/src/service.rs crates/workload/src/stream.rs crates/workload/src/zipf.rs
+
+/root/repo/target/release/deps/libterradir_workload-18234125d1197315.rlib: crates/workload/src/lib.rs crates/workload/src/poisson.rs crates/workload/src/ranking.rs crates/workload/src/seed.rs crates/workload/src/service.rs crates/workload/src/stream.rs crates/workload/src/zipf.rs
+
+/root/repo/target/release/deps/libterradir_workload-18234125d1197315.rmeta: crates/workload/src/lib.rs crates/workload/src/poisson.rs crates/workload/src/ranking.rs crates/workload/src/seed.rs crates/workload/src/service.rs crates/workload/src/stream.rs crates/workload/src/zipf.rs
+
+crates/workload/src/lib.rs:
+crates/workload/src/poisson.rs:
+crates/workload/src/ranking.rs:
+crates/workload/src/seed.rs:
+crates/workload/src/service.rs:
+crates/workload/src/stream.rs:
+crates/workload/src/zipf.rs:

@@ -1,0 +1,189 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! Provides the `harness = false` bench API surface this workspace uses
+//! (`Criterion`, `BenchmarkGroup`, `Bencher`, `black_box`,
+//! `criterion_group!`/`criterion_main!`) with a simple mean-of-N wall-clock
+//! timer instead of criterion's statistical machinery. Good enough to keep
+//! benches compiling and give ballpark numbers offline.
+
+use std::fmt;
+use std::time::Instant;
+
+pub use std::hint::black_box;
+
+/// Label for one parameterised benchmark instance.
+pub struct BenchmarkId(String);
+
+impl BenchmarkId {
+    pub fn new(name: impl fmt::Display, parameter: impl fmt::Display) -> Self {
+        BenchmarkId(format!("{name}/{parameter}"))
+    }
+
+    pub fn from_parameter(parameter: impl fmt::Display) -> Self {
+        BenchmarkId(parameter.to_string())
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        BenchmarkId(s.to_string())
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(s: String) -> Self {
+        BenchmarkId(s)
+    }
+}
+
+/// Throughput annotation; recorded only for display parity with criterion.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    Elements(u64),
+    Bytes(u64),
+}
+
+/// Runs the closure under test and measures it.
+pub struct Bencher {
+    iters: u64,
+    mean_ns: f64,
+}
+
+impl Bencher {
+    /// Times `routine` over a fixed batch after a short warm-up.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
+        const WARMUP: u64 = 3;
+        for _ in 0..WARMUP {
+            black_box(routine());
+        }
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            black_box(routine());
+        }
+        let elapsed = start.elapsed();
+        self.mean_ns = elapsed.as_nanos() as f64 / self.iters as f64;
+    }
+}
+
+fn run_one(label: &str, iters: u64, f: &mut dyn FnMut(&mut Bencher)) {
+    let mut b = Bencher { iters, mean_ns: f64::NAN };
+    f(&mut b);
+    println!("bench {label:<40} {:>12.1} ns/iter ({iters} iters)", b.mean_ns);
+}
+
+/// Group of related benchmarks sharing a name prefix.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    iters: u64,
+    _parent: &'a mut (),
+}
+
+impl BenchmarkGroup<'_> {
+    pub fn throughput(&mut self, _t: Throughput) -> &mut Self {
+        self
+    }
+
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.iters = (n as u64).max(1);
+        self
+    }
+
+    pub fn measurement_time(&mut self, _d: std::time::Duration) -> &mut Self {
+        self
+    }
+
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let label = format!("{}/{}", self.name, id.into().0);
+        run_one(&label, self.iters, &mut f);
+        self
+    }
+
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let label = format!("{}/{}", self.name, id.into().0);
+        run_one(&label, self.iters, &mut |b| f(b, input));
+        self
+    }
+
+    pub fn finish(self) {}
+}
+
+/// Entry point mirroring `criterion::Criterion`.
+pub struct Criterion {
+    iters: u64,
+    unit: (),
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion { iters: 30, unit: () }
+    }
+}
+
+impl Criterion {
+    pub fn bench_function<F>(&mut self, name: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_one(name, self.iters, &mut f);
+        self
+    }
+
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup { name: name.into(), iters: self.iters, _parent: &mut self.unit }
+    }
+}
+
+/// Declares the bench entry list, as upstream's macro does.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut c = $crate::Criterion::default();
+            $( $target(&mut c); )+
+        }
+    };
+}
+
+/// Declares `main()` running each group.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_bench(c: &mut Criterion) {
+        c.bench_function("noop", |b| b.iter(|| black_box(1u64 + 1)));
+        let mut g = c.benchmark_group("grp");
+        g.throughput(Throughput::Elements(1));
+        g.sample_size(10);
+        g.bench_with_input(BenchmarkId::from_parameter(4), &4u32, |b, &n| {
+            b.iter(|| black_box(n * 2))
+        });
+        g.finish();
+    }
+
+    criterion_group!(benches, sample_bench);
+
+    #[test]
+    fn harness_macros_run() {
+        benches();
+    }
+}

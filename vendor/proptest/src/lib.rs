@@ -1,0 +1,231 @@
+//! Offline stand-in for the `proptest` crate.
+//!
+//! Implements the strategy-combinator subset the workspace's property tests
+//! use — numeric-range strategies, tuples, `Just`, `prop_map` /
+//! `prop_flat_map`, `prop_oneof!`, `proptest::collection::{vec, hash_set}`,
+//! `proptest::option::of`, regex-subset string strategies, and the
+//! `proptest!` test macro — on top of the vendored `rand`.
+//!
+//! Differences from upstream, deliberately accepted:
+//! - **No shrinking.** A failing case reports its generated inputs
+//!   verbatim; it is not minimised.
+//! - **Deterministic seeding.** Each test's RNG is seeded from a hash of
+//!   the test name, so CI failures reproduce locally by default.
+//! - `prop_assert*` panics (upstream returns an `Err` internally); the
+//!   observable behaviour — the test fails and prints the inputs — is the
+//!   same.
+
+pub mod strategy;
+
+pub mod collection;
+pub mod option;
+pub mod string;
+
+/// Runtime re-exports used by the `proptest!` macro expansion.
+#[doc(hidden)]
+pub mod __rt {
+    pub use rand;
+}
+
+/// FNV-1a hash used to derive a per-test RNG seed from the test name.
+#[doc(hidden)]
+#[must_use]
+pub const fn fnv1a(name: &str) -> u64 {
+    let bytes = name.as_bytes();
+    let mut hash = 0xcbf2_9ce4_8422_2325u64;
+    let mut i = 0;
+    while i < bytes.len() {
+        hash ^= bytes[i] as u64;
+        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+        i += 1;
+    }
+    hash
+}
+
+pub mod test_runner {
+    /// Configuration block accepted by `#![proptest_config(...)]`.
+    #[derive(Debug, Clone)]
+    pub struct ProptestConfig {
+        /// Number of random cases each property runs.
+        pub cases: u32,
+    }
+
+    impl ProptestConfig {
+        #[must_use]
+        pub fn with_cases(cases: u32) -> Self {
+            ProptestConfig { cases }
+        }
+    }
+
+    impl Default for ProptestConfig {
+        fn default() -> Self {
+            ProptestConfig { cases: 128 }
+        }
+    }
+}
+
+pub mod prelude {
+    pub use crate::strategy::{Just, Strategy};
+    pub use crate::test_runner::ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest};
+}
+
+/// Asserts a condition inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => { assert!($cond) };
+    ($cond:expr, $($fmt:tt)+) => { assert!($cond, $($fmt)+) };
+}
+
+/// Asserts equality inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr) => { assert_eq!($a, $b) };
+    ($a:expr, $b:expr, $($fmt:tt)+) => { assert_eq!($a, $b, $($fmt)+) };
+}
+
+/// Asserts inequality inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($a:expr, $b:expr) => { assert_ne!($a, $b) };
+    ($a:expr, $b:expr, $($fmt:tt)+) => { assert_ne!($a, $b, $($fmt)+) };
+}
+
+/// Uniform choice between several strategies producing the same value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strat:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $($crate::strategy::union_arm($strat),)+
+        ])
+    };
+}
+
+/// Declares property tests: each `fn name(pat in strategy, ...) { body }`
+/// becomes a `#[test]` that samples its strategies for `cases` iterations.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_items! { ($cfg) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_items! {
+            ($crate::test_runner::ProptestConfig::default()) $($rest)*
+        }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_items {
+    (($cfg:expr)) => {};
+    (($cfg:expr)
+     $(#[$meta:meta])+
+     fn $name:ident($($pat:pat_param in $strat:expr),+ $(,)?) $body:block
+     $($rest:tt)*) => {
+        $(#[$meta])+
+        fn $name() {
+            let __config: $crate::test_runner::ProptestConfig = $cfg;
+            let mut __rng =
+                <$crate::__rt::rand::rngs::StdRng as $crate::__rt::rand::SeedableRng>::seed_from_u64(
+                    $crate::fnv1a(concat!(module_path!(), "::", stringify!($name))),
+                );
+            for __case in 0..__config.cases {
+                let __inputs = (
+                    $($crate::strategy::Strategy::sample(&($strat), &mut __rng),)+
+                );
+                let __desc = format!("{__inputs:?}");
+                let __outcome = ::std::panic::catch_unwind(::std::panic::AssertUnwindSafe(
+                    move || {
+                        let ($($pat,)+) = __inputs;
+                        $body
+                    },
+                ));
+                if let Err(__panic) = __outcome {
+                    eprintln!(
+                        "[proptest] {} failed at case {}/{} with inputs:\n  {}",
+                        stringify!($name),
+                        __case + 1,
+                        __config.cases,
+                        __desc,
+                    );
+                    ::std::panic::resume_unwind(__panic);
+                }
+            }
+        }
+        $crate::__proptest_items! { ($cfg) $($rest)* }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    fn arb_even() -> impl Strategy<Value = u32> {
+        (0u32..100).prop_map(|x| x * 2)
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        #[test]
+        fn ranges_stay_in_bounds(x in 3u32..17, f in -1.0f64..2.5) {
+            prop_assert!((3..17).contains(&x));
+            prop_assert!((-1.0..2.5).contains(&f));
+        }
+
+        #[test]
+        fn maps_compose(x in arb_even(), (a, b) in (0u8..4, 0u8..4)) {
+            prop_assert_eq!(x % 2, 0);
+            prop_assert!(a < 4 && b < 4);
+        }
+
+        #[test]
+        fn oneof_and_just(v in prop_oneof![Just(1u8), Just(2u8), 5u8..7]) {
+            prop_assert!(matches!(v, 1 | 2 | 5 | 6));
+        }
+
+        #[test]
+        fn vectors_respect_size(v in crate::collection::vec(0u32..10, 2..6)) {
+            prop_assert!((2..6).contains(&v.len()));
+            prop_assert!(v.iter().all(|&x| x < 10));
+        }
+
+        #[test]
+        fn hash_sets_respect_size(s in crate::collection::hash_set(0u32..64, 1..6)) {
+            prop_assert!((1..6).contains(&s.len()));
+        }
+
+        #[test]
+        fn options_mix(o in crate::option::of(0u32..8)) {
+            if let Some(x) = o {
+                prop_assert!(x < 8);
+            }
+        }
+
+        #[test]
+        fn strings_match_pattern(s in "[a-z0-9/]{1,24}") {
+            prop_assert!((1..=24).contains(&s.len()));
+            prop_assert!(s.chars().all(|c| c.is_ascii_lowercase() || c.is_ascii_digit() || c == '/'));
+        }
+
+        #[test]
+        fn flat_map_threads_values((n, x) in (1u32..10).prop_flat_map(|n| (Just(n), 0..n))) {
+            prop_assert!(x < n);
+        }
+    }
+
+    #[test]
+    fn failing_property_panics() {
+        let failed = std::panic::catch_unwind(|| {
+            let config = ProptestConfig::with_cases(16);
+            let mut rng = <rand::rngs::StdRng as rand::SeedableRng>::seed_from_u64(1);
+            for _ in 0..config.cases {
+                let x = crate::strategy::Strategy::sample(&(0u32..8), &mut rng);
+                assert!(x < 4, "deliberately fails for x >= 4");
+            }
+        })
+        .is_err();
+        assert!(failed);
+    }
+}

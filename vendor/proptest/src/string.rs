@@ -1,0 +1,232 @@
+//! String strategies from a regex subset.
+//!
+//! Upstream proptest treats a `&str` strategy as "strings matching this
+//! regex". This stand-in supports the subset the workspace's tests use:
+//! literal characters, character classes `[a-z0-9/]` (with ranges),
+//! groups `(...)`, and the quantifiers `{n}`, `{m,n}`, `?`, `*`, `+`
+//! (`*`/`+` capped at 8 repetitions).
+
+use rand::rngs::StdRng;
+use rand::SampleRange;
+
+use crate::strategy::Strategy;
+
+impl Strategy for &'static str {
+    type Value = String;
+
+    fn sample(&self, rng: &mut StdRng) -> String {
+        let nodes = parse_seq(&mut self.chars().peekable(), false);
+        let mut out = String::new();
+        for node in &nodes {
+            node.emit(rng, &mut out);
+        }
+        out
+    }
+}
+
+type Chars<'a> = std::iter::Peekable<std::str::Chars<'a>>;
+
+#[derive(Debug)]
+enum Node {
+    Lit(char),
+    /// Inclusive character ranges; single chars are `(c, c)`.
+    Class(Vec<(char, char)>),
+    Group(Vec<Node>),
+    Repeat(Box<Node>, usize, usize),
+}
+
+impl Node {
+    fn emit(&self, rng: &mut StdRng, out: &mut String) {
+        match self {
+            Node::Lit(c) => out.push(*c),
+            Node::Class(ranges) => {
+                let total: u32 = ranges.iter().map(|&(lo, hi)| hi as u32 - lo as u32 + 1).sum();
+                let mut pick = (0..total).sample_single(rng);
+                for &(lo, hi) in ranges {
+                    let span = hi as u32 - lo as u32 + 1;
+                    if pick < span {
+                        let code = lo as u32 + pick;
+                        out.push(char::from_u32(code).unwrap_or(lo));
+                        return;
+                    }
+                    pick -= span;
+                }
+            }
+            Node::Group(nodes) => {
+                for node in nodes {
+                    node.emit(rng, out);
+                }
+            }
+            Node::Repeat(node, lo, hi) => {
+                let n = if lo == hi { *lo } else { (*lo..=*hi).sample_single(rng) };
+                for _ in 0..n {
+                    node.emit(rng, out);
+                }
+            }
+        }
+    }
+}
+
+fn parse_seq(chars: &mut Chars<'_>, in_group: bool) -> Vec<Node> {
+    let mut nodes = Vec::new();
+    while let Some(&c) = chars.peek() {
+        if c == ')' && in_group {
+            chars.next();
+            break;
+        }
+        let atom = match c {
+            '[' => {
+                chars.next();
+                Node::Class(parse_class(chars))
+            }
+            '(' => {
+                chars.next();
+                Node::Group(parse_seq(chars, true))
+            }
+            '\\' => {
+                chars.next();
+                Node::Lit(chars.next().unwrap_or('\\'))
+            }
+            _ => {
+                chars.next();
+                Node::Lit(c)
+            }
+        };
+        nodes.push(apply_quantifier(atom, chars));
+    }
+    nodes
+}
+
+fn apply_quantifier(atom: Node, chars: &mut Chars<'_>) -> Node {
+    match chars.peek() {
+        Some('{') => {
+            chars.next();
+            let mut lo = 0usize;
+            let mut hi = None;
+            let mut cur = 0usize;
+            let mut saw_comma = false;
+            for c in chars.by_ref() {
+                match c {
+                    '0'..='9' => cur = cur * 10 + (c as usize - '0' as usize),
+                    ',' => {
+                        lo = cur;
+                        cur = 0;
+                        saw_comma = true;
+                    }
+                    '}' => break,
+                    _ => {}
+                }
+            }
+            if saw_comma {
+                hi = Some(cur);
+            } else {
+                lo = cur;
+            }
+            let hi = hi.unwrap_or(lo);
+            Node::Repeat(Box::new(atom), lo, hi.max(lo))
+        }
+        Some('?') => {
+            chars.next();
+            Node::Repeat(Box::new(atom), 0, 1)
+        }
+        Some('*') => {
+            chars.next();
+            Node::Repeat(Box::new(atom), 0, 8)
+        }
+        Some('+') => {
+            chars.next();
+            Node::Repeat(Box::new(atom), 1, 8)
+        }
+        _ => atom,
+    }
+}
+
+fn parse_class(chars: &mut Chars<'_>) -> Vec<(char, char)> {
+    let mut ranges = Vec::new();
+    let mut pending: Option<char> = None;
+    while let Some(c) = chars.next() {
+        match c {
+            ']' => break,
+            '-' => {
+                // A dash between two chars forms a range; otherwise literal.
+                if let (Some(lo), Some(&hi)) = (pending, chars.peek()) {
+                    if hi != ']' {
+                        chars.next();
+                        ranges.push((lo, hi));
+                        pending = None;
+                        continue;
+                    }
+                }
+                if let Some(p) = pending.take() {
+                    ranges.push((p, p));
+                }
+                pending = Some('-');
+            }
+            '\\' => {
+                if let Some(p) = pending.take() {
+                    ranges.push((p, p));
+                }
+                pending = chars.next();
+            }
+            _ => {
+                if let Some(p) = pending.take() {
+                    ranges.push((p, p));
+                }
+                pending = Some(c);
+            }
+        }
+    }
+    if let Some(p) = pending {
+        ranges.push((p, p));
+    }
+    if ranges.is_empty() {
+        // Degenerate class: fall back to a single placeholder so emit()
+        // cannot divide by zero.
+        ranges.push(('a', 'a'));
+    }
+    ranges
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn gen(pattern: &'static str, seed: u64) -> String {
+        let mut rng = StdRng::seed_from_u64(seed);
+        Strategy::sample(&pattern, &mut rng)
+    }
+
+    #[test]
+    fn class_with_repetition() {
+        for seed in 0..200 {
+            let s = gen("[a-z0-9/]{1,24}", seed);
+            assert!((1..=24).contains(&s.len()), "len {} out of bounds", s.len());
+            assert!(s
+                .chars()
+                .all(|c| c.is_ascii_lowercase() || c.is_ascii_digit() || c == '/'));
+        }
+    }
+
+    #[test]
+    fn grouped_path_pattern() {
+        for seed in 0..200 {
+            let s = gen("/[a-z]{1,6}(/[a-z]{1,6}){0,3}", seed);
+            assert!(s.starts_with('/'));
+            let segments: Vec<&str> = s[1..].split('/').collect();
+            assert!((1..=4).contains(&segments.len()), "segments: {segments:?}");
+            for seg in segments {
+                assert!((1..=6).contains(&seg.len()));
+                assert!(seg.chars().all(|c| c.is_ascii_lowercase()));
+            }
+        }
+    }
+
+    #[test]
+    fn literals_and_optional() {
+        for seed in 0..50 {
+            let s = gen("ab?c", seed);
+            assert!(s == "abc" || s == "ac");
+        }
+    }
+}
