@@ -1,3 +1,6 @@
+// Benchmark harness: panicking on setup failure is the correct failure mode.
+#![allow(clippy::unwrap_used, clippy::expect_used, clippy::indexing_slicing, clippy::panic)]
+
 //! Microbenchmarks: Bloom digest construction and membership tests — the
 //! hot inner loop of shortcut discovery (hundreds of tests per routing
 //! step under budget).
@@ -35,10 +38,10 @@ fn bench_contains(c: &mut Criterion) {
     let probes: Vec<String> = (0..n).map(|i| format!("/other{}/n{i}", i % 17)).collect();
     g.throughput(Throughput::Elements(probes.len() as u64));
     g.bench_function("hit", |b| {
-        b.iter(|| names.iter().filter(|n| f.contains(n.as_bytes())).count())
+        b.iter(|| names.iter().filter(|n| f.contains(n.as_bytes())).count());
     });
     g.bench_function("miss", |b| {
-        b.iter(|| probes.iter().filter(|n| f.contains(n.as_bytes())).count())
+        b.iter(|| probes.iter().filter(|n| f.contains(n.as_bytes())).count());
     });
     g.finish();
 }
@@ -55,7 +58,7 @@ fn bench_digest_rebuild(c: &mut Criterion) {
                 builder.add(n);
             }
             black_box(builder.seal(1).items())
-        })
+        });
     });
 }
 

@@ -1,3 +1,6 @@
+// Benchmark harness: panicking on setup failure is the correct failure mode.
+#![allow(clippy::unwrap_used, clippy::expect_used, clippy::indexing_slicing, clippy::panic)]
+
 //! Microbenchmarks: the DES kernel's event calendar — every simulated
 //! message is at least one push and one pop.
 
@@ -43,7 +46,7 @@ fn bench_engine_hop(c: &mut Criterion) {
             let v = e.pop().expect("self-sustaining");
             e.schedule_in(0.025, v + 1);
             black_box(v)
-        })
+        });
     });
 }
 

@@ -1,3 +1,6 @@
+// Benchmark harness: panicking on setup failure is the correct failure mode.
+#![allow(clippy::unwrap_used, clippy::expect_used, clippy::indexing_slicing, clippy::panic)]
+
 //! Microbenchmarks: node-map operations (merge, advertise, filter) — maps
 //! are merged on every query carrying path state.
 
@@ -18,7 +21,7 @@ fn bench_merge(c: &mut Criterion) {
     let (a, b) = maps();
     let mut rng = StdRng::seed_from_u64(1);
     c.bench_function("map_merge_r5", |bch| {
-        bch.iter(|| black_box(a.merge(&b, 5, &mut rng)))
+        bch.iter(|| black_box(a.merge(&b, 5, &mut rng)));
     });
 }
 
@@ -29,7 +32,7 @@ fn bench_advertise(c: &mut Criterion) {
             let mut m = a.clone();
             m.advertise(ServerId(99), 5);
             black_box(m)
-        })
+        });
     });
 }
 
@@ -40,7 +43,7 @@ fn bench_filter(c: &mut Criterion) {
             let mut m = a.clone();
             m.filter_stale(|h| h.0 % 2 == 0);
             black_box(m)
-        })
+        });
     });
 }
 
@@ -49,7 +52,7 @@ fn bench_select(c: &mut Criterion) {
     let mut rng = StdRng::seed_from_u64(2);
     let avoid = [ServerId(0), ServerId(1)];
     c.bench_function("map_select_avoiding", |bch| {
-        bch.iter(|| black_box(a.select_avoiding(&avoid, &mut rng)))
+        bch.iter(|| black_box(a.select_avoiding(&avoid, &mut rng)));
     });
 }
 

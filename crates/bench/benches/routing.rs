@@ -1,3 +1,6 @@
+// Benchmark harness: panicking on setup failure is the correct failure mode.
+#![allow(clippy::unwrap_used, clippy::expect_used, clippy::indexing_slicing, clippy::panic)]
+
 //! Microbenchmarks: whole routing steps and simulated-system throughput —
 //! the numbers that determine how fast the paper-scale experiments run.
 
@@ -18,7 +21,7 @@ fn bench_system_second(c: &mut Criterion) {
             BenchmarkId::from_parameter(servers),
             &servers,
             |b, &servers| {
-                let levels = (31 - (servers * 8).leading_zeros() - 1) as u16;
+                let levels = ((servers * 8).ilog2() - 1) as u16;
                 let ns = balanced_tree(2, levels);
                 let cfg = Config::paper_default(servers).with_seed(1);
                 let mut sys = System::new(ns, cfg, StreamPlan::uzipf(1.0, 1e9), rate);

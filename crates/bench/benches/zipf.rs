@@ -1,3 +1,6 @@
+// Benchmark harness: panicking on setup failure is the correct failure mode.
+#![allow(clippy::unwrap_used, clippy::expect_used, clippy::indexing_slicing, clippy::panic)]
+
 //! Microbenchmarks: workload generation (Zipf sampling, Poisson gaps,
 //! full query-stream steps) — the simulator injects hundreds of thousands
 //! of queries per run.
@@ -12,7 +15,7 @@ fn bench_zipf_build(c: &mut Criterion) {
     let mut g = c.benchmark_group("zipf_build");
     for &n in &[1_024usize, 32_767, 131_071] {
         g.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, &n| {
-            b.iter(|| black_box(ZipfSampler::new(n, 1.0).len()))
+            b.iter(|| black_box(ZipfSampler::new(n, 1.0).len()));
         });
     }
     g.finish();
@@ -25,7 +28,7 @@ fn bench_zipf_sample(c: &mut Criterion) {
         let z = ZipfSampler::new(n, 1.25);
         let mut rng = StdRng::seed_from_u64(1);
         g.bench_with_input(BenchmarkId::from_parameter(n), &z, |b, z| {
-            b.iter(|| black_box(z.sample(&mut rng)))
+            b.iter(|| black_box(z.sample(&mut rng)));
         });
     }
     g.finish();
@@ -44,7 +47,7 @@ fn bench_stream_step(c: &mut Criterion) {
         b.iter(|| {
             t += 5e-5;
             black_box(qs.next_query(t))
-        })
+        });
     });
 }
 

@@ -1,3 +1,6 @@
+// Experiment harness binary: aborting on unexpected state is the correct failure mode.
+#![allow(clippy::unwrap_used, clippy::expect_used, clippy::indexing_slicing, clippy::panic)]
+
 //! **Ablation: static vs adaptive replication** (§2.3).
 //!
 //! "While hierarchical bottlenecks can be addressed by static replication
@@ -24,6 +27,8 @@ fn run(cfg: Config, plan: StreamPlan, rate: f64, until: f64) -> f64 {
     sys.run_until(until);
     sys.stats().drop_fraction()
 }
+
+type CfgThunk<'a> = Box<dyn Fn() -> Config + 'a>;
 
 fn main() {
     let args = Args::parse();
@@ -52,7 +57,7 @@ fn main() {
 
     tsv_header(&["system", "unif_drops", "shifting_zipf_drops"]);
     let mut rows = Vec::new();
-    let cases: Vec<(&str, Box<dyn Fn() -> Config>)> = vec![
+    let cases: Vec<(&str, CfgThunk<'_>)> = vec![
         ("static", Box::new(static_cfg)),
         ("adaptive", Box::new(adaptive_cfg)),
         ("both", Box::new(both_cfg)),
@@ -90,5 +95,5 @@ fn main() {
         both_u <= adaptive_u + 0.05 && both_z <= adaptive_z + 0.05,
         format!("both: unif {} zipf {}", pct(both_u), pct(both_z)),
     );
-    std::process::exit(if checks.finish() { 0 } else { 1 });
+    std::process::exit(i32::from(!checks.finish()));
 }

@@ -1,3 +1,6 @@
+// Experiment harness binary: aborting on unexpected state is the correct failure mode.
+#![allow(clippy::unwrap_used, clippy::expect_used, clippy::indexing_slicing, clippy::panic)]
+
 //! **Fig. 3** — Fraction of queries dropped every second over time, T_S
 //! namespace, λ = 20 000/s (scaled), for `unif` and `uzipf{0.75, 1.00,
 //! 1.25, 1.50}` adaptation streams with four instantaneous popularity
@@ -84,7 +87,7 @@ fn main() {
         checks.check(
             &format!("{label}: overall drops bounded"),
             *total_frac <= 0.10,
-            format!("drop fraction {:.4}", total_frac),
+            format!("drop fraction {total_frac:.4}"),
         );
         if !reshuffles.is_empty() {
             // Drops concentrate around reshuffles: the mean drop rate in the
@@ -96,14 +99,14 @@ fn main() {
             let mut n_before = 0usize;
             for &rt in reshuffles {
                 let start = rt as usize;
-                for t in start..(start + 10).min(per_sec.len()) {
-                    after += per_sec[t];
+                for &v in &per_sec[start..(start + 10).min(per_sec.len())] {
+                    after += v;
                     n_after += 1;
                 }
                 // The 10 s window *before* the shift: the system must have
                 // recovered from the previous one.
-                for t in start.saturating_sub(10)..start {
-                    before += per_sec[t];
+                for &v in &per_sec[start.saturating_sub(10)..start] {
+                    before += v;
                     n_before += 1;
                 }
             }
@@ -123,5 +126,5 @@ fn main() {
             );
         }
     }
-    std::process::exit(if checks.finish() { 0 } else { 1 });
+    std::process::exit(i32::from(!checks.finish()));
 }

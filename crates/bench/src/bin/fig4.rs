@@ -1,3 +1,6 @@
+// Experiment harness binary: aborting on unexpected state is the correct failure mode.
+#![allow(clippy::unwrap_used, clippy::expect_used, clippy::indexing_slicing, clippy::panic)]
+
 //! **Fig. 4** — Fraction of replicas created every second (relative to λ)
 //! over time, T_C (Coda-like file-system) namespace, λ = 40 000/s scaled
 //! ("we doubled the query arrival rate to keep the system at approximately
@@ -97,12 +100,12 @@ fn main() {
             let mut n_before = 0usize;
             for &rt in reshuffles {
                 let start = rt as usize;
-                for t in start..(start + 15).min(per_sec.len()) {
-                    after += per_sec[t];
+                for &v in &per_sec[start..(start + 15).min(per_sec.len())] {
+                    after += v;
                     n_after += 1;
                 }
-                for t in start.saturating_sub(15)..start {
-                    before += per_sec[t];
+                for &v in &per_sec[start.saturating_sub(15)..start] {
+                    before += v;
                     n_before += 1;
                 }
             }
@@ -115,5 +118,5 @@ fn main() {
             );
         }
     }
-    std::process::exit(if checks.finish() { 0 } else { 1 });
+    std::process::exit(i32::from(!checks.finish()));
 }

@@ -1,3 +1,6 @@
+// Experiment harness binary: aborting on unexpected state is the correct failure mode.
+#![allow(clippy::unwrap_used, clippy::expect_used, clippy::indexing_slicing, clippy::panic)]
+
 //! **Fig. 5** — Fraction of dropped queries for the base system (B),
 //! base + caching (BC), and base + caching + replication (BCR), across the
 //! ten query streams `{unif, uzipf 0.75/1.00/1.25/1.50} × {T_S, T_C}`.
@@ -9,6 +12,8 @@
 use terradir::{Config, System};
 use terradir_bench::{pct, tsv_header, Args, ShapeChecks};
 use terradir_workload::StreamPlan;
+
+type Ctor = fn(u32) -> Config;
 
 fn main() {
     let args = Args::parse();
@@ -24,8 +29,8 @@ fn main() {
         scale.rate(40_000.0)
     );
 
-    let systems: Vec<(&str, fn(u32) -> Config)> = vec![
-        ("B", Config::base_system as fn(u32) -> Config),
+    let systems: Vec<(&str, Ctor)> = vec![
+        ("B", Config::base_system as Ctor),
         ("BC", Config::caching_only),
         ("BCR", Config::paper_default),
     ];
@@ -62,7 +67,7 @@ fn main() {
         table.push(row);
     }
 
-    let labels: Vec<&str> = stream_labels.iter().map(|s| s.as_str()).collect();
+    let labels: Vec<&str> = stream_labels.iter().map(std::string::String::as_str).collect();
     tsv_header(&[&["system"], labels.as_slice()].concat());
     for ((sys_label, _), row) in systems.iter().zip(&table) {
         let cells: Vec<String> = row.iter().map(|v| format!("{v:.4}")).collect();
@@ -87,14 +92,14 @@ fn main() {
         );
     }
     // B drops heavily on skewed T_S streams.
-    let worst_b = b[1..=orders.len()].iter().cloned().fold(0.0, f64::max);
+    let worst_b = b[1..=orders.len()].iter().copied().fold(0.0, f64::max);
     checks.check(
         "B collapses under skewed T_S load",
         worst_b > 0.3,
         format!("worst B drop fraction {}", pct(worst_b)),
     );
     // BCR stays usable everywhere.
-    let worst_bcr = bcr.iter().cloned().fold(0.0, f64::max);
+    let worst_bcr = bcr.iter().copied().fold(0.0, f64::max);
     checks.check(
         "BCR keeps the system usable",
         worst_bcr < 0.25,
@@ -120,5 +125,5 @@ fn main() {
         bc_tc <= b_tc,
         format!("BC mean {} vs B mean {} on T_C", pct(bc_tc), pct(b_tc)),
     );
-    std::process::exit(if checks.finish() { 0 } else { 1 });
+    std::process::exit(i32::from(!checks.finish()));
 }

@@ -1,3 +1,6 @@
+// Experiment harness binary: aborting on unexpected state is the correct failure mode.
+#![allow(clippy::unwrap_used, clippy::expect_used, clippy::indexing_slicing, clippy::panic)]
+
 //! **Fig. 6** — Average and maximum server load (utilization) per second
 //! for the `uzipf_TS(1.00)` adaptation stream at λ ∈ {4 000, 10 000,
 //! 20 000}/s (scaled); right panel: the per-second maximum smoothed with an
@@ -11,6 +14,8 @@ use terradir::System;
 use terradir_bench::{tsv_header, tsv_row, Args, ShapeChecks};
 use terradir_sim::rolling_mean;
 use terradir_workload::StreamPlan;
+
+type Curve = (String, Vec<f64>, Vec<f64>, Vec<f64>);
 
 fn main() {
     let args = Args::parse();
@@ -28,7 +33,7 @@ fn main() {
     let shifts = 4usize;
     let seg = ((total - warmup) / shifts as f64).max(1.0);
 
-    let mut curves: Vec<(String, Vec<f64>, Vec<f64>, Vec<f64>)> = Vec::new();
+    let mut curves: Vec<Curve> = Vec::new();
     for &paper_rate in &rates {
         let rate = scale.rate(paper_rate);
         let plan = StreamPlan::adaptation(1.0, warmup, shifts, seg);
@@ -49,7 +54,7 @@ fn main() {
         cols.push(format!("{l}_max"));
         cols.push(format!("{l}_max11"));
     }
-    tsv_header(&cols.iter().map(|s| s.as_str()).collect::<Vec<_>>());
+    tsv_header(&cols.iter().map(std::string::String::as_str).collect::<Vec<_>>());
     let bins = curves.iter().map(|(_, m, _, _)| m.len()).max().unwrap_or(0);
     for t in 0..bins {
         let mut row = Vec::new();
@@ -79,8 +84,8 @@ fn main() {
                 continue;
             }
             windows += 1;
-            let m = max[lo..hi].iter().cloned().fold(0.0, f64::max);
-            if max[lo..hi].iter().cloned().fold(f64::INFINITY, f64::min) < t_high {
+            let m = max[lo..hi].iter().copied().fold(0.0, f64::max);
+            if max[lo..hi].iter().copied().fold(f64::INFINITY, f64::min) < t_high {
                 recovered += 1;
             } else {
                 eprintln!("# window before shift {k}: min max-load {m:.3}");
@@ -93,8 +98,8 @@ fn main() {
         );
         // Smoothing brings the max toward the mean (transient hot spots).
         let raw_max_mean = max.iter().sum::<f64>() / max.len() as f64;
-        let smooth_peak = max11.iter().cloned().fold(0.0, f64::max);
-        let raw_peak = max.iter().cloned().fold(0.0, f64::max);
+        let smooth_peak = max11.iter().copied().fold(0.0, f64::max);
+        let raw_peak = max.iter().copied().fold(0.0, f64::max);
         checks.check(
             &format!("{label}: smoothed max below raw peak"),
             smooth_peak <= raw_peak + 1e-9,
@@ -103,5 +108,5 @@ fn main() {
             ),
         );
     }
-    std::process::exit(if checks.finish() { 0 } else { 1 });
+    std::process::exit(i32::from(!checks.finish()));
 }

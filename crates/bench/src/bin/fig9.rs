@@ -1,3 +1,6 @@
+// Experiment harness binary: aborting on unexpected state is the correct failure mode.
+#![allow(clippy::unwrap_used, clippy::expect_used, clippy::indexing_slicing, clippy::panic)]
+
 //! **Fig. 9** — Scalability: average query latency, replication events,
 //! and dropped queries as a function of system size.
 //!
@@ -22,7 +25,7 @@ fn main() {
     };
     let duration = 100.0 * args.time_mult;
 
-    eprintln!("fig9: sizes {:?}, {duration:.0}s per size", sizes);
+    eprintln!("fig9: sizes {sizes:?}, {duration:.0}s per size");
 
     tsv_header(&[
         "servers",
@@ -72,7 +75,6 @@ fn main() {
     let mut checks = ShapeChecks::new();
     let first = rows.first().expect("at least one size");
     let last = rows.last().expect("at least one size");
-    let _size_factor = last.0 as f64 / first.0 as f64;
     // Latency grows (at most) logarithmically: across a 32× size sweep it
     // must grow far slower than the size — allow a 3× envelope.
     checks.check(
@@ -101,5 +103,5 @@ fn main() {
         last_frac <= (first_frac * 3.0).max(0.08),
         format!("{first_frac:.4} at {} → {last_frac:.4} at {}", first.0, last.0),
     );
-    std::process::exit(if checks.finish() { 0 } else { 1 });
+    std::process::exit(i32::from(!checks.finish()));
 }

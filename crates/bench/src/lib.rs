@@ -53,19 +53,19 @@ impl Args {
                         it.next()
                             .and_then(|v| v.parse().ok())
                             .unwrap_or_else(|| usage("--servers needs a number")),
-                    )
+                    );
                 }
                 "--seed" => {
                     args.seed = it
                         .next()
                         .and_then(|v| v.parse().ok())
-                        .unwrap_or_else(|| usage("--seed needs a number"))
+                        .unwrap_or_else(|| usage("--seed needs a number"));
                 }
                 "--time-mult" => {
                     args.time_mult = it
                         .next()
                         .and_then(|v| v.parse().ok())
-                        .unwrap_or_else(|| usage("--time-mult needs a number"))
+                        .unwrap_or_else(|| usage("--time-mult needs a number"));
                 }
                 "--help" | "-h" => usage(""),
                 other => usage(&format!("unknown flag {other}")),
@@ -112,7 +112,7 @@ impl Scale {
         assert!(servers >= 2, "need at least 2 servers");
         let servers = servers.next_power_of_two();
         // 8 nodes/server: tree with servers*8 − 1 = 2^(levels+1) − 1 nodes.
-        let ts_levels = (31 - (servers * 8).leading_zeros() - 1) as u16;
+        let ts_levels = ((servers * 8).ilog2() - 1) as u16;
         Scale {
             servers,
             ts_levels,
@@ -204,6 +204,7 @@ impl ShapeChecks {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::expect_used, clippy::indexing_slicing, clippy::panic)]
 mod tests {
     use super::*;
 

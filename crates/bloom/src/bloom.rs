@@ -93,14 +93,21 @@ impl BloomFilter {
         self.items == 0
     }
 
+    // Probe indices are always `< params.bits` (reduced in `index`), so the
+    // word lookup cannot miss; the checked access keeps the hot path
+    // panic-free regardless.
     #[inline]
     fn set_bit(&mut self, bit: u64) {
-        self.words[(bit / 64) as usize] |= 1u64 << (bit % 64);
+        if let Some(word) = self.words.get_mut((bit / 64) as usize) {
+            *word |= 1u64 << (bit % 64);
+        }
     }
 
     #[inline]
     fn get_bit(&self, bit: u64) -> bool {
-        self.words[(bit / 64) as usize] & (1u64 << (bit % 64)) != 0
+        self.words
+            .get((bit / 64) as usize)
+            .is_some_and(|word| word & (1u64 << (bit % 64)) != 0)
     }
 
     /// Inserts an item.
@@ -133,6 +140,7 @@ impl BloomFilter {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::expect_used, clippy::indexing_slicing, clippy::panic)]
 mod tests {
     use super::*;
 

@@ -219,10 +219,10 @@ impl Spec {
         if self.servers == 0 {
             return Err(err("--servers must be positive"));
         }
-        if !(self.rate > 0.0) {
+        if self.rate.is_nan() || self.rate <= 0.0 {
             return Err(err("--rate must be positive"));
         }
-        if !(self.duration > 0.0) {
+        if self.duration.is_nan() || self.duration <= 0.0 {
             return Err(err("--duration must be positive"));
         }
         if self.spread < 1.0 {
@@ -436,6 +436,7 @@ pub const USAGE: &str = "usage: terradir-run [flags]
   --json                emit the final report as JSON";
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::expect_used, clippy::indexing_slicing, clippy::panic)]
 mod tests {
     use super::*;
 

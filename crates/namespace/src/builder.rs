@@ -41,10 +41,11 @@ pub fn balanced_tree(arity: u32, levels: u16) -> Namespace {
         let mut next = Vec::with_capacity(frontier.len() * arity as usize);
         for parent in frontier {
             for seg in &segments {
-                let c = ns
-                    .add_child(parent, seg)
-                    .expect("balanced tree segments are unique per parent");
-                next.push(c);
+                // Segments `0..arity` are unique per parent by construction.
+                match ns.add_child(parent, seg) {
+                    Ok(c) => next.push(c),
+                    Err(_) => debug_assert!(false, "balanced tree segment collision"),
+                }
             }
         }
         frontier = next;
@@ -111,9 +112,12 @@ pub fn coda_like<R: Rng + ?Sized>(params: &CodaParams, rng: &mut R) -> Namespace
         let pick = if child_slots.is_empty() || rng.gen_bool(total_bias / total) {
             rng.gen_range(0..dirs.len())
         } else {
-            child_slots[rng.gen_range(0..child_slots.len())] as usize
+            let slot = rng.gen_range(0..child_slots.len());
+            child_slots.get(slot).map_or(0, |&s| s as usize)
         };
-        let parent = dirs[pick];
+        // Slot values always index `dirs` (it only grows); root fallback is
+        // unreachable on a well-formed sampler state.
+        let parent = dirs.get(pick).copied().unwrap_or_else(|| ns.root());
         // Depth-capped directories only take file children so directory
         // chains stay within max_depth (files may sit at max_depth + 1).
         let is_dir = ns.depth(parent) < params.max_depth && rng.gen_bool(params.dir_fraction);
@@ -123,7 +127,11 @@ pub fn coda_like<R: Rng + ?Sized>(params: &CodaParams, rng: &mut R) -> Namespace
             format!("f{counter}")
         };
         counter += 1;
-        let child = ns.add_child(parent, &seg).expect("fresh segment");
+        let Ok(child) = ns.add_child(parent, &seg) else {
+            // `counter` makes every segment fresh; a collision is impossible.
+            debug_assert!(false, "fresh segment collided");
+            continue;
+        };
         child_slots.push(pick as u32);
         if is_dir {
             dirs.push(child);
@@ -155,6 +163,7 @@ where
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::expect_used, clippy::indexing_slicing, clippy::panic)]
 mod tests {
     use super::*;
     use rand::rngs::StdRng;

@@ -21,6 +21,9 @@ pub enum NameError {
     },
     /// A looked-up name does not exist in the namespace.
     UnknownName(String),
+    /// A node id does not refer to any node in this namespace (stale or
+    /// hand-constructed id).
+    UnknownNode(u32),
 }
 
 impl fmt::Display for NameError {
@@ -33,6 +36,7 @@ impl fmt::Display for NameError {
                 write!(f, "duplicate child '{segment}' under '{parent}'")
             }
             NameError::UnknownName(name) => write!(f, "unknown name '{name}'"),
+            NameError::UnknownNode(id) => write!(f, "unknown node id n{id}"),
         }
     }
 }

@@ -43,8 +43,12 @@ impl OwnerAssignment {
             } else {
                 ServerId(rng.gen_range(0..n_servers))
             };
-            owner[node.index()] = s;
-            owned[s.index()].push(node);
+            if let Some(slot) = owner.get_mut(node.index()) {
+                *slot = s;
+            }
+            if let Some(list) = owned.get_mut(s.index()) {
+                list.push(node);
+            }
         }
         for nodes in &mut owned {
             nodes.sort_unstable();
@@ -61,7 +65,9 @@ impl OwnerAssignment {
         for (i, node) in ns.ids().enumerate() {
             let s = ServerId((i % n_servers as usize) as u32);
             owner.push(s);
-            owned[s.index()].push(node);
+            if let Some(list) = owned.get_mut(s.index()) {
+                list.push(node);
+            }
         }
         OwnerAssignment { owner, owned }
     }
@@ -71,21 +77,28 @@ impl OwnerAssignment {
         let mut owned = vec![Vec::new(); n_servers as usize];
         for (i, s) in owner.iter().enumerate() {
             assert!(s.0 < n_servers, "owner {s} out of range");
-            owned[s.index()].push(NodeId(i as u32));
+            if let Some(list) = owned.get_mut(s.index()) {
+                list.push(NodeId(i as u32));
+            }
         }
         OwnerAssignment { owner, owned }
     }
 
     /// The owning server of a node.
+    ///
+    /// Out-of-range node ids (only constructible by hand) degrade to
+    /// `ServerId(0)` rather than panicking.
     #[inline]
     pub fn owner(&self, node: NodeId) -> ServerId {
-        self.owner[node.index()]
+        self.owner.get(node.index()).copied().unwrap_or(ServerId(0))
     }
 
     /// The nodes owned by a server, in ascending node-id order.
+    ///
+    /// Unknown servers own nothing.
     #[inline]
     pub fn owned_by(&self, server: ServerId) -> &[NodeId] {
-        &self.owned[server.index()]
+        self.owned.get(server.index()).map_or(&[], Vec::as_slice)
     }
 
     /// Number of participating servers.
@@ -102,6 +115,7 @@ impl OwnerAssignment {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::expect_used, clippy::indexing_slicing, clippy::panic)]
 mod tests {
     use super::*;
     use crate::builder::balanced_tree;

@@ -56,6 +56,19 @@ pub struct Namespace {
 }
 
 impl Namespace {
+    /// Resolves a node id to its arena entry without panicking: the arena
+    /// always holds the root, and an out-of-range id (only constructible by
+    /// hand, since `NodeId.0` is public) degrades to the root entry.
+    fn info(&self, id: NodeId) -> &NodeInfo {
+        match self.nodes.get(id.index()) {
+            Some(info) => info,
+            None => match self.nodes.first() {
+                Some(root) => root,
+                None => unreachable!("namespace always contains the root"),
+            },
+        }
+    }
+
     /// Creates a namespace containing only the root node `/`.
     pub fn new() -> Self {
         let root_name = NodeName::root();
@@ -95,22 +108,27 @@ impl Namespace {
     /// Returns an error if the segment is invalid or a child with that
     /// segment already exists.
     pub fn add_child(&mut self, parent: NodeId, segment: &str) -> Result<NodeId, NameError> {
-        let name = self.nodes[parent.index()].name.child(segment)?;
+        let Some(parent_info) = self.nodes.get(parent.index()) else {
+            return Err(NameError::UnknownNode(parent.0));
+        };
+        let name = parent_info.name.child(segment)?;
         if self.by_name.contains_key(&name) {
             return Err(NameError::DuplicateChild {
-                parent: self.nodes[parent.index()].name.as_str().to_string(),
+                parent: parent_info.name.as_str().to_string(),
                 segment: segment.to_string(),
             });
         }
         let id = NodeId(self.nodes.len() as u32);
-        let depth = self.nodes[parent.index()].depth + 1;
+        let depth = parent_info.depth + 1;
         self.nodes.push(NodeInfo {
             name: name.clone(),
             parent: Some(parent),
             children: Vec::new(),
             depth,
         });
-        self.nodes[parent.index()].children.push(id);
+        if let Some(parent_info) = self.nodes.get_mut(parent.index()) {
+            parent_info.children.push(id);
+        }
         self.by_name.insert(name, id);
         Ok(id)
     }
@@ -124,12 +142,19 @@ impl Namespace {
         let mut cur = self.root();
         let mut cur_name = NodeName::root();
         for seg in name.segments() {
-            cur_name = cur_name.child(seg).expect("validated segment");
-            cur = match self.by_name.get(&cur_name) {
-                Some(&id) => id,
-                None => self
-                    .add_child(cur, seg)
-                    .expect("segment validated and absent"),
+            let Ok(next_name) = cur_name.child(seg) else {
+                // Segments of a parsed NodeName re-validate by construction.
+                debug_assert!(false, "NodeName segment failed revalidation");
+                continue;
+            };
+            cur_name = next_name;
+            cur = if let Some(&id) = self.by_name.get(&cur_name) {
+                id
+            } else if let Ok(id) = self.add_child(cur, seg) {
+                id
+            } else {
+                debug_assert!(false, "validated absent segment failed insert");
+                return cur;
             };
         }
         cur
@@ -150,32 +175,32 @@ impl Namespace {
     /// The name of a node.
     #[inline]
     pub fn name(&self, id: NodeId) -> &NodeName {
-        &self.nodes[id.index()].name
+        &self.info(id).name
     }
 
     /// The parent of a node (`None` for the root).
     #[inline]
     pub fn parent(&self, id: NodeId) -> Option<NodeId> {
-        self.nodes[id.index()].parent
+        self.info(id).parent
     }
 
     /// The children of a node, in insertion order.
     #[inline]
     pub fn children(&self, id: NodeId) -> &[NodeId] {
-        &self.nodes[id.index()].children
+        &self.info(id).children
     }
 
     /// Depth of a node; the root has depth 0.
     #[inline]
     pub fn depth(&self, id: NodeId) -> u16 {
-        self.nodes[id.index()].depth
+        self.info(id).depth
     }
 
     /// The topological neighbors of a node: its parent (if any) followed by
     /// its children. This is exactly the *routing context* a host must keep
     /// for the node (paper §2.2.2).
     pub fn neighbors(&self, id: NodeId) -> Vec<NodeId> {
-        let info = &self.nodes[id.index()];
+        let info = self.info(id);
         let mut out = Vec::with_capacity(info.children.len() + 1);
         if let Some(p) = info.parent {
             out.push(p);
@@ -187,7 +212,7 @@ impl Namespace {
     /// Whether the node has no children.
     #[inline]
     pub fn is_leaf(&self, id: NodeId) -> bool {
-        self.nodes[id.index()].children.is_empty()
+        self.info(id).children.is_empty()
     }
 
     /// Iterator over every node id in the namespace (insertion order,
@@ -205,7 +230,9 @@ impl Namespace {
     pub fn level_sizes(&self) -> Vec<usize> {
         let mut out = vec![0usize; self.max_depth() as usize + 1];
         for n in &self.nodes {
-            out[n.depth as usize] += 1;
+            if let Some(slot) = out.get_mut(n.depth as usize) {
+                *slot += 1;
+            }
         }
         out
     }
@@ -218,6 +245,7 @@ impl Default for Namespace {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::expect_used, clippy::indexing_slicing, clippy::panic)]
 mod tests {
     use super::*;
 

@@ -11,6 +11,10 @@ pub enum NetError {
     Disconnected,
     /// Waiting for an event timed out.
     Timeout,
+    /// An OS thread for the fleet could not be spawned.
+    Spawn(std::io::Error),
+    /// The protocol configuration failed validation.
+    InvalidConfig(String),
 }
 
 impl fmt::Display for NetError {
@@ -19,6 +23,8 @@ impl fmt::Display for NetError {
             NetError::UnknownPeer(id) => write!(f, "unknown peer s{id}"),
             NetError::Disconnected => write!(f, "runtime channels disconnected"),
             NetError::Timeout => write!(f, "timed out waiting for event"),
+            NetError::Spawn(e) => write!(f, "failed to spawn fleet thread: {e}"),
+            NetError::InvalidConfig(why) => write!(f, "invalid configuration: {why}"),
         }
     }
 }
@@ -26,6 +32,7 @@ impl fmt::Display for NetError {
 impl std::error::Error for NetError {}
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::expect_used, clippy::indexing_slicing, clippy::panic)]
 mod tests {
     use super::*;
 

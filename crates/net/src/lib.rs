@@ -28,7 +28,8 @@
 //! use terradir_net::{Runtime, RuntimeConfig};
 //!
 //! let ns = balanced_tree(2, 4); // 31 nodes
-//! let rt = Runtime::start(ns, RuntimeConfig::fast(Config::paper_default(4).with_seed(1)));
+//! let rt = Runtime::start(ns, RuntimeConfig::fast(Config::paper_default(4).with_seed(1)))
+//!     .expect("start fleet");
 //! for i in 0..10u32 {
 //!     rt.inject(ServerId(i % 4), NodeId(i % 31)).unwrap();
 //! }

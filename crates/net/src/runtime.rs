@@ -5,7 +5,7 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
-use crossbeam::channel::{self, Receiver, Sender};
+use crossbeam::channel::{self};
 use parking_lot::Mutex;
 
 use terradir::{Config, NodeId, ProtocolEvent, ServerId, ServerState};
@@ -85,9 +85,12 @@ impl Runtime {
     /// Spawns one thread per server plus an event collector.
     ///
     /// The ownership assignment is uniform random seeded from
-    /// `cfg.protocol.seed` (matching the simulation).
-    pub fn start(ns: Namespace, cfg: RuntimeConfig) -> Runtime {
-        cfg.protocol.validate().expect("invalid configuration");
+    /// `cfg.protocol.seed` (matching the simulation). Fails on an invalid
+    /// protocol configuration or if a fleet thread cannot be spawned.
+    pub fn start(ns: Namespace, cfg: RuntimeConfig) -> Result<Runtime, NetError> {
+        cfg.protocol
+            .validate()
+            .map_err(NetError::InvalidConfig)?;
         let ns = Arc::new(ns);
         let protocol = Arc::new(cfg.protocol.clone());
         let mut map_rng = seeded_rng(protocol.seed, tags::MAPPING);
@@ -102,11 +105,8 @@ impl Runtime {
             inboxes.push(tx);
             receivers.push(rx);
         }
-        let transport = Transport::new(inboxes, cfg.network_delay);
-        let (ev_tx, ev_rx): (
-            Sender<(ServerId, ProtocolEvent)>,
-            Receiver<(ServerId, ProtocolEvent)>,
-        ) = channel::unbounded();
+        let transport = Transport::new(inboxes, cfg.network_delay)?;
+        let (ev_tx, ev_rx) = channel::unbounded::<(ServerId, ProtocolEvent)>();
 
         let epoch = Instant::now();
         let mut handles = Vec::with_capacity(n as usize);
@@ -127,7 +127,7 @@ impl Runtime {
                 std::thread::Builder::new()
                     .name(format!("terradir-peer-{i}"))
                     .spawn(move || run_peer(harness))
-                    .expect("spawn peer"),
+                    .map_err(NetError::Spawn)?,
             );
         }
         drop(ev_tx);
@@ -165,9 +165,9 @@ impl Runtime {
                     }
                 }
             })
-            .expect("spawn collector");
+            .map_err(NetError::Spawn)?;
 
-        Runtime {
+        Ok(Runtime {
             transport,
             handles,
             collector: Some(collector),
@@ -178,7 +178,7 @@ impl Runtime {
             n_peers: n,
             ns,
             assignment,
-        }
+        })
     }
 
     /// The namespace the fleet serves.
@@ -365,6 +365,7 @@ impl Runtime {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::expect_used, clippy::indexing_slicing, clippy::panic)]
 mod tests {
     use super::*;
     use terradir_namespace::balanced_tree;
@@ -372,7 +373,7 @@ mod tests {
     fn fleet(n_servers: u32, seed: u64) -> Runtime {
         let ns = balanced_tree(2, 4); // 31 nodes
         let cfg = RuntimeConfig::fast(Config::paper_default(n_servers).with_seed(seed));
-        Runtime::start(ns, cfg)
+        Runtime::start(ns, cfg).expect("start fleet")
     }
 
     #[test]

@@ -49,24 +49,25 @@ pub struct Transport {
 impl Transport {
     /// Builds a transport over the given peer inboxes. With a non-zero
     /// `delay`, spawns the delay-stage thread (it exits when every
-    /// transport clone is dropped).
-    pub fn new(inboxes: Vec<Sender<PeerCommand>>, delay: Duration) -> Transport {
+    /// transport clone is dropped); spawn failure surfaces as
+    /// [`NetError::Spawn`].
+    pub fn new(inboxes: Vec<Sender<PeerCommand>>, delay: Duration) -> Result<Transport, NetError> {
         if delay.is_zero() {
-            return Transport {
+            return Ok(Transport {
                 inboxes,
                 delay_tx: None,
-            };
+            });
         }
         let (tx, rx): (Sender<Delayed>, Receiver<Delayed>) = channel::unbounded();
         let out = inboxes.clone();
         std::thread::Builder::new()
             .name("terradir-net-delay".into())
             .spawn(move || delay_stage(rx, out))
-            .expect("spawn delay stage");
-        Transport {
+            .map_err(NetError::Spawn)?;
+        Ok(Transport {
             inboxes,
             delay_tx: Some(tx),
-        }
+        })
     }
 
     /// Number of peers addressable.
@@ -77,10 +78,10 @@ impl Transport {
     /// Sends a protocol message to a peer, through the delay stage when
     /// one is configured.
     pub fn send(&self, to: ServerId, msg: Message, delay: Duration) -> Result<(), NetError> {
-        let idx = to.index();
-        if idx >= self.inboxes.len() {
-            return Err(NetError::UnknownPeer(to.0));
-        }
+        let inbox = self
+            .inboxes
+            .get(to.index())
+            .ok_or(NetError::UnknownPeer(to.0))?;
         match (&self.delay_tx, delay.is_zero()) {
             (Some(tx), false) => tx
                 .send(Delayed {
@@ -89,7 +90,7 @@ impl Transport {
                     msg,
                 })
                 .map_err(|_| NetError::Disconnected),
-            _ => self.inboxes[idx]
+            _ => inbox
                 .send(PeerCommand::Deliver(msg))
                 .map_err(|_| NetError::Disconnected),
         }
@@ -97,11 +98,11 @@ impl Transport {
 
     /// Sends a control command directly (no delay).
     pub fn command(&self, to: ServerId, cmd: PeerCommand) -> Result<(), NetError> {
-        let idx = to.index();
-        if idx >= self.inboxes.len() {
-            return Err(NetError::UnknownPeer(to.0));
-        }
-        self.inboxes[idx].send(cmd).map_err(|_| NetError::Disconnected)
+        self.inboxes
+            .get(to.index())
+            .ok_or(NetError::UnknownPeer(to.0))?
+            .send(cmd)
+            .map_err(|_| NetError::Disconnected)
     }
 }
 
@@ -110,17 +111,18 @@ fn delay_stage(rx: Receiver<Delayed>, out: Vec<Sender<PeerCommand>>) {
     loop {
         // Flush everything due.
         let now = Instant::now();
-        while heap.peek().map(|d| d.due <= now).unwrap_or(false) {
-            let d = heap.pop().expect("peeked");
-            // A closed inbox means that peer has shut down; drop silently,
-            // soft state tolerates loss.
-            let _ = out[d.to.index()].send(PeerCommand::Deliver(d.msg));
+        while heap.peek().is_some_and(|d| d.due <= now) {
+            let Some(d) = heap.pop() else { break };
+            // A closed or unknown inbox means that peer has shut down; drop
+            // silently, soft state tolerates loss.
+            if let Some(inbox) = out.get(d.to.index()) {
+                let _ = inbox.send(PeerCommand::Deliver(d.msg));
+            }
         }
         // Wait for the next deadline or a new message.
         let timeout = heap
             .peek()
-            .map(|d| d.due.saturating_duration_since(Instant::now()))
-            .unwrap_or(Duration::from_millis(50));
+            .map_or(Duration::from_millis(50), |d| d.due.saturating_duration_since(Instant::now()));
         match rx.recv_timeout(timeout) {
             Ok(d) => heap.push(d),
             Err(RecvTimeoutError::Timeout) => {}
@@ -128,7 +130,9 @@ fn delay_stage(rx: Receiver<Delayed>, out: Vec<Sender<PeerCommand>>) {
                 // Drain remaining deliveries, then exit.
                 while let Some(d) = heap.pop() {
                     std::thread::sleep(d.due.saturating_duration_since(Instant::now()));
-                    let _ = out[d.to.index()].send(PeerCommand::Deliver(d.msg));
+                    if let Some(inbox) = out.get(d.to.index()) {
+                        let _ = inbox.send(PeerCommand::Deliver(d.msg));
+                    }
                 }
                 return;
             }
@@ -137,6 +141,7 @@ fn delay_stage(rx: Receiver<Delayed>, out: Vec<Sender<PeerCommand>>) {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::expect_used, clippy::indexing_slicing, clippy::panic)]
 mod tests {
     use super::*;
     use terradir::{NodeId, QueryPacket};
@@ -148,7 +153,7 @@ mod tests {
     #[test]
     fn immediate_delivery_without_delay() {
         let (tx, rx) = channel::unbounded();
-        let t = Transport::new(vec![tx], Duration::ZERO);
+        let t = Transport::new(vec![tx], Duration::ZERO).unwrap();
         t.send(ServerId(0), query_msg(1), Duration::ZERO).unwrap();
         match rx.recv_timeout(Duration::from_secs(1)).unwrap() {
             PeerCommand::Deliver(Message::Query(p)) => assert_eq!(p.id, 1),
@@ -159,7 +164,7 @@ mod tests {
     #[test]
     fn delayed_delivery_waits_roughly_the_delay() {
         let (tx, rx) = channel::unbounded();
-        let t = Transport::new(vec![tx], Duration::from_millis(30));
+        let t = Transport::new(vec![tx], Duration::from_millis(30)).unwrap();
         let start = Instant::now();
         t.send(ServerId(0), query_msg(2), Duration::from_millis(30))
             .unwrap();
@@ -170,7 +175,7 @@ mod tests {
     #[test]
     fn ordering_respects_deadlines_not_send_order() {
         let (tx, rx) = channel::unbounded();
-        let t = Transport::new(vec![tx], Duration::from_millis(1));
+        let t = Transport::new(vec![tx], Duration::from_millis(1)).unwrap();
         t.send(ServerId(0), query_msg(1), Duration::from_millis(80))
             .unwrap();
         t.send(ServerId(0), query_msg(2), Duration::from_millis(10))
@@ -185,7 +190,7 @@ mod tests {
     #[test]
     fn unknown_peer_is_an_error() {
         let (tx, _rx) = channel::unbounded();
-        let t = Transport::new(vec![tx], Duration::ZERO);
+        let t = Transport::new(vec![tx], Duration::ZERO).unwrap();
         assert!(matches!(
             t.send(ServerId(7), query_msg(1), Duration::ZERO),
             Err(NetError::UnknownPeer(7))

@@ -21,11 +21,11 @@ impl<E> Eq for Entry<E> {}
 impl<E> Ord for Entry<E> {
     fn cmp(&self, other: &Self) -> Ordering {
         // Reversed: BinaryHeap is a max-heap, we want the earliest first.
-        // Times are finite by construction (asserted on push).
+        // Times are finite by construction (asserted on push), so IEEE
+        // total order agrees with the numeric order.
         other
             .time
-            .partial_cmp(&self.time)
-            .expect("finite times")
+            .total_cmp(&self.time)
             .then_with(|| other.seq.cmp(&self.seq))
     }
 }
@@ -108,6 +108,7 @@ impl<E> Default for Calendar<E> {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::expect_used, clippy::indexing_slicing, clippy::panic)]
 mod tests {
     use super::*;
 

@@ -36,8 +36,8 @@ impl Histogram {
     pub fn record(&mut self, v: f64) {
         assert!(v >= 0.0 && v.is_finite(), "observation must be ≥ 0");
         let idx = (v / self.bucket_width) as usize;
-        if idx < self.buckets.len() {
-            self.buckets[idx] += 1;
+        if let Some(bucket) = self.buckets.get_mut(idx) {
+            *bucket += 1;
         } else {
             self.overflow += 1;
         }
@@ -91,6 +91,7 @@ impl Histogram {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::expect_used, clippy::indexing_slicing, clippy::panic)]
 mod tests {
     use super::*;
 

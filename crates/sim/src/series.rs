@@ -36,7 +36,9 @@ impl BinnedCounter {
         if b >= self.bins.len() {
             self.bins.resize(b + 1, 0);
         }
-        self.bins[b] += n;
+        if let Some(bin) = self.bins.get_mut(b) {
+            *bin += n;
+        }
     }
 
     /// The per-bin counts.
@@ -89,8 +91,12 @@ impl BinnedMean {
             self.sums.resize(b + 1, 0.0);
             self.counts.resize(b + 1, 0);
         }
-        self.sums[b] += value;
-        self.counts[b] += 1;
+        if let Some(sum) = self.sums.get_mut(b) {
+            *sum += value;
+        }
+        if let Some(count) = self.counts.get_mut(b) {
+            *count += 1;
+        }
     }
 
     /// Per-bin means (`None` for empty bins).
@@ -135,8 +141,10 @@ impl BinnedMax {
         if b >= self.maxima.len() {
             self.maxima.resize(b + 1, f64::NEG_INFINITY);
         }
-        if value > self.maxima[b] {
-            self.maxima[b] = value;
+        if let Some(max) = self.maxima.get_mut(b) {
+            if value > *max {
+                *max = value;
+            }
         }
     }
 
@@ -162,10 +170,10 @@ pub fn rolling_mean(series: &[f64], window: usize) -> Vec<f64> {
     assert!(window >= 1, "window must be at least 1");
     let mut out = Vec::with_capacity(series.len());
     let mut acc = 0.0;
-    for i in 0..series.len() {
-        acc += series[i];
+    for (i, &v) in series.iter().enumerate() {
+        acc += v;
         if i >= window {
-            acc -= series[i - window];
+            acc -= series.get(i - window).copied().unwrap_or(0.0);
         }
         let n = (i + 1).min(window);
         out.push(acc / n as f64);
@@ -174,6 +182,7 @@ pub fn rolling_mean(series: &[f64], window: usize) -> Vec<f64> {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::expect_used, clippy::indexing_slicing, clippy::panic)]
 mod tests {
     use super::*;
 

@@ -63,16 +63,13 @@ impl RouteCache {
     pub fn get(&mut self, node: NodeId) -> Option<&NodeMap> {
         self.clock += 1;
         let clock = self.clock;
-        match self.entries.get_mut(&node) {
-            Some(e) => {
-                e.last_used = clock;
-                self.hits += 1;
-                Some(&e.map)
-            }
-            None => {
-                self.misses += 1;
-                None
-            }
+        if let Some(e) = self.entries.get_mut(&node) {
+            e.last_used = clock;
+            self.hits += 1;
+            Some(&e.map)
+        } else {
+            self.misses += 1;
+            None
         }
     }
 
@@ -103,14 +100,15 @@ impl RouteCache {
         }
         if self.entries.len() >= self.slots {
             // O(slots) scan; slot counts are small (≤ ~28 in the paper).
-            let victim = self
+            if let Some(victim) = self
                 .entries
                 .iter()
                 .min_by_key(|(_, e)| e.last_used)
                 .map(|(&n, _)| n)
-                .expect("cache non-empty at capacity");
-            self.entries.remove(&victim);
-            self.evictions += 1;
+            {
+                self.entries.remove(&victim);
+                self.evictions += 1;
+            }
         }
         self.entries.insert(
             node,
@@ -144,6 +142,7 @@ impl RouteCache {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::expect_used, clippy::indexing_slicing, clippy::panic)]
 mod tests {
     use super::*;
     use terradir_namespace::ServerId;

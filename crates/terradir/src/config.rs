@@ -166,6 +166,7 @@ impl Config {
     }
 
     /// Builder-style seed override.
+    #[must_use]
     pub fn with_seed(mut self, seed: u64) -> Config {
         self.seed = seed;
         self
@@ -182,7 +183,7 @@ impl Config {
         if self.n_servers == 0 {
             return Err("n_servers must be positive".into());
         }
-        if !(self.mean_service > 0.0) {
+        if self.mean_service.is_nan() || self.mean_service <= 0.0 {
             return Err("mean_service must be positive".into());
         }
         if self.network_delay < 0.0 {
@@ -200,13 +201,13 @@ impl Config {
         if self.r_map == 0 {
             return Err("r_map must be at least 1".into());
         }
-        if !(self.load_window > 0.0) {
+        if self.load_window.is_nan() || self.load_window <= 0.0 {
             return Err("load_window must be positive".into());
         }
         if self.ttl_hops == 0 {
             return Err("ttl_hops must be at least 1".into());
         }
-        if !(self.speed_spread >= 1.0) {
+        if self.speed_spread.is_nan() || self.speed_spread < 1.0 {
             return Err("speed_spread must be ≥ 1".into());
         }
         if self.replication && !self.caching {
@@ -220,6 +221,7 @@ impl Config {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::expect_used, clippy::indexing_slicing, clippy::panic)]
 mod tests {
     use super::*;
 

@@ -115,13 +115,14 @@ impl DigestStore {
             return false;
         }
         if self.entries.len() >= self.slots {
-            let victim = self
+            if let Some(victim) = self
                 .entries
                 .iter()
                 .min_by_key(|(_, e)| e.touched)
                 .map(|(&s, _)| s)
-                .expect("store non-empty at capacity");
-            self.entries.remove(&victim);
+            {
+                self.entries.remove(&victim);
+            }
         }
         self.entries.insert(
             server,
@@ -157,6 +158,7 @@ impl DigestStore {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::expect_used, clippy::indexing_slicing, clippy::panic)]
 mod tests {
     use super::*;
     use terradir_namespace::balanced_tree;
@@ -233,7 +235,7 @@ mod tests {
     #[test]
     fn different_servers_have_independent_hash_families() {
         let ns = balanced_tree(2, 3);
-        let hosted = vec![NodeId(2)];
+        let hosted = [NodeId(2)];
         let d1 = build_digest(&ns, ServerId(1), hosted.iter(), 8, 0.01, 1);
         let d2 = build_digest(&ns, ServerId(2), hosted.iter(), 8, 0.01, 1);
         // Same contents, but the underlying bit patterns differ — a false

@@ -81,4 +81,6 @@ pub use system::System;
 pub use terradir_namespace::{NodeId, ServerId};
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::expect_used, clippy::indexing_slicing, clippy::panic)]
+#[allow(clippy::match_same_arms, clippy::match_wildcard_for_single_variants)]
 mod soft_state_tests;

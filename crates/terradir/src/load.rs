@@ -82,7 +82,9 @@ impl LoadMeter {
                 if self.spill.len() < idx {
                     self.spill.resize(idx, 0.0);
                 }
-                self.spill[idx - 1] += take;
+                if let Some(slot) = self.spill.get_mut(idx - 1) {
+                    *slot += take;
+                }
             }
             seg_start += take;
             rem -= take;
@@ -130,6 +132,7 @@ impl LoadMeter {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::expect_used, clippy::indexing_slicing, clippy::panic)]
 mod tests {
     use super::*;
 

@@ -90,6 +90,7 @@ impl NodeMap {
     /// replica advertisements from both), and "the rest of the entries in
     /// the resulting map are chosen at random from the choice left",
     /// bounded by `r_map`.
+    #[must_use]
     pub fn merge<R: Rng + ?Sized>(&self, other: &NodeMap, r_map: usize, rng: &mut R) -> NodeMap {
         let r_map = r_map.max(1);
         let mut result: Vec<ServerId> = Vec::with_capacity(r_map);
@@ -154,10 +155,12 @@ impl NodeMap {
     /// does not host the node). Never prunes the map to empty: the least
     /// recently advertised surviving entry is kept as a routing fallback.
     pub fn filter_stale<F: FnMut(ServerId) -> bool>(&mut self, mut is_stale: F) {
-        if self.entries.len() <= 1 {
+        let Some(&keep_fallback) = self.entries.last() else {
+            return;
+        };
+        if self.entries.len() == 1 {
             return;
         }
-        let keep_fallback = *self.entries.last().expect("non-empty");
         self.entries.retain(|&h| !is_stale(h));
         if self.entries.is_empty() {
             self.entries.push(keep_fallback);
@@ -171,6 +174,7 @@ impl NodeMap {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::expect_used, clippy::indexing_slicing, clippy::panic)]
 mod tests {
     use super::*;
     use rand::rngs::StdRng;

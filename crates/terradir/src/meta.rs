@@ -38,7 +38,7 @@ impl Meta {
 
     /// Reads an attribute.
     pub fn get(&self, key: &str) -> Option<&str> {
-        self.attrs.get(key).map(|s| s.as_str())
+        self.attrs.get(key).map(std::string::String::as_str)
     }
 
     /// Number of attributes.
@@ -93,6 +93,7 @@ impl Default for Meta {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::expect_used, clippy::indexing_slicing, clippy::panic)]
 mod tests {
     use super::*;
 

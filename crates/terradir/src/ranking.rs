@@ -64,8 +64,7 @@ impl NodeWeights {
     pub fn value(&self, node: NodeId, now: f64) -> f64 {
         self.weights
             .get(&node)
-            .map(|e| e.decayed(now, self.half_life))
-            .unwrap_or(0.0)
+            .map_or(0.0, |e| e.decayed(now, self.half_life))
     }
 
     /// Forgets a node (it is no longer hosted).
@@ -81,7 +80,9 @@ impl NodeWeights {
             .iter()
             .map(|(&n, e)| (n, e.decayed(now, self.half_life)))
             .collect();
-        v.sort_by(|a, b| b.1.partial_cmp(&a.1).expect("finite weights").then(a.0.cmp(&b.0)));
+        // Weights are finite by construction, so IEEE total order agrees
+        // with the numeric order.
+        v.sort_by(|a, b| b.1.total_cmp(&a.1).then(a.0.cmp(&b.0)));
         v
     }
 
@@ -92,6 +93,7 @@ impl NodeWeights {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::expect_used, clippy::indexing_slicing, clippy::panic)]
 mod tests {
     use super::*;
 

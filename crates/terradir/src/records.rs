@@ -62,6 +62,7 @@ impl NodeRecord {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::expect_used, clippy::indexing_slicing, clippy::panic)]
 mod tests {
     use super::*;
     use terradir_namespace::ServerId;

@@ -49,12 +49,7 @@ impl KnownLoads {
             if let Some(victim) = self
                 .entries
                 .iter()
-                .min_by(|a, b| {
-                    a.1 .1
-                        .partial_cmp(&b.1 .1)
-                        .expect("finite times")
-                        .then(a.0.cmp(b.0))
-                })
+                .min_by(|a, b| a.1 .1.total_cmp(&b.1 .1).then(a.0.cmp(b.0)))
                 .map(|(&s, _)| s)
             {
                 self.entries.remove(&victim);
@@ -82,12 +77,7 @@ impl KnownLoads {
         self.entries
             .iter()
             .filter(|(s, (_, at))| now - at <= stale_after && !exclude.contains(s))
-            .min_by(|a, b| {
-                a.1 .0
-                    .partial_cmp(&b.1 .0)
-                    .expect("finite loads")
-                    .then(a.0.cmp(b.0))
-            })
+            .min_by(|a, b| a.1 .0.total_cmp(&b.1 .0).then(a.0.cmp(b.0)))
             .map(|(&s, _)| s)
     }
 
@@ -283,7 +273,10 @@ impl ServerState {
         let mut payloads = Vec::new();
         let mut acc = 0.0;
         for (node, w) in hosted_ranked {
-            let rec = self.host_record(node).expect("hosted");
+            // `hosted_ranked` filtered on `self.hosts(node)` just above.
+            let Some(rec) = self.host_record(node) else {
+                continue;
+            };
             // Ensure the shipped map advertises us as a host.
             let mut map = rec.map.clone();
             if !map.contains(self.id) {
@@ -390,14 +383,12 @@ impl ServerState {
                         .filter(|n| !installed.contains(*n))
                         .map(|&n| (self.weights.value(n, now), n))
                         .collect();
-                    candidates.sort_by(|a, b| {
-                        a.0.partial_cmp(&b.0).expect("finite").then(a.1.cmp(&b.1))
-                    });
+                    candidates.sort_by(|a, b| a.0.total_cmp(&b.0).then(a.1.cmp(&b.1)));
                     candidates.first().copied()
                 };
                 match victim {
                     Some((w, v)) if p.weight >= w * self.cfg.evict_displace_factor => {
-                        self.remove_replica(v, out)
+                        self.remove_replica(v, out);
                     }
                     _ => break, // nothing displaceable
                 }
@@ -484,6 +475,7 @@ impl ServerState {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::expect_used, clippy::indexing_slicing, clippy::panic)]
 mod tests {
     use super::*;
     use crate::config::Config;

@@ -107,7 +107,7 @@ impl ServerState {
         // only at distances that would beat the classical candidate.
         let mut digest_hit: Option<(u32, NodeId, ServerId)> = None;
         if self.cfg.digests && !self.digest_store.is_empty() {
-            let best_dist = best.as_ref().map(|(d, _, _)| *d).unwrap_or(u32::MAX);
+            let best_dist = best.as_ref().map_or(u32::MAX, |(d, _, _)| *d);
             let mut budget = self.cfg.digest_test_budget;
             let mut chain = Some(target);
             let mut dist = 0u32;
@@ -139,7 +139,10 @@ impl ServerState {
                     let fresh: Vec<ServerId> =
                         hits.iter().copied().filter(|h| !avoid.contains(h)).collect();
                     let pool = if fresh.is_empty() { &hits } else { &fresh };
-                    let srv = pool[rng.gen_range(0..pool.len())];
+                    let pick = rng.gen_range(0..pool.len());
+                    let Some(&srv) = pool.get(pick) else {
+                        break 'outer; // gen_range keeps pick in bounds
+                    };
                     digest_hit = Some((dist, node, srv));
                     break 'outer;
                 }
@@ -165,10 +168,16 @@ impl ServerState {
         // resort so the query never strands when every host was visited.
         let mut fallback: Option<(NodeId, HopKind, NodeMap)> = None;
         for (_, via, kind) in candidates {
-            let mut map = match kind {
-                HopKind::Neighbor => self.neighbor_maps.get(&via).expect("candidate exists").clone(),
-                HopKind::Cache => self.cache.peek(via).expect("candidate exists").clone(),
-                HopKind::Digest => unreachable!("digest hits return early"),
+            // Candidates were enumerated from these same tables, so the
+            // lookups can only miss on concurrent mutation (impossible
+            // here); skipping is the safe degradation.
+            let map = match kind {
+                HopKind::Neighbor => self.neighbor_maps.get(&via).cloned(),
+                HopKind::Cache => self.cache.peek(via).cloned(),
+                HopKind::Digest => None, // digest hits return early
+            };
+            let Some(mut map) = map else {
+                continue;
             };
             self.filter_map(via, &mut map);
             map.remove(self.id, true);
@@ -192,12 +201,14 @@ impl ServerState {
             // in routing").
             let used_context_of = match kind {
                 HopKind::Neighbor => {
-                    *self.neighbor_maps.get_mut(&via).expect("exists") = map.clone();
+                    if let Some(stored) = self.neighbor_maps.get_mut(&via) {
+                        *stored = map.clone();
+                    }
                     // Attribute the demand to a hosted node whose context
                     // gave us this neighbor (deterministic: smallest id).
                     let mut ctx: Option<NodeId> = None;
-                    for &h in self.ns.neighbors(via).iter() {
-                        if self.hosts(h) && ctx.map(|c| h < c).unwrap_or(true) {
+                    for &h in &self.ns.neighbors(via) {
+                        if self.hosts(h) && ctx.is_none_or(|c| h < c) {
                             ctx = Some(h);
                         }
                     }
@@ -238,6 +249,7 @@ impl ServerState {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::expect_used, clippy::indexing_slicing, clippy::panic)]
 mod tests {
     use super::*;
     use crate::config::Config;

@@ -481,9 +481,12 @@ impl ServerState {
         match self.decide_route(p.target, &avoid, rng) {
             RouteChoice::Resolve => {
                 self.weights.bump(p.target, now, 1.0);
-                let (map, meta) = {
-                    let rec = self.host_record(p.target).expect("decide said hosted");
-                    (rec.map.clone(), rec.meta.clone())
+                // `decide_route` only resolves when we host the target, so
+                // a missing record is a protocol bug; answer with an empty
+                // map rather than dying mid-query.
+                let (map, meta) = if let Some(rec) = self.host_record(p.target) { (rec.map.clone(), rec.meta.clone()) } else {
+                    debug_assert!(false, "decide said hosted but no record");
+                    (NodeMap::singleton(self.id), crate::meta::Meta::new())
                 };
                 // List queries also return the children with the maps from
                 // our routing context (hosting the node guarantees one per
@@ -877,7 +880,9 @@ impl ServerState {
             }));
             return;
         }
-        let first = candidates[0];
+        let Some(&first) = candidates.first() else {
+            return; // emptiness handled above
+        };
         self.pending_fetches.insert(
             id,
             FetchState {
@@ -917,8 +922,7 @@ impl ServerState {
             return;
         }
         // Not a data host; try the next candidate.
-        if st.next < st.candidates.len() {
-            let target = st.candidates[st.next];
+        if let Some(&target) = st.candidates.get(st.next) {
             st.next += 1;
             self.pending_fetches.insert(id, st);
             out.push(Outgoing::Send {
@@ -953,6 +957,8 @@ impl ServerState {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::expect_used, clippy::indexing_slicing, clippy::panic)]
+#[allow(clippy::match_wildcard_for_single_variants)]
 mod tests {
     use super::*;
     use rand::SeedableRng;

@@ -129,7 +129,9 @@ impl RunStats {
         if idx >= self.created_per_level.len() {
             self.created_per_level.resize(idx + 1, 0);
         }
-        self.created_per_level[idx] += 1;
+        if let Some(slot) = self.created_per_level.get_mut(idx) {
+            *slot += 1;
+        }
     }
 }
 
@@ -224,6 +226,7 @@ pub enum DropKind {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::expect_used, clippy::indexing_slicing, clippy::panic)]
 mod tests {
     use super::*;
 

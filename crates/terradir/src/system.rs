@@ -82,7 +82,8 @@ impl System {
     /// `cfg.seed` — the paper maps "both namespaces … uniformly at random
     /// on the servers".
     pub fn new(ns: Namespace, cfg: Config, plan: StreamPlan, rate: f64) -> System {
-        cfg.validate().expect("invalid configuration");
+        let valid = cfg.validate();
+        assert!(valid.is_ok(), "invalid configuration: {valid:?}");
         let mut map_rng = seeded_rng(cfg.seed, tags::MAPPING);
         let assignment = OwnerAssignment::uniform_random(&ns, cfg.n_servers, &mut map_rng);
         Self::with_assignment(ns, cfg, assignment, plan, rate)
@@ -97,7 +98,8 @@ impl System {
         plan: StreamPlan,
         rate: f64,
     ) -> System {
-        cfg.validate().expect("invalid configuration");
+        let valid = cfg.validate();
+        assert!(valid.is_ok(), "invalid configuration: {valid:?}");
         assert_eq!(assignment.n_servers(), cfg.n_servers);
         assert_eq!(assignment.n_nodes(), ns.len());
         let ns = Arc::new(ns);
@@ -194,16 +196,22 @@ impl System {
                     }
                 }
             }
-            hosts[1..].shuffle(&mut rng);
+            if let Some(tail) = hosts.get_mut(1..) {
+                tail.shuffle(&mut rng);
+            }
             let map = crate::map::NodeMap::from_entries(hosts.iter().copied());
             // Owner's record advertises the static replicas.
-            if let Some(rec) = servers[owner.index()].host_record_mut(node) {
+            if let Some(rec) = servers
+                .get_mut(owner.index())
+                .and_then(|s| s.host_record_mut(node))
+            {
                 rec.map = map.clone();
             }
             // Install at each replica host through the normal install path
             // (capacity caps and digest dirtying apply as usual).
-            let meta = servers[owner.index()]
-                .host_record(node)
+            let meta = servers
+                .get(owner.index())
+                .and_then(|s| s.host_record(node))
                 .map(|r| r.meta.clone())
                 .unwrap_or_default();
             let neighbors: Vec<(NodeId, crate::map::NodeMap)> = ns
@@ -211,7 +219,7 @@ impl System {
                 .into_iter()
                 .map(|nb| (nb, crate::map::NodeMap::singleton(assignment.owner(nb))))
                 .collect();
-            for &h in &hosts[1..] {
+            for &h in hosts.iter().skip(1) {
                 let payload = crate::messages::ReplicaPayload {
                     node,
                     map: map.clone(),
@@ -220,7 +228,9 @@ impl System {
                     weight: 0.0,
                 };
                 scratch.clear();
-                servers[h.index()].install_replicas(0.0, vec![payload], &mut rng, &mut scratch);
+                if let Some(host) = servers.get_mut(h.index()) {
+                    host.install_replicas(0.0, vec![payload], &mut rng, &mut scratch);
+                }
             }
         }
         for s in servers.iter_mut() {
@@ -237,22 +247,29 @@ impl System {
     /// replicate again").
     pub fn fail_server(&mut self, id: ServerId) {
         let i = id.index();
-        if self.failed[i] {
+        let Some(flag) = self.failed.get_mut(i) else {
+            return;
+        };
+        if *flag {
             return;
         }
-        self.failed[i] = true;
-        for msg in self.queues[i].drain(..) {
-            if msg.is_query_traffic() {
-                self.stats.on_drop(self.engine.now(), DropKind::Queue);
+        *flag = true;
+        let now = self.engine.now();
+        if let Some(q) = self.queues.get_mut(i) {
+            for msg in q.drain(..) {
+                if msg.is_query_traffic() {
+                    self.stats.on_drop(now, DropKind::Queue);
+                }
             }
         }
         // Any in-service message dies with the server at its completion
         // event (handled in finish_service).
     }
 
-    /// Whether a server has been failed.
+    /// Whether a server has been failed. Ids outside the fleet read as
+    /// failed: nothing can be delivered to them.
     pub fn is_failed(&self, id: ServerId) -> bool {
-        self.failed[id.index()]
+        self.failed.get(id.index()).copied().unwrap_or(true)
     }
 
     /// Number of currently failed servers.
@@ -305,9 +322,16 @@ impl System {
         &self.assignment
     }
 
-    /// Read access to a server's protocol state.
+    /// Read access to a server's protocol state. Out-of-range ids (only
+    /// constructible by hand) degrade to the first server.
     pub fn server(&self, id: ServerId) -> &ServerState {
-        &self.servers[id.index()]
+        match self.servers.get(id.index()) {
+            Some(s) => s,
+            None => match self.servers.first() {
+                Some(s) => s,
+                None => unreachable!("a system always has at least one server"),
+            },
+        }
     }
 
     /// All servers.
@@ -317,7 +341,7 @@ impl System {
 
     /// Total replicas currently hosted across all servers.
     pub fn total_replicas(&self) -> usize {
-        self.servers.iter().map(|s| s.replica_count()).sum()
+        self.servers.iter().map(super::server::ServerState::replica_count).sum()
     }
 
     /// Replicas currently hosted per namespace level.
@@ -325,7 +349,9 @@ impl System {
         let mut out = vec![0usize; self.ns.max_depth() as usize + 1];
         for s in &self.servers {
             for n in s.replica_ids() {
-                out[self.ns.depth(n) as usize] += 1;
+                if let Some(slot) = out.get_mut(self.ns.depth(n) as usize) {
+                    *slot += 1;
+                }
             }
         }
         out
@@ -339,12 +365,14 @@ impl System {
             Event::Maintain => {
                 let now = self.engine.now();
                 for i in 0..self.servers.len() {
-                    if self.failed[i] {
+                    if self.failed.get(i).copied().unwrap_or(true) {
                         continue;
                     }
                     debug_assert!(self.out_buf.is_empty());
                     let mut out = std::mem::take(&mut self.out_buf);
-                    self.servers[i].maintenance(now, &mut out);
+                    if let Some(server) = self.servers.get_mut(i) {
+                        server.maintenance(now, &mut out);
+                    }
                     self.out_buf = out;
                     self.dispatch(ServerId(i as u32));
                 }
@@ -378,9 +406,12 @@ impl System {
         let (mut src, dst) = self.stream.next_query(now);
         // Clients attach to live servers: redirect an injection aimed at a
         // failed origin to the next live one.
-        if self.failed[src.index()] {
+        if self.is_failed(src) {
             let n = self.cfg.n_servers;
-            match (1..n).map(|k| ServerId((src.0 + k) % n)).find(|s| !self.failed[s.index()]) {
+            match (1..n)
+                .map(|k| ServerId((src.0 + k) % n))
+                .find(|&s| !self.is_failed(s))
+            {
                 Some(live) => src = live,
                 None => return, // whole fleet dead
             }
@@ -398,14 +429,14 @@ impl System {
     /// excess being dropped"), unbounded for the rare control messages.
     fn deliver(&mut self, to: ServerId, msg: Message) {
         let now = self.engine.now();
-        if self.failed[to.index()] {
+        if self.is_failed(to) {
             // Transport-level failure detection: the previous hop learns
             // its send failed (a connection reset in a real deployment)
             // and corrects the map it routed from. The query itself is
             // lost — TerraDir has no retransmission.
             if let Message::Query(p) = &msg {
                 if let (Some(prev), Some(via)) = (p.prev_hop, p.intended_via) {
-                    if !self.failed[prev.index()] {
+                    if !self.is_failed(prev) {
                         self.engine.schedule_in(
                             self.cfg.network_delay,
                             Event::Deliver {
@@ -421,7 +452,9 @@ impl System {
             }
             return;
         }
-        let q = &mut self.queues[to.index()];
+        let Some(q) = self.queues.get_mut(to.index()) else {
+            return;
+        };
         if msg.is_query_traffic() && q.len() >= self.cfg.queue_capacity {
             self.stats.on_drop(now, DropKind::Queue);
             return;
@@ -432,14 +465,15 @@ impl System {
 
     fn try_start(&mut self, s: ServerId) {
         let i = s.index();
-        if self.in_service[i].is_some() {
+        if self.in_service.get(i).is_none_or(Option::is_some) {
             return;
         }
-        let Some(msg) = self.queues[i].pop_front() else {
+        let Some(msg) = self.queues.get_mut(i).and_then(VecDeque::pop_front) else {
             return;
         };
         let now = self.engine.now();
-        let mut d = self.service.sample(&mut self.rng_service) / self.speeds[i];
+        let speed = self.speeds.get(i).copied().unwrap_or(1.0);
+        let mut d = self.service.sample(&mut self.rng_service) / speed;
         match &msg {
             Message::Query(_) => self.stats.query_messages += 1,
             // Result delivery and control traffic are lightweight: the
@@ -447,18 +481,25 @@ impl System {
             // response to the querier.
             _ => d *= self.cfg.control_service_factor,
         }
-        self.servers[i].record_busy(now, d);
-        self.util[i].record_busy(now, d);
-        self.in_service[i] = Some(msg);
+        if let Some(server) = self.servers.get_mut(i) {
+            server.record_busy(now, d);
+        }
+        if let Some(meter) = self.util.get_mut(i) {
+            meter.record_busy(now, d);
+        }
+        if let Some(slot) = self.in_service.get_mut(i) {
+            *slot = Some(msg);
+        }
         self.engine.schedule_in(d, Event::ServiceDone { server: s });
     }
 
     fn finish_service(&mut self, s: ServerId) {
         let i = s.index();
-        let msg = self.in_service[i]
-            .take()
-            .expect("service completion without a message in service");
-        if self.failed[i] {
+        let Some(msg) = self.in_service.get_mut(i).and_then(Option::take) else {
+            debug_assert!(false, "service completion without a message in service");
+            return;
+        };
+        if self.is_failed(s) {
             if msg.is_query_traffic() {
                 self.stats.on_drop(self.engine.now(), DropKind::Queue);
             }
@@ -468,10 +509,12 @@ impl System {
         let was_query = matches!(msg, Message::Query(_));
         debug_assert!(self.out_buf.is_empty());
         let mut out = std::mem::take(&mut self.out_buf);
-        self.servers[i].handle_message(now, msg, &mut self.rng_protocol, &mut out);
-        if was_query {
-            // "A server checks its load after each processed query."
-            self.servers[i].maybe_start_session(now, &mut self.rng_protocol, &mut out);
+        if let Some(server) = self.servers.get_mut(i) {
+            server.handle_message(now, msg, &mut self.rng_protocol, &mut out);
+            if was_query {
+                // "A server checks its load after each processed query."
+                server.maybe_start_session(now, &mut self.rng_protocol, &mut out);
+            }
         }
         self.out_buf = out;
         self.dispatch(s);
@@ -524,7 +567,7 @@ impl System {
 
     /// For tests: total queued messages across all servers.
     pub fn queued_messages(&self) -> usize {
-        self.queues.iter().map(|q| q.len()).sum()
+        self.queues.iter().map(std::collections::VecDeque::len).sum()
     }
 
     /// For tests: owner of a node per the assignment.
@@ -540,11 +583,12 @@ impl std::fmt::Debug for System {
             .field("nodes", &self.ns.len())
             .field("now", &self.engine.now())
             .field("injected", &self.stats.injected)
-            .finish()
+            .finish_non_exhaustive()
     }
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::expect_used, clippy::indexing_slicing, clippy::panic)]
 mod tests {
     use super::*;
     use terradir_namespace::balanced_tree;

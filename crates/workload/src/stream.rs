@@ -142,7 +142,7 @@ impl QueryStream {
         assert!(n_nodes >= 1 && n_servers >= 1);
         let mut rank_rng = seeded_rng(master_seed, tags::RANKING);
         let ranking = PopularityRanking::random(n_nodes, &mut rank_rng);
-        let seg_end = plan.segments[0].duration;
+        let seg_end = plan.segments.first().map_or(0.0, |s| s.duration);
         QueryStream {
             plan,
             n_servers,
@@ -169,7 +169,9 @@ impl QueryStream {
     fn advance_to(&mut self, now: f64) {
         while now >= self.seg_end && self.seg_idx + 1 < self.plan.segments.len() {
             self.seg_idx += 1;
-            let seg = &self.plan.segments[self.seg_idx];
+            let Some(seg) = self.plan.segments.get(self.seg_idx) else {
+                break;
+            };
             self.seg_end += seg.duration;
             if seg.reshuffle_on_entry && matches!(seg.mode, DestinationMode::Zipf { .. }) {
                 self.ranking.reshuffle(&mut self.rank_rng);
@@ -182,11 +184,19 @@ impl QueryStream {
     pub fn next_query(&mut self, now: f64) -> (ServerId, NodeId) {
         self.advance_to(now);
         let src = ServerId(self.src_rng.gen_range(0..self.n_servers));
-        let dst = match self.plan.segments[self.seg_idx].mode {
+        let mode = self
+            .plan
+            .segments
+            .get(self.seg_idx)
+            .map_or(DestinationMode::Uniform, |s| s.mode);
+        let dst = match mode {
             DestinationMode::Uniform => NodeId(self.dest_rng.gen_range(0..self.n_nodes as u32)),
             DestinationMode::Zipf { order } => {
                 let idx = self.sampler_for(order);
-                let rank = self.samplers[idx].1.sample(&mut self.dest_rng);
+                let rank = match self.samplers.get(idx) {
+                    Some((_, z)) => z.sample(&mut self.dest_rng),
+                    None => 0, // sampler_for always returns a live index
+                };
                 self.ranking.node_at_rank(rank)
             }
         };
@@ -205,6 +215,7 @@ impl QueryStream {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::expect_used, clippy::indexing_slicing, clippy::panic)]
 mod tests {
     use super::*;
     use std::collections::HashMap;

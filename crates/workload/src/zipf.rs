@@ -41,7 +41,9 @@ impl ZipfSampler {
             *v /= total;
         }
         // Defend against rounding: the last entry must be exactly 1.
-        *cdf.last_mut().expect("n >= 1") = 1.0;
+        if let Some(last) = cdf.last_mut() {
+            *last = 1.0;
+        }
         ZipfSampler { cdf, order }
     }
 
@@ -63,10 +65,16 @@ impl ZipfSampler {
         self.order
     }
 
-    /// Probability mass of rank `r` (0-based).
+    /// Probability mass of rank `r` (0-based); 0 for out-of-range ranks.
     pub fn pmf(&self, r: usize) -> f64 {
-        let hi = self.cdf[r];
-        let lo = if r == 0 { 0.0 } else { self.cdf[r - 1] };
+        let Some(&hi) = self.cdf.get(r) else {
+            return 0.0;
+        };
+        let lo = if r == 0 {
+            0.0
+        } else {
+            self.cdf.get(r - 1).copied().unwrap_or(0.0)
+        };
         hi - lo
     }
 
@@ -80,6 +88,7 @@ impl ZipfSampler {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::expect_used, clippy::indexing_slicing, clippy::panic)]
 mod tests {
     use super::*;
     use rand::rngs::StdRng;
@@ -126,7 +135,7 @@ mod tests {
         let z = ZipfSampler::new(50, 1.0);
         let mut rng = StdRng::seed_from_u64(99);
         let trials = 200_000;
-        let mut counts = vec![0u32; 50];
+        let mut counts = [0u32; 50];
         for _ in 0..trials {
             counts[z.sample(&mut rng)] += 1;
         }

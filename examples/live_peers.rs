@@ -1,3 +1,6 @@
+// Integration surface: panicking on unexpected state is the correct failure mode here.
+#![allow(clippy::unwrap_used, clippy::expect_used, clippy::indexing_slicing, clippy::panic)]
+
 //! Live deployment: the same protocol state machines running as real OS
 //! threads connected by channels, with injected queries resolving across
 //! the fleet.
@@ -20,7 +23,7 @@ fn main() {
         network_delay: Duration::from_millis(2),
         maintenance_every: Duration::from_millis(50),
     };
-    let rt = Runtime::start(ns, cfg);
+    let rt = Runtime::start(ns, cfg).expect("start live fleet");
     println!("started {} live peers", rt.peers());
 
     // Every peer snapshot at bootstrap.

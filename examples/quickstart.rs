@@ -1,3 +1,6 @@
+// Integration surface: panicking on unexpected state is the correct failure mode here.
+#![allow(clippy::unwrap_used, clippy::expect_used, clippy::indexing_slicing, clippy::panic)]
+
 //! Quickstart: build a namespace, run a simulated TerraDir deployment, and
 //! read the results.
 //!

@@ -1,3 +1,6 @@
+// Integration surface: panicking on unexpected state is the correct failure mode here.
+#![allow(clippy::unwrap_used, clippy::expect_used, clippy::indexing_slicing, clippy::panic)]
+
 //! Property tests for the namespace substrate: the distance metric, LCA,
 //! next-hop progress, and name parsing — on arbitrary random trees.
 
@@ -27,7 +30,7 @@ fn arb_namespace() -> impl Strategy<Value = Namespace> {
                 s
             })
             .collect();
-        from_paths(strings.iter().map(|s| s.as_str())).expect("generated paths are valid")
+        from_paths(strings.iter().map(std::string::String::as_str)).expect("generated paths are valid")
     })
 }
 
@@ -108,7 +111,7 @@ proptest! {
         prop_assert_eq!(name.as_str(), s.as_str());
         prop_assert_eq!(name.depth(), segs.len());
         let back: Vec<&str> = name.segments().collect();
-        prop_assert_eq!(back, segs.iter().map(|x| x.as_str()).collect::<Vec<_>>());
+        prop_assert_eq!(back, segs.iter().map(std::string::String::as_str).collect::<Vec<_>>());
     }
 
     #[test]

@@ -1,3 +1,6 @@
+// Integration surface: panicking on unexpected state is the correct failure mode here.
+#![allow(clippy::unwrap_used, clippy::expect_used, clippy::indexing_slicing, clippy::panic)]
+
 //! Integration tests of §2.1's hierarchical query decomposition: complex
 //! (subtree) searches executed as sequences of List lookups.
 
@@ -13,7 +16,8 @@ fn list_query_returns_exact_children() {
     let rt = Runtime::start(
         ns,
         RuntimeConfig::fast(Config::paper_default(4).with_seed(1)),
-    );
+    )
+    .expect("start fleet");
     let root = NodeId(0);
     let expected: Vec<NodeId> = rt.namespace().children(root).to_vec();
     let id = rt.inject_list(ServerId(2), root).unwrap();
@@ -39,7 +43,8 @@ fn subtree_walk_visits_every_descendant() {
     let rt = Runtime::start(
         ns,
         RuntimeConfig::fast(Config::paper_default(4).with_seed(2)),
-    );
+    )
+    .expect("start fleet");
     let subtree_root = rt.namespace().lookup_str("/projects/alpha").unwrap();
     // Ground truth: every node whose name has /projects/alpha as prefix.
     let root_name = rt.namespace().name(subtree_root).clone();
@@ -64,7 +69,8 @@ fn subtree_walk_respects_node_bound() {
     let rt = Runtime::start(
         ns,
         RuntimeConfig::fast(Config::paper_default(4).with_seed(3)),
-    );
+    )
+    .expect("start fleet");
     let visited = rt
         .walk_subtree(ServerId(0), NodeId(0), 10, Duration::from_secs(30))
         .unwrap();
@@ -78,7 +84,8 @@ fn leaf_listing_is_empty() {
     let rt = Runtime::start(
         ns,
         RuntimeConfig::fast(Config::paper_default(4).with_seed(4)),
-    );
+    )
+    .expect("start fleet");
     let leaf = rt
         .namespace()
         .ids()

@@ -1,3 +1,6 @@
+// Integration surface: panicking on unexpected state is the correct failure mode here.
+#![allow(clippy::unwrap_used, clippy::expect_used, clippy::indexing_slicing, clippy::panic)]
+
 //! Integration tests of the paper's two-step access (§2.1): lookup
 //! (resolvable by any replica) followed by data retrieval (served by the
 //! owner only), across the live runtime.
@@ -10,7 +13,7 @@ use terradir_repro::protocol::Config;
 
 fn fleet(seed: u64) -> Runtime {
     let ns = balanced_tree(2, 5);
-    Runtime::start(ns, RuntimeConfig::fast(Config::paper_default(4).with_seed(seed)))
+    Runtime::start(ns, RuntimeConfig::fast(Config::paper_default(4).with_seed(seed))).expect("start fleet")
 }
 
 #[test]

@@ -51,6 +51,7 @@ pub struct Bencher {
 
 impl Bencher {
     /// Times `routine` over a fixed batch after a short warm-up.
+    #[allow(clippy::iter_not_returning_iterator)] // name mirrors upstream criterion
     pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
         const WARMUP: u64 = 3;
         for _ in 0..WARMUP {
@@ -175,7 +176,7 @@ mod tests {
         g.throughput(Throughput::Elements(1));
         g.sample_size(10);
         g.bench_with_input(BenchmarkId::from_parameter(4), &4u32, |b, &n| {
-            b.iter(|| black_box(n * 2))
+            b.iter(|| black_box(n * 2));
         });
         g.finish();
     }

@@ -155,6 +155,7 @@ pub mod channel {
     }
 
     #[cfg(test)]
+    #[allow(clippy::unwrap_used, clippy::expect_used, clippy::indexing_slicing, clippy::panic)]
     mod tests {
         use super::*;
 

@@ -30,6 +30,7 @@ pub mod __rt {
 /// FNV-1a hash used to derive a per-test RNG seed from the test name.
 #[doc(hidden)]
 #[must_use]
+#[allow(clippy::indexing_slicing)] // const fn: loop bound is bytes.len()
 pub const fn fnv1a(name: &str) -> u64 {
     let bytes = name.as_bytes();
     let mut hash = 0xcbf2_9ce4_8422_2325u64;

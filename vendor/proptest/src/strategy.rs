@@ -142,7 +142,10 @@ impl<T: Debug> Strategy for Union<T> {
 
     fn sample(&self, rng: &mut StdRng) -> T {
         let idx = (0..self.arms.len()).sample_single(rng);
-        self.arms[idx].sample(rng)
+        match self.arms.get(idx) {
+            Some(arm) => arm.sample(rng),
+            None => unreachable!("arm index sampled within bounds"),
+        }
     }
 }
 
