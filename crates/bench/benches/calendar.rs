@@ -1,5 +1,10 @@
 // Benchmark harness: panicking on setup failure is the correct failure mode.
-#![allow(clippy::unwrap_used, clippy::expect_used, clippy::indexing_slicing, clippy::panic)]
+#![allow(
+    clippy::unwrap_used,
+    clippy::expect_used,
+    clippy::indexing_slicing,
+    clippy::panic
+)]
 
 //! Microbenchmarks: the DES kernel's event calendar — every simulated
 //! message is at least one push and one pop.

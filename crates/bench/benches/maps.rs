@@ -1,5 +1,10 @@
 // Benchmark harness: panicking on setup failure is the correct failure mode.
-#![allow(clippy::unwrap_used, clippy::expect_used, clippy::indexing_slicing, clippy::panic)]
+#![allow(
+    clippy::unwrap_used,
+    clippy::expect_used,
+    clippy::indexing_slicing,
+    clippy::panic
+)]
 
 //! Microbenchmarks: node-map operations (merge, advertise, filter) — maps
 //! are merged on every query carrying path state.
@@ -56,5 +61,11 @@ fn bench_select(c: &mut Criterion) {
     });
 }
 
-criterion_group!(benches, bench_merge, bench_advertise, bench_filter, bench_select);
+criterion_group!(
+    benches,
+    bench_merge,
+    bench_advertise,
+    bench_filter,
+    bench_select
+);
 criterion_main!(benches);

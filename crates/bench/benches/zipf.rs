@@ -1,5 +1,10 @@
 // Benchmark harness: panicking on setup failure is the correct failure mode.
-#![allow(clippy::unwrap_used, clippy::expect_used, clippy::indexing_slicing, clippy::panic)]
+#![allow(
+    clippy::unwrap_used,
+    clippy::expect_used,
+    clippy::indexing_slicing,
+    clippy::panic
+)]
 
 //! Microbenchmarks: workload generation (Zipf sampling, Poisson gaps,
 //! full query-stream steps) — the simulator injects hundreds of thousands
@@ -37,7 +42,9 @@ fn bench_zipf_sample(c: &mut Criterion) {
 fn bench_poisson(c: &mut Criterion) {
     let p = PoissonArrivals::new(20_000.0);
     let mut rng = StdRng::seed_from_u64(2);
-    c.bench_function("poisson_gap", |b| b.iter(|| black_box(p.next_gap(&mut rng))));
+    c.bench_function("poisson_gap", |b| {
+        b.iter(|| black_box(p.next_gap(&mut rng)));
+    });
 }
 
 fn bench_stream_step(c: &mut Criterion) {

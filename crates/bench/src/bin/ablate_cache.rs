@@ -1,5 +1,10 @@
 // Experiment harness binary: aborting on unexpected state is the correct failure mode.
-#![allow(clippy::unwrap_used, clippy::expect_used, clippy::indexing_slicing, clippy::panic)]
+#![allow(
+    clippy::unwrap_used,
+    clippy::expect_used,
+    clippy::indexing_slicing,
+    clippy::panic
+)]
 
 //! **Ablation: path propagation vs endpoint-only caching** (§2.4).
 //!
@@ -28,12 +33,7 @@ fn main() {
         // Digests off so the measurement isolates the caching policy, and
         // a uniform stream so endpoint caching gets no locality for free.
         cfg.digests = false;
-        let mut sys = System::new(
-            scale.ts_namespace(),
-            cfg,
-            StreamPlan::unif(total),
-            rate,
-        );
+        let mut sys = System::new(scale.ts_namespace(), cfg, StreamPlan::unif(total), rate);
         sys.run_until(total);
         let st = sys.stats();
         let hops = st.hops.mean().unwrap_or(0.0);

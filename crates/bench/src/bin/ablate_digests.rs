@@ -1,5 +1,10 @@
 // Experiment harness binary: aborting on unexpected state is the correct failure mode.
-#![allow(clippy::unwrap_used, clippy::expect_used, clippy::indexing_slicing, clippy::panic)]
+#![allow(
+    clippy::unwrap_used,
+    clippy::expect_used,
+    clippy::indexing_slicing,
+    clippy::panic
+)]
 
 //! **Ablation: inverse-mapping digests on/off** (§3.6).
 //!
@@ -20,7 +25,13 @@ fn main() {
 
     eprintln!("ablate_digests: {} servers, λ={rate:.0}/s", scale.servers);
 
-    tsv_header(&["digests", "hops", "accuracy", "stale_fraction", "drop_fraction"]);
+    tsv_header(&[
+        "digests",
+        "hops",
+        "accuracy",
+        "stale_fraction",
+        "drop_fraction",
+    ]);
     let mut rows = Vec::new();
     for (label, digests) in [("on", true), ("off", false)] {
         let mut cfg = scale.config(args.seed);

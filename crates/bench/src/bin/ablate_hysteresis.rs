@@ -1,5 +1,10 @@
 // Experiment harness binary: aborting on unexpected state is the correct failure mode.
-#![allow(clippy::unwrap_used, clippy::expect_used, clippy::indexing_slicing, clippy::panic)]
+#![allow(
+    clippy::unwrap_used,
+    clippy::expect_used,
+    clippy::indexing_slicing,
+    clippy::panic
+)]
 
 //! **Ablation: hysteresis load adjustment on/off** (§3.3 step 4).
 //!
@@ -19,7 +24,10 @@ fn main() {
     let total = scale.duration(100.0);
     let rate = scale.rate(20_000.0);
 
-    eprintln!("ablate_hysteresis: {} servers, λ={rate:.0}/s", scale.servers);
+    eprintln!(
+        "ablate_hysteresis: {} servers, λ={rate:.0}/s",
+        scale.servers
+    );
 
     tsv_header(&[
         "hysteresis",

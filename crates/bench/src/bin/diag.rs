@@ -1,5 +1,10 @@
 // Experiment harness binary: aborting on unexpected state is the correct failure mode.
-#![allow(clippy::unwrap_used, clippy::expect_used, clippy::indexing_slicing, clippy::panic)]
+#![allow(
+    clippy::unwrap_used,
+    clippy::expect_used,
+    clippy::indexing_slicing,
+    clippy::panic
+)]
 
 //! Scratch diagnostics (not part of the published harness).
 use terradir::System;
@@ -16,15 +21,27 @@ fn main() {
     for t in [10.0, 25.0, 50.0, 100.0] {
         sys.run_until(t);
         let st = sys.stats();
-        eprintln!("t={t}: inj {} res {} dropQ {} ttl {} hops {:.2} load {:.3}/{:.3} repl {} sess {}/{}",
-            st.injected, st.resolved, st.dropped_queue, st.dropped_ttl,
+        eprintln!(
+            "t={t}: inj {} res {} dropQ {} ttl {} hops {:.2} load {:.3}/{:.3} repl {} sess {}/{}",
+            st.injected,
+            st.resolved,
+            st.dropped_queue,
+            st.dropped_ttl,
             st.hops.mean().unwrap_or(0.0),
-            st.load_mean_per_sec.last().copied().unwrap_or(0.0), st.load_max_per_sec.last().copied().unwrap_or(0.0),
-            st.replicas_created, st.sessions_completed, st.sessions_started);
+            st.load_mean_per_sec.last().copied().unwrap_or(0.0),
+            st.load_max_per_sec.last().copied().unwrap_or(0.0),
+            st.replicas_created,
+            st.sessions_completed,
+            st.sessions_started
+        );
     }
     // Who is overloaded, and what do they host?
-    let mut loads: Vec<(f64, u32)> = sys.servers().iter().map(|s| (s.measured_load(), s.id().0)).collect();
-    loads.sort_by(|a,b| b.0.partial_cmp(&a.0).unwrap());
+    let mut loads: Vec<(f64, u32)> = sys
+        .servers()
+        .iter()
+        .map(|s| (s.measured_load(), s.id().0))
+        .collect();
+    loads.sort_by(|a, b| b.0.partial_cmp(&a.0).unwrap());
     let nsr = sys.namespace();
     for (l, id) in loads.iter().take(5) {
         let s = sys.server(terradir::ServerId(*id));
@@ -34,13 +51,26 @@ fn main() {
     }
     eprintln!("replicas/level now: {:?}", sys.replicas_per_level());
     // How many hosts does the root have?
-    let root_hosts = sys.servers().iter().filter(|s| s.hosts(terradir::NodeId(0))).count();
-    let l1: Vec<usize> = nsr.children(nsr.root()).iter().map(|&c| sys.servers().iter().filter(|s| s.hosts(c)).count()).collect();
+    let root_hosts = sys
+        .servers()
+        .iter()
+        .filter(|s| s.hosts(terradir::NodeId(0)))
+        .count();
+    let l1: Vec<usize> = nsr
+        .children(nsr.root())
+        .iter()
+        .map(|&c| sys.servers().iter().filter(|s| s.hosts(c)).count())
+        .collect();
     eprintln!("root hosted by {root_hosts} servers; level-1 hosts {l1:?}");
     let (c, a, r) = terradir::oracle::routing_accuracy(&sys);
     eprintln!("routing accuracy: {a}/{c} = {r:.4}");
     let truth = terradir::oracle::GlobalTruth::from_system(&sys);
     let rep = terradir::oracle::map_staleness(&sys, &truth);
-    eprintln!("map staleness: {}/{} = {:.4}", rep.stale, rep.entries, rep.fraction());
+    eprintln!(
+        "map staleness: {}/{} = {:.4}",
+        rep.stale,
+        rep.entries,
+        rep.fraction()
+    );
 }
 // appended: nothing

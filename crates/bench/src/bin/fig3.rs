@@ -1,5 +1,10 @@
 // Experiment harness binary: aborting on unexpected state is the correct failure mode.
-#![allow(clippy::unwrap_used, clippy::expect_used, clippy::indexing_slicing, clippy::panic)]
+#![allow(
+    clippy::unwrap_used,
+    clippy::expect_used,
+    clippy::indexing_slicing,
+    clippy::panic
+)]
 
 //! **Fig. 3** — Fraction of queries dropped every second over time, T_S
 //! namespace, λ = 20 000/s (scaled), for `unif` and `uzipf{0.75, 1.00,
@@ -55,12 +60,7 @@ fn main() {
         let seg = ((total - warmup) / shifts as f64).max(1.0);
         let plan = StreamPlan::adaptation(order, warmup, shifts, seg);
         let reshuffles = plan.reshuffle_times();
-        let mut sys = System::new(
-            scale.ts_namespace(),
-            scale.config(args.seed),
-            plan,
-            rate,
-        );
+        let mut sys = System::new(scale.ts_namespace(), scale.config(args.seed), plan, rate);
         sys.run_until(total);
         series.push((
             format!("uzipf{order:.2}"),
@@ -98,7 +98,9 @@ fn main() {
             let mut before = 0.0;
             let mut n_before = 0usize;
             for &rt in reshuffles {
-                let start = rt as usize;
+                // Shortened runs (--time-mult) can place a reshuffle past
+                // the end of the recorded series; clamp both window ends.
+                let start = (rt as usize).min(per_sec.len());
                 for &v in &per_sec[start..(start + 10).min(per_sec.len())] {
                     after += v;
                     n_after += 1;
@@ -110,8 +112,16 @@ fn main() {
                     n_before += 1;
                 }
             }
-            let after_mean = if n_after > 0 { after / n_after as f64 } else { 0.0 };
-            let before_mean = if n_before > 0 { before / n_before as f64 } else { 0.0 };
+            let after_mean = if n_after > 0 {
+                after / n_after as f64
+            } else {
+                0.0
+            };
+            let before_mean = if n_before > 0 {
+                before / n_before as f64
+            } else {
+                0.0
+            };
             // With near-zero drops overall there is nothing to
             // concentrate — the check only means something under pressure.
             checks.check(

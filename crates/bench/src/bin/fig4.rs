@@ -1,5 +1,10 @@
 // Experiment harness binary: aborting on unexpected state is the correct failure mode.
-#![allow(clippy::unwrap_used, clippy::expect_used, clippy::indexing_slicing, clippy::panic)]
+#![allow(
+    clippy::unwrap_used,
+    clippy::expect_used,
+    clippy::indexing_slicing,
+    clippy::panic
+)]
 
 //! **Fig. 4** — Fraction of replicas created every second (relative to λ)
 //! over time, T_C (Coda-like file-system) namespace, λ = 40 000/s scaled
@@ -109,8 +114,16 @@ fn main() {
                     n_before += 1;
                 }
             }
-            let after_mean = if n_after > 0 { after / n_after as f64 } else { 0.0 };
-            let before_mean = if n_before > 0 { before / n_before as f64 } else { 0.0 };
+            let after_mean = if n_after > 0 {
+                after / n_after as f64
+            } else {
+                0.0
+            };
+            let before_mean = if n_before > 0 {
+                before / n_before as f64
+            } else {
+                0.0
+            };
             checks.check(
                 &format!("{label}: creation bursts at reshuffles"),
                 after_mean >= before_mean || before_mean < 1e-7,

@@ -1,5 +1,10 @@
 // Experiment harness binary: aborting on unexpected state is the correct failure mode.
-#![allow(clippy::unwrap_used, clippy::expect_used, clippy::indexing_slicing, clippy::panic)]
+#![allow(
+    clippy::unwrap_used,
+    clippy::expect_used,
+    clippy::indexing_slicing,
+    clippy::panic
+)]
 
 //! **Fig. 5** — Fraction of dropped queries for the base system (B),
 //! base + caching (BC), and base + caching + replication (BCR), across the
@@ -67,7 +72,10 @@ fn main() {
         table.push(row);
     }
 
-    let labels: Vec<&str> = stream_labels.iter().map(std::string::String::as_str).collect();
+    let labels: Vec<&str> = stream_labels
+        .iter()
+        .map(std::string::String::as_str)
+        .collect();
     tsv_header(&[&["system"], labels.as_slice()].concat());
     for ((sys_label, _), row) in systems.iter().zip(&table) {
         let cells: Vec<String> = row.iter().map(|v| format!("{v:.4}")).collect();

@@ -1,5 +1,10 @@
 // Experiment harness binary: aborting on unexpected state is the correct failure mode.
-#![allow(clippy::unwrap_used, clippy::expect_used, clippy::indexing_slicing, clippy::panic)]
+#![allow(
+    clippy::unwrap_used,
+    clippy::expect_used,
+    clippy::indexing_slicing,
+    clippy::panic
+)]
 
 //! **Fig. 6** — Average and maximum server load (utilization) per second
 //! for the `uzipf_TS(1.00)` adaptation stream at λ ∈ {4 000, 10 000,
@@ -54,7 +59,12 @@ fn main() {
         cols.push(format!("{l}_max"));
         cols.push(format!("{l}_max11"));
     }
-    tsv_header(&cols.iter().map(std::string::String::as_str).collect::<Vec<_>>());
+    tsv_header(
+        &cols
+            .iter()
+            .map(std::string::String::as_str)
+            .collect::<Vec<_>>(),
+    );
     let bins = curves.iter().map(|(_, m, _, _)| m.len()).max().unwrap_or(0);
     for t in 0..bins {
         let mut row = Vec::new();

@@ -1,5 +1,10 @@
 // Experiment harness binary: aborting on unexpected state is the correct failure mode.
-#![allow(clippy::unwrap_used, clippy::expect_used, clippy::indexing_slicing, clippy::panic)]
+#![allow(
+    clippy::unwrap_used,
+    clippy::expect_used,
+    clippy::indexing_slicing,
+    clippy::panic
+)]
 
 //! **Fig. 7** — Average number of replicas created per node for each level
 //! of the T_S namespace (root = level 0), under `unif` and `uzipf(1.0)`

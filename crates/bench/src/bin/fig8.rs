@@ -1,5 +1,10 @@
 // Experiment harness binary: aborting on unexpected state is the correct failure mode.
-#![allow(clippy::unwrap_used, clippy::expect_used, clippy::indexing_slicing, clippy::panic)]
+#![allow(
+    clippy::unwrap_used,
+    clippy::expect_used,
+    clippy::indexing_slicing,
+    clippy::panic
+)]
 
 //! **Fig. 8** — Replicas created per minute over long runs (paper:
 //! 10 000 s) for `unif` and `uzipf(1.00)` streams on both namespaces, at
@@ -42,7 +47,11 @@ fn main() {
     // quiescing.
     let div = if args.full { 1.0 } else { 2.0 };
     let rate_s = (2_500.0f64 / div).min(cap);
-    let rate_c = if args.full { 5_000.0 } else { scale.rate(5_000.0) };
+    let rate_c = if args.full {
+        5_000.0
+    } else {
+        scale.rate(5_000.0)
+    };
     let cases: Vec<(String, bool, f64, Option<f64>)> = vec![
         ("unifS".into(), false, rate_s, None),
         ("unifC".into(), true, rate_c, None),

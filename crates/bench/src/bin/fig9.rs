@@ -1,5 +1,10 @@
 // Experiment harness binary: aborting on unexpected state is the correct failure mode.
-#![allow(clippy::unwrap_used, clippy::expect_used, clippy::indexing_slicing, clippy::panic)]
+#![allow(
+    clippy::unwrap_used,
+    clippy::expect_used,
+    clippy::indexing_slicing,
+    clippy::panic
+)]
 
 //! **Fig. 9** — Scalability: average query latency, replication events,
 //! and dropped queries as a function of system size.
@@ -80,7 +85,10 @@ fn main() {
     checks.check(
         "latency scales ~logarithmically",
         last.1 <= first.1 * 3.0 + 0.05,
-        format!("{:.4}s at {} → {:.4}s at {}", first.1, first.0, last.1, last.0),
+        format!(
+            "{:.4}s at {} → {:.4}s at {}",
+            first.1, first.0, last.1, last.0
+        ),
     );
     // Replication events grow roughly with size (λ ∝ size means the
     // replica population a Zipf head needs is ∝ size, with an extra log
@@ -101,7 +109,10 @@ fn main() {
     checks.check(
         "drop fraction stays bounded with size",
         last_frac <= (first_frac * 3.0).max(0.08),
-        format!("{first_frac:.4} at {} → {last_frac:.4} at {}", first.0, last.0),
+        format!(
+            "{first_frac:.4} at {} → {last_frac:.4} at {}",
+            first.0, last.0
+        ),
     );
     std::process::exit(i32::from(!checks.finish()));
 }

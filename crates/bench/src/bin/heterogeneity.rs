@@ -1,5 +1,10 @@
 // Experiment harness binary: aborting on unexpected state is the correct failure mode.
-#![allow(clippy::unwrap_used, clippy::expect_used, clippy::indexing_slicing, clippy::panic)]
+#![allow(
+    clippy::unwrap_used,
+    clippy::expect_used,
+    clippy::indexing_slicing,
+    clippy::panic
+)]
 
 //! **Extension: exploiting server heterogeneity** (§5).
 //!
@@ -30,7 +35,13 @@ fn main() {
 
     eprintln!("heterogeneity: {} servers, λ={rate:.0}/s", scale.servers);
 
-    tsv_header(&["spread", "bcr_drops", "bc_drops", "bcr_max_load", "bc_max_load"]);
+    tsv_header(&[
+        "spread",
+        "bcr_drops",
+        "bc_drops",
+        "bcr_max_load",
+        "bc_max_load",
+    ]);
     let mut rows = Vec::new();
     for &spread in &spreads {
         let mut result = Vec::new();

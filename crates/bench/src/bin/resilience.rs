@@ -1,5 +1,10 @@
 // Experiment harness binary: aborting on unexpected state is the correct failure mode.
-#![allow(clippy::unwrap_used, clippy::expect_used, clippy::indexing_slicing, clippy::panic)]
+#![allow(
+    clippy::unwrap_used,
+    clippy::expect_used,
+    clippy::indexing_slicing,
+    clippy::panic
+)]
 
 //! **Fault-tolerance extension** — the paper argues (§1, §2.4, §3.1) that
 //! soft-state replication buys routing resiliency for free: caches "jump
@@ -33,8 +38,14 @@ fn main() {
 
     let mut curves: Vec<(String, Vec<f64>, u64, u64)> = Vec::new();
     for (label, cfg) in [
-        ("BCR", Config::paper_default(scale.servers).with_seed(args.seed)),
-        ("BC", Config::caching_only(scale.servers).with_seed(args.seed)),
+        (
+            "BCR",
+            Config::paper_default(scale.servers).with_seed(args.seed),
+        ),
+        (
+            "BC",
+            Config::caching_only(scale.servers).with_seed(args.seed),
+        ),
     ] {
         let mut sys = System::new(
             scale.ts_namespace(),

@@ -1,5 +1,10 @@
 // Experiment harness binary: aborting on unexpected state is the correct failure mode.
-#![allow(clippy::unwrap_used, clippy::expect_used, clippy::indexing_slicing, clippy::panic)]
+#![allow(
+    clippy::unwrap_used,
+    clippy::expect_used,
+    clippy::indexing_slicing,
+    clippy::panic
+)]
 
 //! **§4.4 replication-factor ablation** — the paper runs R_fact ∈
 //! {0.125, 0.25, 0.5} under `uzipf(1.50)` streams with repeated hot-spot

@@ -1,5 +1,10 @@
 // Experiment harness binary: aborting on unexpected state is the correct failure mode.
-#![allow(clippy::unwrap_used, clippy::expect_used, clippy::indexing_slicing, clippy::panic)]
+#![allow(
+    clippy::unwrap_used,
+    clippy::expect_used,
+    clippy::indexing_slicing,
+    clippy::panic
+)]
 
 //! **Table 1** — Server–node relationships and the state maintained for
 //! each: Owned / Replicated / Neighboring / Cached × {Name, Map, Data,
@@ -78,7 +83,9 @@ fn main() {
     // neighbor (otherwise the map merges into those structures instead).
     let cache_server = (2..4)
         .map(ServerId)
-        .find(|&s| !servers[s.index()].hosts(node) && servers[s.index()].neighbor_map(node).is_none())
+        .find(|&s| {
+            !servers[s.index()].hosts(node) && servers[s.index()].neighbor_map(node).is_none()
+        })
         .expect("some server tracks the node only via its cache");
     let mut packet = QueryPacket::new(7, cache_server, node, 0.0);
     packet.push_path(node, servers[0].host_record(node).unwrap().map.clone(), 8);
@@ -154,12 +161,20 @@ fn main() {
     );
     checks.check(
         "replicated row matches Table 1 (✓ ✓ – ✓ ✓)",
-        replicated.name && replicated.map && !replicated.data && replicated.meta && replicated.context,
+        replicated.name
+            && replicated.map
+            && !replicated.data
+            && replicated.meta
+            && replicated.context,
         format!("{replicated:?}"),
     );
     checks.check(
         "neighboring row matches Table 1 (✓ ✓ – – –)",
-        neighboring.name && neighboring.map && !neighboring.data && !neighboring.meta && !neighboring.context,
+        neighboring.name
+            && neighboring.map
+            && !neighboring.data
+            && !neighboring.meta
+            && !neighboring.context,
         format!("{neighboring:?}"),
     );
     checks.check(

@@ -20,7 +20,7 @@
 
 use terradir::Config;
 use terradir_namespace::{balanced_tree, coda_like, CodaParams, Namespace};
-use terradir_workload::{seeded_rng, seed::tags};
+use terradir_workload::{seed::tags, seeded_rng};
 
 /// Parsed command-line arguments.
 #[derive(Debug, Clone)]
@@ -189,7 +189,12 @@ impl ShapeChecks {
         if !ok {
             self.failures += 1;
         }
-        println!("# shape[{}] {}: {}", if ok { "PASS" } else { "FAIL" }, name, detail);
+        println!(
+            "# shape[{}] {}: {}",
+            if ok { "PASS" } else { "FAIL" },
+            name,
+            detail
+        );
     }
 
     /// Prints the summary line; returns whether everything passed.
@@ -204,7 +209,12 @@ impl ShapeChecks {
 }
 
 #[cfg(test)]
-#[allow(clippy::unwrap_used, clippy::expect_used, clippy::indexing_slicing, clippy::panic)]
+#[allow(
+    clippy::unwrap_used,
+    clippy::expect_used,
+    clippy::indexing_slicing,
+    clippy::panic
+)]
 mod tests {
     use super::*;
 

@@ -140,7 +140,12 @@ impl BloomFilter {
 }
 
 #[cfg(test)]
-#[allow(clippy::unwrap_used, clippy::expect_used, clippy::indexing_slicing, clippy::panic)]
+#[allow(
+    clippy::unwrap_used,
+    clippy::expect_used,
+    clippy::indexing_slicing,
+    clippy::panic
+)]
 mod tests {
     use super::*;
 
@@ -177,7 +182,10 @@ mod tests {
             .filter(|i| f.contains(format!("/absent/{i}").as_bytes()))
             .count();
         let rate = fp as f64 / trials as f64;
-        assert!(rate < 0.03, "observed FPR {rate} way above 1% design target");
+        assert!(
+            rate < 0.03,
+            "observed FPR {rate} way above 1% design target"
+        );
     }
 
     #[test]

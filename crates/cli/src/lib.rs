@@ -17,7 +17,7 @@ use std::fmt;
 
 use terradir::{Config, ServerId, System};
 use terradir_namespace::{balanced_tree, coda_like, from_paths, CodaParams, Namespace};
-use terradir_workload::{seeded_rng, seed::tags, StreamPlan};
+use terradir_workload::{seed::tags, seeded_rng, StreamPlan};
 
 /// Which per-second series to dump as TSV after the run.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -139,7 +139,8 @@ impl Spec {
         let mut it = args.into_iter();
         while let Some(flag) = it.next() {
             let mut value = |name: &str| {
-                it.next().ok_or_else(|| err(format!("{name} needs a value")))
+                it.next()
+                    .ok_or_else(|| err(format!("{name} needs a value")))
             };
             match flag.as_str() {
                 "--namespace" => {
@@ -194,8 +195,10 @@ impl Spec {
                         .split_once('@')
                         .ok_or_else(|| err("--fail wants <fraction>@<time>"))?;
                     spec.fail = Some((
-                        frac.parse().map_err(|_| err("--fail fraction must be a number"))?,
-                        at.parse().map_err(|_| err("--fail time must be a number"))?,
+                        frac.parse()
+                            .map_err(|_| err("--fail fraction must be a number"))?,
+                        at.parse()
+                            .map_err(|_| err("--fail time must be a number"))?,
                     ));
                 }
                 "--tsv" => {
@@ -316,7 +319,11 @@ impl Spec {
                     for i in (0..self.servers).step_by(step) {
                         sys.fail_server(ServerId(i));
                     }
-                    writeln!(progress, "t={at:.0}s: failed {} servers", sys.failed_count())?;
+                    writeln!(
+                        progress,
+                        "t={at:.0}s: failed {} servers",
+                        sys.failed_count()
+                    )?;
                     failed = true;
                 }
             }
@@ -338,8 +345,18 @@ impl Spec {
             return Ok(());
         }
         writeln!(out, "injected\t{}", st.injected)?;
-        writeln!(out, "resolved\t{}\t{:.4}", st.resolved, st.resolve_fraction())?;
-        writeln!(out, "dropped\t{}\t{:.4}", st.dropped_total(), st.drop_fraction())?;
+        writeln!(
+            out,
+            "resolved\t{}\t{:.4}",
+            st.resolved,
+            st.resolve_fraction()
+        )?;
+        writeln!(
+            out,
+            "dropped\t{}\t{:.4}",
+            st.dropped_total(),
+            st.drop_fraction()
+        )?;
         writeln!(
             out,
             "latency_mean_ms\t{:.2}",
@@ -389,11 +406,17 @@ fn parse_namespace(v: &str) -> Result<NamespaceSpec, ParseError> {
     let parts: Vec<&str> = v.split(':').collect();
     match parts.as_slice() {
         ["balanced", arity, levels] => Ok(NamespaceSpec::Balanced(
-            arity.parse().map_err(|_| err("balanced arity must be an integer"))?,
-            levels.parse().map_err(|_| err("balanced levels must be an integer"))?,
+            arity
+                .parse()
+                .map_err(|_| err("balanced arity must be an integer"))?,
+            levels
+                .parse()
+                .map_err(|_| err("balanced levels must be an integer"))?,
         )),
         ["coda", nodes] => Ok(NamespaceSpec::Coda(
-            nodes.parse().map_err(|_| err("coda nodes must be an integer"))?,
+            nodes
+                .parse()
+                .map_err(|_| err("coda nodes must be an integer"))?,
         )),
         ["paths", file] => Ok(NamespaceSpec::Paths(file.to_string())),
         _ => Err(err(format!(
@@ -407,12 +430,20 @@ fn parse_stream(v: &str) -> Result<StreamSpec, ParseError> {
     match parts.as_slice() {
         ["unif"] => Ok(StreamSpec::Unif),
         ["zipf", order] => Ok(StreamSpec::Zipf(
-            order.parse().map_err(|_| err("zipf order must be a number"))?,
+            order
+                .parse()
+                .map_err(|_| err("zipf order must be a number"))?,
         )),
         ["adaptation", order, warmup, shifts] => Ok(StreamSpec::Adaptation(
-            order.parse().map_err(|_| err("adaptation order must be a number"))?,
-            warmup.parse().map_err(|_| err("adaptation warmup must be a number"))?,
-            shifts.parse().map_err(|_| err("adaptation shifts must be an integer"))?,
+            order
+                .parse()
+                .map_err(|_| err("adaptation order must be a number"))?,
+            warmup
+                .parse()
+                .map_err(|_| err("adaptation warmup must be a number"))?,
+            shifts
+                .parse()
+                .map_err(|_| err("adaptation shifts must be an integer"))?,
         )),
         _ => Err(err(format!(
             "unknown stream '{v}' (unif | zipf:<order> | adaptation:<order>:<warmup>:<shifts>)"
@@ -436,7 +467,12 @@ pub const USAGE: &str = "usage: terradir-run [flags]
   --json                emit the final report as JSON";
 
 #[cfg(test)]
-#[allow(clippy::unwrap_used, clippy::expect_used, clippy::indexing_slicing, clippy::panic)]
+#[allow(
+    clippy::unwrap_used,
+    clippy::expect_used,
+    clippy::indexing_slicing,
+    clippy::panic
+)]
 mod tests {
     use super::*;
 
@@ -450,17 +486,28 @@ mod tests {
     #[test]
     fn parses_a_full_flag_set() {
         let spec = Spec::parse([
-            "--namespace", "balanced:3:5",
-            "--servers", "64",
-            "--rate", "300",
-            "--duration", "30",
-            "--stream", "adaptation:1.25:10:2",
-            "--system", "bc",
-            "--seed", "7",
-            "--spread", "2.5",
-            "--static-levels", "2",
-            "--fail", "0.1@15",
-            "--tsv", "load",
+            "--namespace",
+            "balanced:3:5",
+            "--servers",
+            "64",
+            "--rate",
+            "300",
+            "--duration",
+            "30",
+            "--stream",
+            "adaptation:1.25:10:2",
+            "--system",
+            "bc",
+            "--seed",
+            "7",
+            "--spread",
+            "2.5",
+            "--static-levels",
+            "2",
+            "--fail",
+            "0.1@15",
+            "--tsv",
+            "load",
         ])
         .unwrap();
         assert_eq!(spec.namespace, NamespaceSpec::Balanced(3, 5));
@@ -493,10 +540,14 @@ mod tests {
     #[test]
     fn json_output_mode() {
         let spec = Spec::parse([
-            "--namespace", "balanced:2:4",
-            "--servers", "4",
-            "--rate", "20",
-            "--duration", "3",
+            "--namespace",
+            "balanced:2:4",
+            "--servers",
+            "4",
+            "--rate",
+            "20",
+            "--duration",
+            "3",
             "--json",
         ])
         .unwrap();
@@ -511,11 +562,16 @@ mod tests {
     #[test]
     fn end_to_end_small_run() {
         let spec = Spec::parse([
-            "--namespace", "balanced:2:5",
-            "--servers", "8",
-            "--rate", "40",
-            "--duration", "5",
-            "--tsv", "drops",
+            "--namespace",
+            "balanced:2:5",
+            "--servers",
+            "8",
+            "--rate",
+            "40",
+            "--duration",
+            "5",
+            "--tsv",
+            "drops",
         ])
         .unwrap();
         let mut out = Vec::new();
@@ -530,11 +586,16 @@ mod tests {
     #[test]
     fn end_to_end_with_failure_injection() {
         let spec = Spec::parse([
-            "--namespace", "balanced:2:5",
-            "--servers", "8",
-            "--rate", "40",
-            "--duration", "6",
-            "--fail", "0.25@3",
+            "--namespace",
+            "balanced:2:5",
+            "--servers",
+            "8",
+            "--rate",
+            "40",
+            "--duration",
+            "6",
+            "--fail",
+            "0.25@3",
         ])
         .unwrap();
         let mut out = Vec::new();

@@ -177,7 +177,12 @@ impl AsRef<str> for NodeName {
 }
 
 #[cfg(test)]
-#[allow(clippy::unwrap_used, clippy::expect_used, clippy::indexing_slicing, clippy::panic)]
+#[allow(
+    clippy::unwrap_used,
+    clippy::expect_used,
+    clippy::indexing_slicing,
+    clippy::panic
+)]
 mod tests {
     use super::*;
 
@@ -236,7 +241,11 @@ mod tests {
     #[test]
     fn ancestors_bottom_up() {
         let n = NodeName::parse("/a/b/c").unwrap();
-        let anc: Vec<String> = n.ancestors().iter().map(|a| a.as_str().to_string()).collect();
+        let anc: Vec<String> = n
+            .ancestors()
+            .iter()
+            .map(|a| a.as_str().to_string())
+            .collect();
         assert_eq!(anc, vec!["/a/b", "/a", "/"]);
     }
 

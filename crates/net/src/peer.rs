@@ -6,8 +6,8 @@ use crossbeam::channel::{Receiver, RecvTimeoutError, Sender};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
-use terradir::{Message, NodeId, Outgoing, ProtocolEvent, QueryPacket, ServerId, ServerState};
 use terradir::messages::QueryKind;
+use terradir::{Message, NodeId, Outgoing, ProtocolEvent, QueryPacket, ServerId, ServerState};
 
 use crate::transport::Transport;
 

@@ -10,7 +10,7 @@ use parking_lot::Mutex;
 
 use terradir::{Config, NodeId, ProtocolEvent, ServerId, ServerState};
 use terradir_namespace::{Namespace, OwnerAssignment};
-use terradir_workload::{seeded_rng, seed::tags};
+use terradir_workload::{seed::tags, seeded_rng};
 
 use crate::error::NetError;
 use crate::peer::{run_peer, PeerCommand, PeerHarness, PeerSnapshot};
@@ -88,14 +88,11 @@ impl Runtime {
     /// `cfg.protocol.seed` (matching the simulation). Fails on an invalid
     /// protocol configuration or if a fleet thread cannot be spawned.
     pub fn start(ns: Namespace, cfg: RuntimeConfig) -> Result<Runtime, NetError> {
-        cfg.protocol
-            .validate()
-            .map_err(NetError::InvalidConfig)?;
+        cfg.protocol.validate().map_err(NetError::InvalidConfig)?;
         let ns = Arc::new(ns);
         let protocol = Arc::new(cfg.protocol.clone());
         let mut map_rng = seeded_rng(protocol.seed, tags::MAPPING);
-        let assignment =
-            OwnerAssignment::uniform_random(&ns, protocol.n_servers, &mut map_rng);
+        let assignment = OwnerAssignment::uniform_random(&ns, protocol.n_servers, &mut map_rng);
 
         let n = protocol.n_servers;
         let mut inboxes = Vec::with_capacity(n as usize);
@@ -144,13 +141,16 @@ impl Runtime {
                 for (_, event) in ev_rx {
                     let mut s = stats_c.lock();
                     match event {
-                        ProtocolEvent::Resolved { id, hops, children, .. } => {
+                        ProtocolEvent::Resolved {
+                            id, hops, children, ..
+                        } => {
                             s.resolved += 1;
                             resolved_c.lock().insert(id, hops);
                             listings_c.lock().insert(id, children);
                         }
-                        ProtocolEvent::DroppedTtl { .. }
-                        | ProtocolEvent::DroppedStuck { .. } => s.dropped += 1,
+                        ProtocolEvent::DroppedTtl { .. } | ProtocolEvent::DroppedStuck { .. } => {
+                            s.dropped += 1;
+                        }
                         ProtocolEvent::ReplicaCreated { .. } => s.replicas_created += 1,
                         ProtocolEvent::ReplicaDeleted { .. } => s.replicas_deleted += 1,
                         ProtocolEvent::SessionCompleted { .. } => s.sessions_completed += 1,
@@ -257,7 +257,8 @@ impl Runtime {
     /// Adds a load bias at a peer (drives the replication trigger in
     /// tests/demos without burning CPU).
     pub fn add_load_bias(&self, peer: ServerId, delta: f64) -> Result<(), NetError> {
-        self.transport.command(peer, PeerCommand::AddLoadBias(delta))
+        self.transport
+            .command(peer, PeerCommand::AddLoadBias(delta))
     }
 
     /// Updates meta-data on a node at its owner.
@@ -279,7 +280,11 @@ impl Runtime {
     }
 
     /// Exports data for a node at its owner.
-    pub fn set_data(&self, node: NodeId, data: impl Into<std::sync::Arc<[u8]>>) -> Result<(), NetError> {
+    pub fn set_data(
+        &self,
+        node: NodeId,
+        data: impl Into<std::sync::Arc<[u8]>>,
+    ) -> Result<(), NetError> {
         let owner = self.assignment.owner(node);
         self.transport.command(
             owner,
@@ -365,7 +370,12 @@ impl Runtime {
 }
 
 #[cfg(test)]
-#[allow(clippy::unwrap_used, clippy::expect_used, clippy::indexing_slicing, clippy::panic)]
+#[allow(
+    clippy::unwrap_used,
+    clippy::expect_used,
+    clippy::indexing_slicing,
+    clippy::panic
+)]
 mod tests {
     use super::*;
     use terradir_namespace::balanced_tree;

@@ -120,9 +120,9 @@ fn delay_stage(rx: Receiver<Delayed>, out: Vec<Sender<PeerCommand>>) {
             }
         }
         // Wait for the next deadline or a new message.
-        let timeout = heap
-            .peek()
-            .map_or(Duration::from_millis(50), |d| d.due.saturating_duration_since(Instant::now()));
+        let timeout = heap.peek().map_or(Duration::from_millis(50), |d| {
+            d.due.saturating_duration_since(Instant::now())
+        });
         match rx.recv_timeout(timeout) {
             Ok(d) => heap.push(d),
             Err(RecvTimeoutError::Timeout) => {}
@@ -141,7 +141,12 @@ fn delay_stage(rx: Receiver<Delayed>, out: Vec<Sender<PeerCommand>>) {
 }
 
 #[cfg(test)]
-#[allow(clippy::unwrap_used, clippy::expect_used, clippy::indexing_slicing, clippy::panic)]
+#[allow(
+    clippy::unwrap_used,
+    clippy::expect_used,
+    clippy::indexing_slicing,
+    clippy::panic
+)]
 mod tests {
     use super::*;
     use terradir::{NodeId, QueryPacket};

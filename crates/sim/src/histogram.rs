@@ -63,12 +63,20 @@ impl Histogram {
 
     /// Smallest observation (`None` when empty).
     pub fn min(&self) -> Option<f64> {
-        if self.count == 0 { None } else { Some(self.min) }
+        if self.count == 0 {
+            None
+        } else {
+            Some(self.min)
+        }
     }
 
     /// Largest observation (`None` when empty).
     pub fn max(&self) -> Option<f64> {
-        if self.count == 0 { None } else { Some(self.max_seen) }
+        if self.count == 0 {
+            None
+        } else {
+            Some(self.max_seen)
+        }
     }
 
     /// Approximate quantile `q ∈ [0, 1]` (upper edge of the bucket holding
@@ -91,7 +99,12 @@ impl Histogram {
 }
 
 #[cfg(test)]
-#[allow(clippy::unwrap_used, clippy::expect_used, clippy::indexing_slicing, clippy::panic)]
+#[allow(
+    clippy::unwrap_used,
+    clippy::expect_used,
+    clippy::indexing_slicing,
+    clippy::panic
+)]
 mod tests {
     use super::*;
 

@@ -29,4 +29,4 @@ pub mod series;
 pub use calendar::Calendar;
 pub use engine::Engine;
 pub use histogram::Histogram;
-pub use series::{BinnedCounter, BinnedMax, BinnedMean, rolling_mean};
+pub use series::{rolling_mean, BinnedCounter, BinnedMax, BinnedMean};

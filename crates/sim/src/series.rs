@@ -17,7 +17,10 @@ impl BinnedCounter {
     /// A counter with bins of width `dt` seconds.
     pub fn new(dt: f64) -> BinnedCounter {
         assert!(dt > 0.0 && dt.is_finite(), "bin width must be positive");
-        BinnedCounter { dt, bins: Vec::new() }
+        BinnedCounter {
+            dt,
+            bins: Vec::new(),
+        }
     }
 
     fn bin_of(&self, t: f64) -> usize {
@@ -131,7 +134,10 @@ impl BinnedMax {
     /// A max collector with bins of width `dt` seconds.
     pub fn new(dt: f64) -> BinnedMax {
         assert!(dt > 0.0 && dt.is_finite(), "bin width must be positive");
-        BinnedMax { dt, maxima: Vec::new() }
+        BinnedMax {
+            dt,
+            maxima: Vec::new(),
+        }
     }
 
     /// Records a sample value at time `t`.
@@ -182,7 +188,12 @@ pub fn rolling_mean(series: &[f64], window: usize) -> Vec<f64> {
 }
 
 #[cfg(test)]
-#[allow(clippy::unwrap_used, clippy::expect_used, clippy::indexing_slicing, clippy::panic)]
+#[allow(
+    clippy::unwrap_used,
+    clippy::expect_used,
+    clippy::indexing_slicing,
+    clippy::panic
+)]
 mod tests {
     use super::*;
 

@@ -1,6 +1,5 @@
 //! Protocol and simulation configuration.
 
-
 /// All protocol and environment knobs, with the paper's evaluation defaults
 /// (§4.1 and DESIGN.md §3 for glyph-decoded values).
 ///
@@ -221,7 +220,12 @@ impl Config {
 }
 
 #[cfg(test)]
-#[allow(clippy::unwrap_used, clippy::expect_used, clippy::indexing_slicing, clippy::panic)]
+#[allow(
+    clippy::unwrap_used,
+    clippy::expect_used,
+    clippy::indexing_slicing,
+    clippy::panic
+)]
 mod tests {
     use super::*;
 

@@ -1,0 +1,342 @@
+//! Runtime protocol-invariant auditors (DESIGN.md §11).
+//!
+//! Each checker inspects live simulator state and returns a list of
+//! human-readable violations — empty when the invariant holds. The sim
+//! engine wires them into its step loop behind `debug_assertions`, so
+//! debug runs of the paper's experiments double as invariant audits at
+//! zero release-mode cost. Tests call them directly.
+//!
+//! A note on scope: the paper's §3.6.1 claim that "a server always chooses
+//! the closest node to the target that it knows about" holds per *decision*
+//! (and is enforced structurally by `routing::decide_route`'s sorted
+//! candidate walk), but strict per-hop distance decrease along a query's
+//! trajectory is **not** an invariant under stale soft state — loop
+//! damping, emptied maps, and `NotHosting` corrections can force a locally
+//! worse hop, which is exactly why the protocol carries a TTL. The
+//! trajectory-level contract we can and do check is the pair in
+//! [`check_incremental_progress`]: a server never forwards a query it
+//! could resolve, and no forwarded packet ever exceeds the TTL budget.
+
+use std::collections::HashSet;
+
+use terradir_namespace::{Namespace, ServerId};
+
+use crate::config::Config;
+use crate::map::NodeMap;
+use crate::messages::QueryPacket;
+use crate::server::ServerState;
+
+/// Forward-emission contract (paper §3.3, §3.6.1).
+///
+/// Called at the instant a server emits a forwarded `Query`, with the
+/// sender's post-handler state:
+///
+/// 1. the sender does not host the target (hosting implies `Resolve`, so a
+///    forward from a hosting server means routing skipped a resolution);
+/// 2. `hops` never exceeds `ttl_hops` (the drop check ran before emission);
+/// 3. the hop bookkeeping is stamped: `intended_via` names the node being
+///    routed toward and `prev_hop` names the sender (the stale-entry
+///    correction path in §3.5 depends on both).
+pub fn check_incremental_progress(
+    cfg: &Config,
+    sender: &ServerState,
+    packet: &QueryPacket,
+) -> Vec<String> {
+    let mut v = Vec::new();
+    if sender.hosts(packet.target) {
+        v.push(format!(
+            "server {} forwarded query {} although it hosts the target {:?}",
+            sender.id.0, packet.id, packet.target
+        ));
+    }
+    if packet.hops > cfg.ttl_hops {
+        v.push(format!(
+            "query {} in flight with hops {} > ttl_hops {}",
+            packet.id, packet.hops, cfg.ttl_hops
+        ));
+    }
+    if packet.intended_via.is_none() {
+        v.push(format!(
+            "forwarded query {} carries no intended_via",
+            packet.id
+        ));
+    }
+    if packet.prev_hop != Some(sender.id) {
+        v.push(format!(
+            "forwarded query {} stamps prev_hop {:?}, expected sender {}",
+            packet.id, packet.prev_hop, sender.id.0
+        ));
+    }
+    v
+}
+
+/// Map bounds (paper §3.7): every stored node map — owned and replica
+/// records, neighbor context, and route-cache entries — holds at most
+/// `max(R_map, 1)` entries and lists each host at most once.
+///
+/// Emptiness is deliberately *not* checked: stale-entry corrections may
+/// remove the last host of a map (`NodeMap::remove` with `allow_empty`),
+/// and routing treats such maps as unusable rather than invalid.
+pub fn check_map_bounds(server: &ServerState) -> Vec<String> {
+    let bound = server.cfg.r_map.max(1);
+    let mut v = Vec::new();
+    let mut check = |kind: &str, node: u32, map: &NodeMap| {
+        if map.len() > bound {
+            v.push(format!(
+                "server {}: {kind} map for node {node} has {} entries > R_map bound {bound}",
+                server.id.0,
+                map.len()
+            ));
+        }
+        let distinct: HashSet<ServerId> = map.entries().iter().copied().collect();
+        if distinct.len() != map.len() {
+            v.push(format!(
+                "server {}: {kind} map for node {node} lists a duplicate host",
+                server.id.0
+            ));
+        }
+    };
+    for (n, rec) in &server.owned {
+        check("owned", n.0, &rec.map);
+    }
+    for (n, rec) in &server.replicas {
+        check("replica", n.0, &rec.map);
+    }
+    for (n, map) in &server.neighbor_maps {
+        check("context", n.0, map);
+    }
+    for (n, map) in server.cache.iter() {
+        check("cache", n.0, map);
+    }
+    v
+}
+
+/// Replica budget (paper §3.5): soft-state replicas never exceed
+/// `R_fact · |owned|` (as computed by [`Config::replica_cap`]), and the
+/// replica set stays disjoint from the owned set — a server must not
+/// count a node it owns as a replica.
+pub fn check_replica_budget(server: &ServerState) -> Vec<String> {
+    let cap = server.cfg.replica_cap(server.owned_count());
+    let mut v = Vec::new();
+    if server.replica_count() > cap {
+        v.push(format!(
+            "server {}: {} replicas exceed budget {} (R_fact {} × {} owned)",
+            server.id.0,
+            server.replica_count(),
+            cap,
+            server.cfg.r_fact,
+            server.owned_count()
+        ));
+    }
+    for n in server.replicas.keys() {
+        if server.owned.contains_key(n) {
+            v.push(format!(
+                "server {}: node {} is recorded as both owned and replica",
+                server.id.0, n.0
+            ));
+        }
+    }
+    v
+}
+
+/// Route-cache capacity: the cache never holds more entries than its slot
+/// budget, and a run with caching disabled keeps a zero-slot cache.
+pub fn check_cache_capacity(server: &ServerState) -> Vec<String> {
+    let mut v = Vec::new();
+    if server.cache.len() > server.cache.slots() {
+        v.push(format!(
+            "server {}: cache holds {} entries > {} slots",
+            server.id.0,
+            server.cache.len(),
+            server.cache.slots()
+        ));
+    }
+    let expected = if server.cfg.caching {
+        server.cfg.cache_slots
+    } else {
+        0
+    };
+    if server.cache.slots() != expected {
+        v.push(format!(
+            "server {}: cache sized {} slots, config implies {}",
+            server.id.0,
+            server.cache.slots(),
+            expected
+        ));
+    }
+    v
+}
+
+/// Digest soundness (paper §3.6): a Bloom digest may return false
+/// positives but never false negatives — once rebuilt, it must test
+/// positive for every node its server currently hosts.
+///
+/// Only meaningful between a rebuild and the next host-set change: the
+/// digest is rebuilt lazily at maintenance, so while `digest_dirty` is
+/// set the snapshot legitimately lags the host set and the check is
+/// skipped.
+pub fn check_digest_no_false_negative(ns: &Namespace, server: &ServerState) -> Vec<String> {
+    if server.digest_dirty {
+        return Vec::new();
+    }
+    let mut v = Vec::new();
+    for n in server.hosted_ids() {
+        if !server.digest.test(ns.name(n).as_str()) {
+            v.push(format!(
+                "server {}: digest false negative for hosted node {} ({})",
+                server.id.0,
+                n.0,
+                ns.name(n).as_str()
+            ));
+        }
+    }
+    v
+}
+
+/// Runs every per-server structural checker and returns the combined
+/// violation list.
+pub fn audit_server(ns: &Namespace, server: &ServerState) -> Vec<String> {
+    let mut v = check_map_bounds(server);
+    v.extend(check_replica_budget(server));
+    v.extend(check_cache_capacity(server));
+    v.extend(check_digest_no_false_negative(ns, server));
+    v
+}
+
+#[cfg(test)]
+#[allow(
+    clippy::unwrap_used,
+    clippy::expect_used,
+    clippy::indexing_slicing,
+    clippy::panic
+)]
+mod tests {
+    use std::sync::Arc;
+
+    use terradir_namespace::{balanced_tree, NodeId, OwnerAssignment};
+
+    use super::*;
+    use crate::cache::RouteCache;
+    use crate::meta::Meta;
+    use crate::records::NodeRecord;
+
+    fn fixture() -> (Arc<Namespace>, ServerState) {
+        let ns = Arc::new(balanced_tree(2, 4)); // 31 nodes
+        let cfg = Arc::new(Config::paper_default(4));
+        let asg = OwnerAssignment::round_robin(&ns, 4);
+        let s = ServerState::new(ServerId(0), Arc::clone(&ns), cfg, &asg);
+        (ns, s)
+    }
+
+    fn non_hosted(ns: &Namespace, s: &ServerState) -> NodeId {
+        ns.ids().find(|&n| !s.hosts(n)).unwrap()
+    }
+
+    #[test]
+    fn clean_bootstrap_passes_every_check() {
+        let (ns, s) = fixture();
+        assert!(audit_server(&ns, &s).is_empty());
+    }
+
+    #[test]
+    fn oversized_map_is_caught() {
+        let (ns, mut s) = fixture();
+        let bound = s.cfg.r_map;
+        let fat = NodeMap::from_entries((0..=bound as u32).map(ServerId));
+        assert!(fat.len() > bound);
+        let far = non_hosted(&ns, &s);
+        s.neighbor_maps.insert(far, fat);
+        let v = check_map_bounds(&s);
+        assert_eq!(v.len(), 1);
+        assert!(v[0].contains("R_map bound"), "{v:?}");
+    }
+
+    #[test]
+    fn replica_over_budget_is_caught() {
+        let (ns, mut s) = fixture();
+        let cap = s.cfg.replica_cap(s.owned_count());
+        let extras: Vec<NodeId> = ns.ids().filter(|&n| !s.hosts(n)).take(cap + 1).collect();
+        for n in extras {
+            s.replicas.insert(
+                n,
+                NodeRecord::new(n, NodeMap::singleton(ServerId(0)), Meta::new(), 0.0),
+            );
+        }
+        s.digest_dirty = true; // keep the digest check out of the picture
+        let v = check_replica_budget(&s);
+        assert_eq!(v.len(), 1);
+        assert!(v[0].contains("exceed budget"), "{v:?}");
+    }
+
+    #[test]
+    fn owned_replica_overlap_is_caught() {
+        let (_ns, mut s) = fixture();
+        let own = s.owned_ids().next().unwrap();
+        s.replicas.insert(
+            own,
+            NodeRecord::new(own, NodeMap::singleton(ServerId(0)), Meta::new(), 0.0),
+        );
+        let v = check_replica_budget(&s);
+        assert!(
+            v.iter().any(|m| m.contains("both owned and replica")),
+            "{v:?}"
+        );
+    }
+
+    #[test]
+    fn cache_slot_mismatch_is_caught() {
+        let (_ns, mut s) = fixture();
+        assert!(check_cache_capacity(&s).is_empty());
+        s.cache = RouteCache::new(s.cfg.cache_slots + 1);
+        let v = check_cache_capacity(&s);
+        assert_eq!(v.len(), 1);
+        assert!(v[0].contains("config implies"), "{v:?}");
+    }
+
+    #[test]
+    fn digest_false_negative_caught_only_when_clean() {
+        let (ns, mut s) = fixture();
+        let far = non_hosted(&ns, &s);
+        s.replicas.insert(
+            far,
+            NodeRecord::new(far, NodeMap::singleton(ServerId(0)), Meta::new(), 0.0),
+        );
+        // The digest was built over the owned set only, so the new replica
+        // is a false negative — but while dirty, the lag is legitimate.
+        s.digest_dirty = true;
+        assert!(check_digest_no_false_negative(&ns, &s).is_empty());
+        s.digest_dirty = false;
+        let v = check_digest_no_false_negative(&ns, &s);
+        assert_eq!(v.len(), 1);
+        assert!(v[0].contains("false negative"), "{v:?}");
+    }
+
+    #[test]
+    fn forward_contract_violations_are_caught() {
+        let (ns, s) = fixture();
+        let cfg = Config::paper_default(4);
+        let target = non_hosted(&ns, &s);
+        let mut p = QueryPacket::new(7, ServerId(1), target, 0.0);
+        p.hops = cfg.ttl_hops + 1;
+        // No intended_via, wrong prev_hop, TTL blown: three violations.
+        let v = check_incremental_progress(&cfg, &s, &p);
+        assert_eq!(v.len(), 3, "{v:?}");
+
+        // A well-formed forward passes.
+        let mut ok = QueryPacket::new(8, ServerId(1), target, 0.0);
+        ok.hops = 3;
+        ok.intended_via = Some(target);
+        ok.prev_hop = Some(s.id);
+        assert!(check_incremental_progress(&cfg, &s, &ok).is_empty());
+
+        // Forwarding a query whose target the sender hosts is flagged.
+        let hosted = s.owned_ids().next().unwrap();
+        let mut bad = QueryPacket::new(9, ServerId(1), hosted, 0.0);
+        bad.hops = 1;
+        bad.intended_via = Some(hosted);
+        bad.prev_hop = Some(s.id);
+        let v = check_incremental_progress(&cfg, &s, &bad);
+        assert_eq!(v.len(), 1, "{v:?}");
+        assert!(v[0].contains("hosts the target"), "{v:?}");
+    }
+}

@@ -55,6 +55,7 @@
 pub mod cache;
 pub mod config;
 pub mod digests;
+pub mod invariants;
 pub mod load;
 pub mod map;
 pub mod messages;
@@ -71,8 +72,8 @@ pub mod system;
 pub use cache::RouteCache;
 pub use config::Config;
 pub use map::NodeMap;
-pub use meta::Meta;
 pub use messages::{Message, QueryPacket};
+pub use meta::Meta;
 pub use records::NodeRecord;
 pub use server::{Outgoing, ProtocolEvent, ServerState};
 pub use stats::RunStats;
@@ -81,6 +82,11 @@ pub use system::System;
 pub use terradir_namespace::{NodeId, ServerId};
 
 #[cfg(test)]
-#[allow(clippy::unwrap_used, clippy::expect_used, clippy::indexing_slicing, clippy::panic)]
+#[allow(
+    clippy::unwrap_used,
+    clippy::expect_used,
+    clippy::indexing_slicing,
+    clippy::panic
+)]
 #[allow(clippy::match_same_arms, clippy::match_wildcard_for_single_variants)]
 mod soft_state_tests;

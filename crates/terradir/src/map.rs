@@ -34,7 +34,9 @@ impl NodeMap {
     /// A map from explicit entries, most-recent first. Deduplicates while
     /// preserving first occurrences.
     pub fn from_entries<I: IntoIterator<Item = ServerId>>(hosts: I) -> NodeMap {
-        let mut m = NodeMap { entries: Vec::new() };
+        let mut m = NodeMap {
+            entries: Vec::new(),
+        };
         for h in hosts {
             if !m.entries.contains(&h) {
                 m.entries.push(h);
@@ -127,7 +129,11 @@ impl NodeMap {
     /// Picks a host at random (the paper's replica selection: "the
     /// destination host is chosen at random from the available choice"),
     /// excluding `exclude` when another choice exists.
-    pub fn select<R: Rng + ?Sized>(&self, exclude: Option<ServerId>, rng: &mut R) -> Option<ServerId> {
+    pub fn select<R: Rng + ?Sized>(
+        &self,
+        exclude: Option<ServerId>,
+        rng: &mut R,
+    ) -> Option<ServerId> {
         match exclude {
             Some(x) => self.select_avoiding(&[x], rng),
             None => self.select_avoiding(&[], rng),
@@ -137,7 +143,11 @@ impl NodeMap {
     /// Random selection that *prefers* hosts not in `avoid` (e.g. servers a
     /// query recently visited — cheap loop damping under stale state), but
     /// falls back to the full entry list when every host is in `avoid`.
-    pub fn select_avoiding<R: Rng + ?Sized>(&self, avoid: &[ServerId], rng: &mut R) -> Option<ServerId> {
+    pub fn select_avoiding<R: Rng + ?Sized>(
+        &self,
+        avoid: &[ServerId],
+        rng: &mut R,
+    ) -> Option<ServerId> {
         let candidates: Vec<ServerId> = self
             .entries
             .iter()
@@ -174,7 +184,12 @@ impl NodeMap {
 }
 
 #[cfg(test)]
-#[allow(clippy::unwrap_used, clippy::expect_used, clippy::indexing_slicing, clippy::panic)]
+#[allow(
+    clippy::unwrap_used,
+    clippy::expect_used,
+    clippy::indexing_slicing,
+    clippy::panic
+)]
 mod tests {
     use super::*;
     use rand::rngs::StdRng;

@@ -116,12 +116,21 @@ pub fn routing_accuracy(system: &System) -> (u64, u64, f64) {
         checks += c;
         acc += a;
     }
-    let ratio = if checks == 0 { 1.0 } else { acc as f64 / checks as f64 };
+    let ratio = if checks == 0 {
+        1.0
+    } else {
+        acc as f64 / checks as f64
+    };
     (checks, acc, ratio)
 }
 
 #[cfg(test)]
-#[allow(clippy::unwrap_used, clippy::expect_used, clippy::indexing_slicing, clippy::panic)]
+#[allow(
+    clippy::unwrap_used,
+    clippy::expect_used,
+    clippy::indexing_slicing,
+    clippy::panic
+)]
 mod tests {
     use super::*;
     use crate::config::Config;

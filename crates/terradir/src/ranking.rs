@@ -49,7 +49,10 @@ impl NodeWeights {
     /// on the node's behalf bumps by 1).
     pub fn bump(&mut self, node: NodeId, now: f64, amount: f64) {
         let half_life = self.half_life;
-        let e = self.weights.entry(node).or_insert(Entry { value: 0.0, at: now });
+        let e = self.weights.entry(node).or_insert(Entry {
+            value: 0.0,
+            at: now,
+        });
         e.value = e.decayed(now, half_life) + amount;
         e.at = now;
     }
@@ -93,7 +96,12 @@ impl NodeWeights {
 }
 
 #[cfg(test)]
-#[allow(clippy::unwrap_used, clippy::expect_used, clippy::indexing_slicing, clippy::panic)]
+#[allow(
+    clippy::unwrap_used,
+    clippy::expect_used,
+    clippy::indexing_slicing,
+    clippy::panic
+)]
 mod tests {
     use super::*;
 

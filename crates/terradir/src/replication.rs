@@ -139,7 +139,9 @@ impl ServerState {
             tried: vec![target],
             pending_shift: None,
         });
-        out.push(Outgoing::Event(ProtocolEvent::SessionStarted { by: self.id }));
+        out.push(Outgoing::Event(ProtocolEvent::SessionStarted {
+            by: self.id,
+        }));
         out.push(Outgoing::Send {
             to: target,
             msg: Message::LoadProbe {
@@ -155,12 +157,17 @@ impl ServerState {
     /// δ_min gap is not worth probing, so when the profile table has fresh
     /// entries but none eligible we return `None` (abort cheaply). Only a
     /// server with an empty profile falls back to a uniformly random peer.
-    fn pick_partner(&self, now: f64, extra_exclude: &[ServerId], rng: &mut StdRng) -> Option<ServerId> {
+    fn pick_partner(
+        &self,
+        now: f64,
+        extra_exclude: &[ServerId],
+        rng: &mut StdRng,
+    ) -> Option<ServerId> {
         let mut exclude: Vec<ServerId> = vec![self.id];
         exclude.extend_from_slice(extra_exclude);
-        if let Some(s) =
-            self.known_loads
-                .best_candidate(now, self.cfg.load_stale_after, &exclude)
+        if let Some(s) = self
+            .known_loads
+            .best_candidate(now, self.cfg.load_stale_after, &exclude)
         {
             let ls = self.load.effective(now);
             let known = self
@@ -255,7 +262,9 @@ impl ServerState {
     fn abort_session(&mut self, now: f64, out: &mut Vec<Outgoing>) {
         self.session = None;
         self.cooldown_until = now + self.cfg.session_cooldown;
-        out.push(Outgoing::Event(ProtocolEvent::SessionAborted { by: self.id }));
+        out.push(Outgoing::Event(ProtocolEvent::SessionAborted {
+            by: self.id,
+        }));
     }
 
     /// §3.3 step 3, transfer rule: rank hosted nodes by decayed weight and
@@ -465,7 +474,9 @@ impl ServerState {
         out: &mut Vec<Outgoing>,
     ) {
         self.known_loads.observe(from, load, now);
-        let Some(sess) = &mut self.session else { return };
+        let Some(sess) = &mut self.session else {
+            return;
+        };
         if sess.target != from {
             return;
         }
@@ -475,7 +486,12 @@ impl ServerState {
 }
 
 #[cfg(test)]
-#[allow(clippy::unwrap_used, clippy::expect_used, clippy::indexing_slicing, clippy::panic)]
+#[allow(
+    clippy::unwrap_used,
+    clippy::expect_used,
+    clippy::indexing_slicing,
+    clippy::panic
+)]
 mod tests {
     use super::*;
     use crate::config::Config;
@@ -513,7 +529,10 @@ mod tests {
         k.observe(ServerId(1), 0.9, 0.0);
         k.observe(ServerId(2), 0.1, 0.0);
         assert_eq!(k.best_candidate(0.0, 5.0, &[]), Some(ServerId(2)));
-        assert_eq!(k.best_candidate(0.0, 5.0, &[ServerId(2)]), Some(ServerId(1)));
+        assert_eq!(
+            k.best_candidate(0.0, 5.0, &[ServerId(2)]),
+            Some(ServerId(1))
+        );
         // Stale entries are ignored.
         assert_eq!(k.best_candidate(100.0, 5.0, &[]), None);
         // Bound: inserting a third evicts the oldest.
@@ -532,9 +551,13 @@ mod tests {
         overload(&mut servers[0], 1.0);
         servers[0].maybe_start_session(1.0, &mut rng, &mut out);
         assert!(servers[0].session.is_some());
-        assert!(out
-            .iter()
-            .any(|o| matches!(o, Outgoing::Send { msg: Message::LoadProbe { .. }, .. })));
+        assert!(out.iter().any(|o| matches!(
+            o,
+            Outgoing::Send {
+                msg: Message::LoadProbe { .. },
+                ..
+            }
+        )));
     }
 
     #[test]
@@ -551,7 +574,10 @@ mod tests {
         let probe_to = out
             .iter()
             .find_map(|o| match o {
-                Outgoing::Send { to, msg: Message::LoadProbe { .. } } => Some(*to),
+                Outgoing::Send {
+                    to,
+                    msg: Message::LoadProbe { .. },
+                } => Some(*to),
                 _ => None,
             })
             .unwrap();
@@ -561,14 +587,20 @@ mod tests {
         let mut out2 = Vec::new();
         servers[2].handle_message(
             now,
-            Message::LoadProbe { from: ServerId(0), load: 1.0 },
+            Message::LoadProbe {
+                from: ServerId(0),
+                load: 1.0,
+            },
             &mut rng,
             &mut out2,
         );
         let reply = out2
             .iter()
             .find_map(|o| match o {
-                Outgoing::Send { msg: m @ Message::LoadProbeReply { .. }, .. } => Some(m.clone()),
+                Outgoing::Send {
+                    msg: m @ Message::LoadProbeReply { .. },
+                    ..
+                } => Some(m.clone()),
                 _ => None,
             })
             .unwrap();
@@ -579,7 +611,10 @@ mod tests {
         let req = out3
             .iter()
             .find_map(|o| match o {
-                Outgoing::Send { msg: m @ Message::ReplicateRequest { .. }, .. } => Some(m.clone()),
+                Outgoing::Send {
+                    msg: m @ Message::ReplicateRequest { .. },
+                    ..
+                } => Some(m.clone()),
                 _ => None,
             })
             .expect("gap 1.0 - 0.0 exceeds delta_min, must replicate");
@@ -596,7 +631,10 @@ mod tests {
         let ack = out4
             .iter()
             .find_map(|o| match o {
-                Outgoing::Send { msg: m @ Message::ReplicateAck { .. }, .. } => Some(m.clone()),
+                Outgoing::Send {
+                    msg: m @ Message::ReplicateAck { .. },
+                    ..
+                } => Some(m.clone()),
                 _ => None,
             })
             .unwrap();
@@ -615,7 +653,9 @@ mod tests {
         // The shipped nodes' maps at the source now advertise server 2.
         let replicated: Vec<NodeId> = servers[2].replica_ids().collect();
         for n in replicated {
-            let rec = servers[0].host_record(n).expect("source hosts what it shipped");
+            let rec = servers[0]
+                .host_record(n)
+                .expect("source hosts what it shipped");
             assert!(rec.map.contains(ServerId(2)), "replica advertised");
         }
     }
@@ -636,9 +676,13 @@ mod tests {
             &mut rng,
             &mut out,
         );
-        assert!(out
-            .iter()
-            .any(|o| matches!(o, Outgoing::Send { msg: Message::ReplicateDeny { .. }, .. })));
+        assert!(out.iter().any(|o| matches!(
+            o,
+            Outgoing::Send {
+                msg: Message::ReplicateDeny { .. },
+                ..
+            }
+        )));
         assert_eq!(servers[1].replica_count(), 0);
     }
 
@@ -732,7 +776,10 @@ mod tests {
         let t3 = servers[0].session.as_ref().unwrap().target;
         out.clear();
         servers[0].on_probe_reply(now, t3, 0.95, &mut rng, &mut out);
-        assert!(servers[0].session.is_none(), "session aborted after max attempts");
+        assert!(
+            servers[0].session.is_none(),
+            "session aborted after max attempts"
+        );
         assert!(servers[0].cooldown_until > now);
         assert!(out
             .iter()

@@ -136,8 +136,11 @@ impl ServerState {
                 }
                 if !hits.is_empty() {
                     hits.sort_unstable(); // store iteration order is not deterministic
-                    let fresh: Vec<ServerId> =
-                        hits.iter().copied().filter(|h| !avoid.contains(h)).collect();
+                    let fresh: Vec<ServerId> = hits
+                        .iter()
+                        .copied()
+                        .filter(|h| !avoid.contains(h))
+                        .collect();
                     let pool = if fresh.is_empty() { &hits } else { &fresh };
                     let pick = rng.gen_range(0..pool.len());
                     let Some(&srv) = pool.get(pick) else {
@@ -249,7 +252,12 @@ impl ServerState {
 }
 
 #[cfg(test)]
-#[allow(clippy::unwrap_used, clippy::expect_used, clippy::indexing_slicing, clippy::panic)]
+#[allow(
+    clippy::unwrap_used,
+    clippy::expect_used,
+    clippy::indexing_slicing,
+    clippy::panic
+)]
 mod tests {
     use super::*;
     use crate::config::Config;
@@ -263,7 +271,12 @@ mod tests {
         n_servers: u32,
         levels: u16,
         cfg: Config,
-    ) -> (Arc<Namespace>, Arc<Config>, OwnerAssignment, Vec<ServerState>) {
+    ) -> (
+        Arc<Namespace>,
+        Arc<Config>,
+        OwnerAssignment,
+        Vec<ServerState>,
+    ) {
         let ns = Arc::new(balanced_tree(2, levels));
         let cfg = Arc::new(cfg);
         let asg = OwnerAssignment::round_robin(&ns, n_servers);
@@ -327,11 +340,14 @@ mod tests {
             .find(|&n| !servers[0].hosts(n) && !servers[0].neighbor_maps.contains_key(&n))
             .unwrap();
         let owner = asg.owner(target);
-        servers[0]
-            .cache
-            .insert(target, NodeMap::singleton(owner));
+        servers[0].cache.insert(target, NodeMap::singleton(owner));
         match servers[0].decide_route(target, &[], &mut rng) {
-            RouteChoice::Forward { via, to, used_context_of, .. } => {
+            RouteChoice::Forward {
+                via,
+                to,
+                used_context_of,
+                ..
+            } => {
                 assert_eq!(via, target, "cache hit should route via the target");
                 assert_eq!(to, owner);
                 assert_eq!(used_context_of, None, "cache hops charge no hosted node");
@@ -350,14 +366,7 @@ mod tests {
             .ids()
             .find(|&n| !servers[0].hosts(n) && !servers[0].neighbor_maps.contains_key(&n))
             .unwrap();
-        let digest = crate::digests::build_digest(
-            &ns,
-            ServerId(7),
-            [target].iter(),
-            8,
-            0.01,
-            1,
-        );
+        let digest = crate::digests::build_digest(&ns, ServerId(7), [target].iter(), 8, 0.01, 1);
         servers[0].digest_store.observe(ServerId(7), &digest);
         match servers[0].decide_route(target, &[], &mut rng) {
             RouteChoice::Forward { via, to, .. } => {

@@ -11,7 +11,6 @@ use std::sync::Arc;
 
 use rand::rngs::StdRng;
 
-
 use terradir_bloom::Digest;
 use terradir_namespace::{Namespace, NodeId, OwnerAssignment, ServerId};
 
@@ -204,7 +203,11 @@ impl ServerState {
             replicas: HashMap::new(),
             neighbor_maps,
             cache: RouteCache::new(if cfg.caching { cfg.cache_slots } else { 0 }),
-            digest_store: DigestStore::new(if cfg.digests { cfg.digest_store_slots } else { 0 }),
+            digest_store: DigestStore::new(if cfg.digests {
+                cfg.digest_store_slots
+            } else {
+                0
+            }),
             weights: NodeWeights::new(cfg.weight_half_life),
             load: LoadMeter::new(cfg.load_window, cfg.load_window * 4.0),
             known_loads: KnownLoads::new(cfg.known_load_slots),
@@ -430,9 +433,7 @@ impl ServerState {
         let Some(rec) = self.host_record_mut(node) else {
             return;
         };
-        if rec.map.len() <= 1
-            || now - rec.advertised_at > window
-            || now - rec.backprop_at < min_gap
+        if rec.map.len() <= 1 || now - rec.advertised_at > window || now - rec.backprop_at < min_gap
         {
             return;
         }
@@ -484,7 +485,9 @@ impl ServerState {
                 // `decide_route` only resolves when we host the target, so
                 // a missing record is a protocol bug; answer with an empty
                 // map rather than dying mid-query.
-                let (map, meta) = if let Some(rec) = self.host_record(p.target) { (rec.map.clone(), rec.meta.clone()) } else {
+                let (map, meta) = if let Some(rec) = self.host_record(p.target) {
+                    (rec.map.clone(), rec.meta.clone())
+                } else {
                     debug_assert!(false, "decide said hosted but no record");
                     (NodeMap::singleton(self.id), crate::meta::Meta::new())
                 };
@@ -495,9 +498,7 @@ impl ServerState {
                     self.ns
                         .children(p.target)
                         .iter()
-                        .filter_map(|&c| {
-                            self.neighbor_maps.get(&c).map(|m| (c, m.clone()))
-                        })
+                        .filter_map(|&c| self.neighbor_maps.get(&c).map(|m| (c, m.clone())))
                         .collect()
                 } else {
                     Vec::new()
@@ -701,9 +702,7 @@ impl ServerState {
             return;
         }
         let name = self.ns.name(node).as_str();
-        map.filter_stale(|h| {
-            h != self.id && self.digest_store.test(h, name) == Some(false)
-        });
+        map.filter_stale(|h| h != self.id && self.digest_store.test(h, name) == Some(false));
     }
 
     /// Periodic maintenance, called every load window by the substrate:
@@ -717,7 +716,9 @@ impl ServerState {
                 if now - s.started_at > self.cfg.session_timeout {
                     self.session = None;
                     self.cooldown_until = now + self.cfg.session_cooldown;
-                    out.push(Outgoing::Event(ProtocolEvent::SessionAborted { by: self.id }));
+                    out.push(Outgoing::Event(ProtocolEvent::SessionAborted {
+                        by: self.id,
+                    }));
                 }
             }
         }
@@ -752,11 +753,7 @@ impl ServerState {
         self.weights.remove(node);
         self.digest_dirty = true;
         for nb in self.ns.neighbors(node) {
-            let still_needed = self
-                .ns
-                .neighbors(nb)
-                .iter()
-                .any(|&h| self.hosts(h));
+            let still_needed = self.ns.neighbors(nb).iter().any(|&h| self.hosts(h));
             if !still_needed {
                 self.neighbor_maps.remove(&nb);
             }
@@ -957,7 +954,12 @@ impl ServerState {
 }
 
 #[cfg(test)]
-#[allow(clippy::unwrap_used, clippy::expect_used, clippy::indexing_slicing, clippy::panic)]
+#[allow(
+    clippy::unwrap_used,
+    clippy::expect_used,
+    clippy::indexing_slicing,
+    clippy::panic
+)]
 #[allow(clippy::match_wildcard_for_single_variants)]
 mod tests {
     use super::*;
@@ -1004,7 +1006,11 @@ mod tests {
         let owned: Vec<NodeId> = s.owned_ids().collect();
         let own = owned[0];
         // Merging into an owned record keeps self.
-        s.absorb_mapping(own, &NodeMap::from_entries([ServerId(2), ServerId(3)]), &mut rng);
+        s.absorb_mapping(
+            own,
+            &NodeMap::from_entries([ServerId(2), ServerId(3)]),
+            &mut rng,
+        );
         assert!(s.host_record(own).unwrap().map.contains(ServerId(0)));
         // A node that is neither hosted nor a neighbor lands in the cache.
         let far = ns
@@ -1022,9 +1028,7 @@ mod tests {
         // Install a replica for a node far from everything owned.
         let far = ns
             .ids()
-            .filter(|&n| {
-                !s.hosts(n) && ns.neighbors(n).iter().all(|&nb| !s.hosts(nb))
-            })
+            .filter(|&n| !s.hosts(n) && ns.neighbors(n).iter().all(|&nb| !s.hosts(nb)))
             .find(|&n| {
                 // also require no owned node adjacent to its neighbors
                 ns.neighbors(n)
@@ -1070,7 +1074,9 @@ mod tests {
         match &out[0] {
             Outgoing::Send { to, msg } => {
                 assert_eq!(*to, ServerId(3));
-                assert!(matches!(msg, Message::LoadProbeReply { from, .. } if *from == ServerId(0)));
+                assert!(
+                    matches!(msg, Message::LoadProbeReply { from, .. } if *from == ServerId(0))
+                );
             }
             other => panic!("unexpected {other:?}"),
         }

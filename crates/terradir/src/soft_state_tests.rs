@@ -41,7 +41,10 @@ fn not_hosting_correction_fires_on_inaccurate_via() {
     // Craft a packet claiming server 1 routed via a node server 0 does not
     // host.
     let via = ns.ids().find(|&n| !servers[0].hosts(n)).unwrap();
-    let target = ns.ids().find(|&n| !servers[0].hosts(n) && n != via).unwrap();
+    let target = ns
+        .ids()
+        .find(|&n| !servers[0].hosts(n) && n != via)
+        .unwrap();
     let mut p = QueryPacket::new(1, ServerId(1), target, 0.0);
     p.intended_via = Some(via);
     p.prev_hop = Some(ServerId(1));
@@ -66,7 +69,11 @@ fn not_hosting_removes_entry_and_denies_digest() {
         .ids()
         .find(|&n| !servers[0].hosts(n) && servers[0].neighbor_map(n).is_none())
         .unwrap();
-    servers[0].absorb_mapping(far, &NodeMap::from_entries([ServerId(2), ServerId(3)]), &mut rng);
+    servers[0].absorb_mapping(
+        far,
+        &NodeMap::from_entries([ServerId(2), ServerId(3)]),
+        &mut rng,
+    );
     // Store server 2's digest so denial has a generation to bind to.
     let d2 = servers[2].digest().clone();
     servers[0].digest_store.observe(ServerId(2), &d2);
@@ -135,7 +142,9 @@ fn backprop_sends_fresh_map_upstream_with_rate_limit() {
     servers[0].handle_message(10.0, Message::Query(mk_packet()), &mut rng, &mut out);
     let updates = sends_of(&out)
         .into_iter()
-        .filter(|(to, m)| *to == ServerId(3) && matches!(m, Message::MapUpdate { node: n, .. } if *n == node))
+        .filter(|(to, m)| {
+            *to == ServerId(3) && matches!(m, Message::MapUpdate { node: n, .. } if *n == node)
+        })
         .count();
     assert_eq!(updates, 1, "fresh advertisement back-propagates");
     // Immediately again: rate-limited.
@@ -192,7 +201,10 @@ fn in_flight_path_entries_naming_non_hosts_are_stripped() {
         .ids()
         .find(|&n| !servers[0].hosts(n) && servers[0].neighbor_map(n).is_none())
         .unwrap();
-    let target = ns.ids().find(|&n| !servers[0].hosts(n) && n != far).unwrap();
+    let target = ns
+        .ids()
+        .find(|&n| !servers[0].hosts(n) && n != far)
+        .unwrap();
     let mut p = QueryPacket::new(1, ServerId(1), target, 0.0);
     // The path falsely claims server 0 hosts `far`.
     p.push_path(far, NodeMap::from_entries([ServerId(0)]), 8);
@@ -203,7 +215,9 @@ fn in_flight_path_entries_naming_non_hosts_are_stripped() {
     for (_, msg) in sends_of(&out) {
         if let Message::Query(fwd) = msg {
             assert!(
-                !fwd.path.iter().any(|(n, m)| *n == far && m.contains(ServerId(0))),
+                !fwd.path
+                    .iter()
+                    .any(|(n, m)| *n == far && m.contains(ServerId(0))),
                 "poisoned path entry must be stripped"
             );
         }
@@ -279,7 +293,10 @@ fn owner_meta_updates_flow_to_lookup_results() {
     let mut rng = StdRng::seed_from_u64(20);
     let node = asg.owned_by(ServerId(0))[0];
     assert!(servers[0].update_meta(node, "mime", "text/plain"));
-    assert!(!servers[1].update_meta(node, "mime", "nope"), "non-owners cannot update");
+    assert!(
+        !servers[1].update_meta(node, "mime", "nope"),
+        "non-owners cannot update"
+    );
     // A lookup resolving at the owner carries the meta snapshot.
     let p = QueryPacket::new(5, ServerId(2), node, 0.0);
     let mut out = Vec::new();
@@ -287,7 +304,10 @@ fn owner_meta_updates_flow_to_lookup_results() {
     let meta = out
         .iter()
         .find_map(|o| match o {
-            Outgoing::Send { msg: Message::QueryResult { meta, .. }, .. } => Some(meta.clone()),
+            Outgoing::Send {
+                msg: Message::QueryResult { meta, .. },
+                ..
+            } => Some(meta.clone()),
             _ => None,
         })
         .expect("owner resolves");
@@ -301,7 +321,10 @@ fn data_fetch_succeeds_at_owner_and_skips_replicas() {
     let mut rng = StdRng::seed_from_u64(21);
     let node = asg.owned_by(ServerId(0))[0];
     assert!(servers[0].set_data(node, &b"hello world"[..]));
-    assert!(!servers[1].set_data(node, &b"imposter"[..]), "non-owner cannot export data");
+    assert!(
+        !servers[1].set_data(node, &b"imposter"[..]),
+        "non-owner cannot export data"
+    );
 
     // Server 1 replicates the node (routing state only).
     let rec = servers[0].host_record(node).unwrap();
@@ -319,7 +342,11 @@ fn data_fetch_succeeds_at_owner_and_skips_replicas() {
     let mut out = Vec::new();
     servers[1].handle_message(
         0.0,
-        Message::ReplicateRequest { from: ServerId(0), sender_load: 1.0, replicas: vec![payload] },
+        Message::ReplicateRequest {
+            from: ServerId(0),
+            sender_load: 1.0,
+            replicas: vec![payload],
+        },
         &mut rng,
         &mut out,
     );
@@ -329,7 +356,11 @@ fn data_fetch_succeeds_at_owner_and_skips_replicas() {
     // Client at server 2 knows the map [replica, owner] (replica first) and
     // fetches: the replica denies, the owner serves.
     let mut client_out = Vec::new();
-    servers[2].absorb_mapping(node, &NodeMap::from_entries([ServerId(1), ServerId(0)]), &mut rng);
+    servers[2].absorb_mapping(
+        node,
+        &NodeMap::from_entries([ServerId(1), ServerId(0)]),
+        &mut rng,
+    );
     servers[2].begin_fetch(7, node, &mut client_out);
     // Walk the message exchange to completion by hand.
     let mut fetched = None;
@@ -379,6 +410,10 @@ fn data_fetch_fails_cleanly_without_any_mapping() {
     servers[0].begin_fetch(9, far, &mut out);
     assert!(matches!(
         out[0],
-        Outgoing::Event(ProtocolEvent::DataFetched { ok: false, bytes: 0, .. })
+        Outgoing::Event(ProtocolEvent::DataFetched {
+            ok: false,
+            bytes: 0,
+            ..
+        })
     ));
 }

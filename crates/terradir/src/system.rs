@@ -341,7 +341,10 @@ impl System {
 
     /// Total replicas currently hosted across all servers.
     pub fn total_replicas(&self) -> usize {
-        self.servers.iter().map(super::server::ServerState::replica_count).sum()
+        self.servers
+            .iter()
+            .map(super::server::ServerState::replica_count)
+            .sum()
     }
 
     /// Replicas currently hosted per namespace level.
@@ -355,6 +358,43 @@ impl System {
             }
         }
         out
+    }
+
+    /// Runs every structural invariant checker over the live fleet and
+    /// returns the combined violation list (empty when the system state is
+    /// sound). Failed servers are skipped: their state is frozen, not
+    /// maintained. Debug builds call this once per simulated second; tests
+    /// call it directly at any point.
+    pub fn audit(&self) -> Vec<String> {
+        let mut v = Vec::new();
+        for (server, failed) in self.servers.iter().zip(&self.failed) {
+            if !failed {
+                v.extend(crate::invariants::audit_server(&self.ns, server));
+            }
+        }
+        v
+    }
+
+    /// Forward-emission audit: checks every `Query` a server just emitted
+    /// against the sender's current state (`invariants::check_incremental_progress`).
+    fn audit_outgoing(&self, from: ServerId, effects: &[Outgoing]) {
+        let Some(sender) = self.servers.get(from.index()) else {
+            return;
+        };
+        for o in effects {
+            if let Outgoing::Send {
+                msg: Message::Query(p),
+                ..
+            } = o
+            {
+                let violations =
+                    crate::invariants::check_incremental_progress(&self.cfg, sender, p);
+                debug_assert!(
+                    violations.is_empty(),
+                    "forward invariants violated: {violations:#?}"
+                );
+            }
+        }
     }
 
     fn handle(&mut self, ev: Event) {
@@ -393,6 +433,13 @@ impl System {
                     .load_mean_per_sec
                     .push(sum / self.util.len() as f64);
                 self.stats.load_max_per_sec.push(max);
+                if cfg!(debug_assertions) {
+                    let violations = self.audit();
+                    debug_assert!(
+                        violations.is_empty(),
+                        "protocol invariants violated at t={now}: {violations:#?}"
+                    );
+                }
                 self.engine.schedule_in(1.0, Event::Sample);
             }
         }
@@ -441,7 +488,10 @@ impl System {
                             self.cfg.network_delay,
                             Event::Deliver {
                                 to: prev,
-                                msg: Message::NotHosting { node: via, from: to },
+                                msg: Message::NotHosting {
+                                    node: via,
+                                    from: to,
+                                },
                             },
                         );
                     }
@@ -525,15 +575,21 @@ impl System {
     fn dispatch(&mut self, from: ServerId) {
         let now = self.engine.now();
         let effects = std::mem::take(&mut self.out_buf);
+        if cfg!(debug_assertions) {
+            self.audit_outgoing(from, &effects);
+        }
         for o in effects {
             match o {
                 Outgoing::Send { to, msg } => {
                     if msg.is_control() {
                         self.stats.control_messages += 1;
                     }
-                    let delay = if to == from { 0.0 } else { self.cfg.network_delay };
-                    self.engine
-                        .schedule_in(delay, Event::Deliver { to, msg });
+                    let delay = if to == from {
+                        0.0
+                    } else {
+                        self.cfg.network_delay
+                    };
+                    self.engine.schedule_in(delay, Event::Deliver { to, msg });
                 }
                 Outgoing::Event(e) => self.on_protocol_event(now, e),
             }
@@ -567,7 +623,10 @@ impl System {
 
     /// For tests: total queued messages across all servers.
     pub fn queued_messages(&self) -> usize {
-        self.queues.iter().map(std::collections::VecDeque::len).sum()
+        self.queues
+            .iter()
+            .map(std::collections::VecDeque::len)
+            .sum()
     }
 
     /// For tests: owner of a node per the assignment.
@@ -588,7 +647,12 @@ impl std::fmt::Debug for System {
 }
 
 #[cfg(test)]
-#[allow(clippy::unwrap_used, clippy::expect_used, clippy::indexing_slicing, clippy::panic)]
+#[allow(
+    clippy::unwrap_used,
+    clippy::expect_used,
+    clippy::indexing_slicing,
+    clippy::panic
+)]
 mod tests {
     use super::*;
     use terradir_namespace::balanced_tree;
@@ -763,10 +827,7 @@ mod tests {
         assert!((mean - 1.0).abs() < 1e-9, "speed mean {mean}");
         assert!(sys.speeds.iter().any(|&s| s > 1.2));
         assert!(sys.speeds.iter().any(|&s| s < 0.8));
-        assert!(sys
-            .speeds
-            .iter()
-            .all(|&s| (1.0 / 3.5..=3.5).contains(&s)));
+        assert!(sys.speeds.iter().all(|&s| (1.0 / 3.5..=3.5).contains(&s)));
     }
 
     #[test]

@@ -162,7 +162,8 @@ impl QueryStream {
         if let Some(pos) = self.samplers.iter().position(|(k, _)| *k == key) {
             return pos;
         }
-        self.samplers.push((key, ZipfSampler::new(self.n_nodes, order)));
+        self.samplers
+            .push((key, ZipfSampler::new(self.n_nodes, order)));
         self.samplers.len() - 1
     }
 
@@ -215,7 +216,12 @@ impl QueryStream {
 }
 
 #[cfg(test)]
-#[allow(clippy::unwrap_used, clippy::expect_used, clippy::indexing_slicing, clippy::panic)]
+#[allow(
+    clippy::unwrap_used,
+    clippy::expect_used,
+    clippy::indexing_slicing,
+    clippy::panic
+)]
 mod tests {
     use super::*;
     use std::collections::HashMap;

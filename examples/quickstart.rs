@@ -1,5 +1,10 @@
 // Integration surface: panicking on unexpected state is the correct failure mode here.
-#![allow(clippy::unwrap_used, clippy::expect_used, clippy::indexing_slicing, clippy::panic)]
+#![allow(
+    clippy::unwrap_used,
+    clippy::expect_used,
+    clippy::indexing_slicing,
+    clippy::panic
+)]
 
 //! Quickstart: build a namespace, run a simulated TerraDir deployment, and
 //! read the results.
@@ -34,8 +39,16 @@ fn main() {
     // 5. Inspect.
     let st = sys.stats();
     println!("injected   : {}", st.injected);
-    println!("resolved   : {} ({:.2}%)", st.resolved, 100.0 * st.resolve_fraction());
-    println!("dropped    : {} ({:.2}%)", st.dropped_total(), 100.0 * st.drop_fraction());
+    println!(
+        "resolved   : {} ({:.2}%)",
+        st.resolved,
+        100.0 * st.resolve_fraction()
+    );
+    println!(
+        "dropped    : {} ({:.2}%)",
+        st.dropped_total(),
+        100.0 * st.drop_fraction()
+    );
     println!(
         "latency    : mean {:.1} ms, p99 {:.1} ms",
         st.latency.mean().unwrap_or(0.0) * 1e3,
@@ -48,5 +61,8 @@ fn main() {
     );
     println!("replicas/level now: {:?}", sys.replicas_per_level());
 
-    assert!(st.resolve_fraction() > 0.9, "the demo should mostly resolve");
+    assert!(
+        st.resolve_fraction() > 0.9,
+        "the demo should mostly resolve"
+    );
 }

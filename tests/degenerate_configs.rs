@@ -1,0 +1,91 @@
+// Integration surface: panicking on unexpected state is the correct failure mode here.
+#![allow(
+    clippy::unwrap_used,
+    clippy::expect_used,
+    clippy::indexing_slicing,
+    clippy::panic
+)]
+
+//! Regression tests for degenerate configurations that once sat on latent
+//! panic paths (zero-slot caches, single-server fleets, `R_map = 1` maps).
+//! Each runs a whole system end to end and audits the final state with the
+//! runtime invariant checkers.
+
+use terradir_repro::namespace::balanced_tree;
+use terradir_repro::protocol::{Config, System};
+use terradir_repro::workload::StreamPlan;
+
+fn run(cfg: Config, dur: f64, rate: f64) -> System {
+    let ns = balanced_tree(2, 5);
+    let mut sys = System::new(ns, cfg, StreamPlan::unif(dur), rate);
+    sys.run_until(dur);
+    sys.set_injection(false);
+    sys.run_until(dur + 30.0);
+    sys
+}
+
+/// Caching enabled but with zero slots: every insert is a no-op, routing
+/// must fall back to context maps, and nothing divides by or indexes into
+/// the empty cache.
+#[test]
+fn zero_slot_cache_runs_clean() {
+    let mut cfg = Config::paper_default(8).with_seed(11);
+    cfg.cache_slots = 0;
+    let sys = run(cfg, 10.0, 50.0);
+    assert!(sys.stats().resolved > 0);
+    for s in sys.servers() {
+        assert_eq!(s.cache().len(), 0);
+    }
+    let v = sys.audit();
+    assert!(v.is_empty(), "{v:?}");
+}
+
+/// A single server owns the whole namespace: every admitted query resolves
+/// locally and no routing decision ever runs out of candidates. Queue
+/// overflow is the only legitimate loss — the lone server saturates, but it
+/// must never TTL-out or get stuck on a query it owns.
+#[test]
+fn single_server_resolves_everything_locally() {
+    let cfg = Config::paper_default(1).with_seed(7);
+    let sys = run(cfg, 10.0, 50.0);
+    let st = sys.stats();
+    assert!(st.injected > 0);
+    assert_eq!(st.dropped_ttl, 0);
+    assert_eq!(st.dropped_stuck, 0);
+    assert_eq!(st.resolved + st.dropped_queue, st.injected);
+    let v = sys.audit();
+    assert!(v.is_empty(), "{v:?}");
+}
+
+/// `R_map = 1`: maps degenerate to single-entry pointers. Merging,
+/// advertising, and pruning must respect the floor of one entry without
+/// panicking, and the bound checker must agree.
+#[test]
+fn r_map_of_one_stays_bounded() {
+    let mut cfg = Config::paper_default(8).with_seed(3);
+    cfg.r_map = 1;
+    let sys = run(cfg, 10.0, 50.0);
+    assert!(sys.stats().resolved > 0);
+    let v = sys.audit();
+    assert!(v.is_empty(), "{v:?}");
+}
+
+/// The three degenerations at once, under the replication-heavy BCR
+/// configuration with a skewed stream: the stress case for eviction,
+/// back-propagation, and map pruning with no slack anywhere.
+#[test]
+fn combined_degenerate_bcr_runs_clean() {
+    let mut cfg = Config::paper_default(4).with_seed(5);
+    cfg.cache_slots = 0;
+    cfg.r_map = 1;
+    cfg.queue_capacity = 1;
+    let ns = balanced_tree(2, 5);
+    let mut sys = System::new(ns, cfg, StreamPlan::uzipf(1.25, 10.0), 80.0);
+    sys.run_until(10.0);
+    sys.set_injection(false);
+    sys.run_until(40.0);
+    let st = sys.stats();
+    assert_eq!(st.resolved + st.dropped_total(), st.injected);
+    let v = sys.audit();
+    assert!(v.is_empty(), "{v:?}");
+}

@@ -1,5 +1,10 @@
 // Integration surface: panicking on unexpected state is the correct failure mode here.
-#![allow(clippy::unwrap_used, clippy::expect_used, clippy::indexing_slicing, clippy::panic)]
+#![allow(
+    clippy::unwrap_used,
+    clippy::expect_used,
+    clippy::indexing_slicing,
+    clippy::panic
+)]
 
 //! Whole-run determinism: identical seeds must reproduce identical
 //! statistics bit-for-bit across every subsystem combination — the property

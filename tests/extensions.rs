@@ -1,5 +1,10 @@
 // Integration surface: panicking on unexpected state is the correct failure mode here.
-#![allow(clippy::unwrap_used, clippy::expect_used, clippy::indexing_slicing, clippy::panic)]
+#![allow(
+    clippy::unwrap_used,
+    clippy::expect_used,
+    clippy::indexing_slicing,
+    clippy::panic
+)]
 
 //! Integration tests for the extension features: failure injection, server
 //! heterogeneity, and static replication bootstrap.
@@ -97,11 +102,7 @@ fn static_bootstrap_replicates_top_levels() {
     // Nodes at depth 0..3 (1 + 2 + 4 = 7 nodes) each have 4 extra hosts.
     for node in sys.namespace().ids() {
         let depth = sys.namespace().depth(node);
-        let hosts = sys
-            .servers()
-            .iter()
-            .filter(|s| s.hosts(node))
-            .count();
+        let hosts = sys.servers().iter().filter(|s| s.hosts(node)).count();
         if depth < 3 {
             assert!(
                 hosts >= 4,

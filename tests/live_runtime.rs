@@ -1,5 +1,10 @@
 // Integration surface: panicking on unexpected state is the correct failure mode here.
-#![allow(clippy::unwrap_used, clippy::expect_used, clippy::indexing_slicing, clippy::panic)]
+#![allow(
+    clippy::unwrap_used,
+    clippy::expect_used,
+    clippy::indexing_slicing,
+    clippy::panic
+)]
 
 //! End-to-end tests of the live thread-per-peer deployment.
 
@@ -11,7 +16,11 @@ use terradir_repro::protocol::Config;
 
 fn fleet(n: u32, seed: u64) -> Runtime {
     let ns = balanced_tree(2, 5); // 63 nodes
-    Runtime::start(ns, RuntimeConfig::fast(Config::paper_default(n).with_seed(seed))).expect("start fleet")
+    Runtime::start(
+        ns,
+        RuntimeConfig::fast(Config::paper_default(n).with_seed(seed)),
+    )
+    .expect("start fleet")
 }
 
 #[test]

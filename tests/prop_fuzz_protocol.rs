@@ -1,5 +1,10 @@
 // Integration surface: panicking on unexpected state is the correct failure mode here.
-#![allow(clippy::unwrap_used, clippy::expect_used, clippy::indexing_slicing, clippy::panic)]
+#![allow(
+    clippy::unwrap_used,
+    clippy::expect_used,
+    clippy::indexing_slicing,
+    clippy::panic
+)]
 
 //! Protocol fuzzing: arbitrary (including nonsensical) message sequences
 //! delivered to a server must never panic, never violate the replica cap,
@@ -22,32 +27,91 @@ const N_NODES: u32 = 31; // balanced_tree(2, 4)
 
 #[derive(Debug, Clone)]
 enum FuzzOp {
-    Query { origin: u32, target: u32, via: Option<u32>, prev: Option<u32> },
-    Result { target: u32, path_node: u32, path_host: u32 },
-    Probe { from: u32, load: f64 },
-    ProbeReply { from: u32, load: f64 },
-    Replicate { from: u32, load: f64, node: u32, weight: f64 },
-    Ack { from: u32, node: u32, shift: f64 },
-    Deny { from: u32, load: f64 },
-    MapUpdate { node: u32, host: u32 },
-    NotHosting { node: u32, from: u32 },
-    Busy { dur: f64 },
+    Query {
+        origin: u32,
+        target: u32,
+        via: Option<u32>,
+        prev: Option<u32>,
+    },
+    Result {
+        target: u32,
+        path_node: u32,
+        path_host: u32,
+    },
+    Probe {
+        from: u32,
+        load: f64,
+    },
+    ProbeReply {
+        from: u32,
+        load: f64,
+    },
+    Replicate {
+        from: u32,
+        load: f64,
+        node: u32,
+        weight: f64,
+    },
+    Ack {
+        from: u32,
+        node: u32,
+        shift: f64,
+    },
+    Deny {
+        from: u32,
+        load: f64,
+    },
+    MapUpdate {
+        node: u32,
+        host: u32,
+    },
+    NotHosting {
+        node: u32,
+        from: u32,
+    },
+    Busy {
+        dur: f64,
+    },
     Maintain,
     TriggerCheck,
 }
 
 fn arb_op() -> impl Strategy<Value = FuzzOp> {
     prop_oneof![
-        (0..N_SERVERS, 0..N_NODES, proptest::option::of(0..N_NODES), proptest::option::of(0..N_SERVERS))
-            .prop_map(|(origin, target, via, prev)| FuzzOp::Query { origin, target, via, prev }),
-        (0..N_NODES, 0..N_NODES, 0..N_SERVERS)
-            .prop_map(|(target, path_node, path_host)| FuzzOp::Result { target, path_node, path_host }),
+        (
+            0..N_SERVERS,
+            0..N_NODES,
+            proptest::option::of(0..N_NODES),
+            proptest::option::of(0..N_SERVERS)
+        )
+            .prop_map(|(origin, target, via, prev)| FuzzOp::Query {
+                origin,
+                target,
+                via,
+                prev
+            }),
+        (0..N_NODES, 0..N_NODES, 0..N_SERVERS).prop_map(|(target, path_node, path_host)| {
+            FuzzOp::Result {
+                target,
+                path_node,
+                path_host,
+            }
+        }),
         (0..N_SERVERS, 0.0f64..1.0).prop_map(|(from, load)| FuzzOp::Probe { from, load }),
         (0..N_SERVERS, 0.0f64..1.0).prop_map(|(from, load)| FuzzOp::ProbeReply { from, load }),
-        (0..N_SERVERS, 0.0f64..1.0, 0..N_NODES, 0.0f64..10.0)
-            .prop_map(|(from, load, node, weight)| FuzzOp::Replicate { from, load, node, weight }),
-        (0..N_SERVERS, 0..N_NODES, 0.0f64..0.5)
-            .prop_map(|(from, node, shift)| FuzzOp::Ack { from, node, shift }),
+        (0..N_SERVERS, 0.0f64..1.0, 0..N_NODES, 0.0f64..10.0).prop_map(
+            |(from, load, node, weight)| FuzzOp::Replicate {
+                from,
+                load,
+                node,
+                weight
+            }
+        ),
+        (0..N_SERVERS, 0..N_NODES, 0.0f64..0.5).prop_map(|(from, node, shift)| FuzzOp::Ack {
+            from,
+            node,
+            shift
+        }),
         (0..N_SERVERS, 0.0f64..1.0).prop_map(|(from, load)| FuzzOp::Deny { from, load }),
         (0..N_NODES, 0..N_SERVERS).prop_map(|(node, host)| FuzzOp::MapUpdate { node, host }),
         (0..N_NODES, 0..N_SERVERS).prop_map(|(node, from)| FuzzOp::NotHosting { node, from }),

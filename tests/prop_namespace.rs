@@ -1,5 +1,10 @@
 // Integration surface: panicking on unexpected state is the correct failure mode here.
-#![allow(clippy::unwrap_used, clippy::expect_used, clippy::indexing_slicing, clippy::panic)]
+#![allow(
+    clippy::unwrap_used,
+    clippy::expect_used,
+    clippy::indexing_slicing,
+    clippy::panic
+)]
 
 //! Property tests for the namespace substrate: the distance metric, LCA,
 //! next-hop progress, and name parsing — on arbitrary random trees.
@@ -30,7 +35,8 @@ fn arb_namespace() -> impl Strategy<Value = Namespace> {
                 s
             })
             .collect();
-        from_paths(strings.iter().map(std::string::String::as_str)).expect("generated paths are valid")
+        from_paths(strings.iter().map(std::string::String::as_str))
+            .expect("generated paths are valid")
     })
 }
 

@@ -1,5 +1,10 @@
 // Integration surface: panicking on unexpected state is the correct failure mode here.
-#![allow(clippy::unwrap_used, clippy::expect_used, clippy::indexing_slicing, clippy::panic)]
+#![allow(
+    clippy::unwrap_used,
+    clippy::expect_used,
+    clippy::indexing_slicing,
+    clippy::panic
+)]
 
 //! Property tests on protocol invariants driven through whole simulated
 //! systems: conservation of queries, capacity bounds, owner authority, and
@@ -13,23 +18,29 @@ use terradir_repro::workload::StreamPlan;
 
 fn arb_cfg() -> impl Strategy<Value = Config> {
     (
-        2u32..5,         // log2 servers → 4..16
-        0u64..1000,      // seed
-        prop_oneof![Just((true, true)), Just((true, false)), Just((false, false))],
-        0.25f64..3.0,    // r_fact
-        2usize..7,       // r_map
-        0.5f64..0.95,    // t_high
+        2u32..5,    // log2 servers → 4..16
+        0u64..1000, // seed
+        prop_oneof![
+            Just((true, true)),
+            Just((true, false)),
+            Just((false, false))
+        ],
+        0.25f64..3.0, // r_fact
+        2usize..7,    // r_map
+        0.5f64..0.95, // t_high
     )
-        .prop_map(|(logn, seed, (caching, replication), r_fact, r_map, t_high)| {
-            let mut cfg = Config::paper_default(1 << logn).with_seed(seed);
-            cfg.caching = caching;
-            cfg.replication = replication;
-            cfg.digests = caching;
-            cfg.r_fact = r_fact;
-            cfg.r_map = r_map;
-            cfg.t_high = t_high;
-            cfg
-        })
+        .prop_map(
+            |(logn, seed, (caching, replication), r_fact, r_map, t_high)| {
+                let mut cfg = Config::paper_default(1 << logn).with_seed(seed);
+                cfg.caching = caching;
+                cfg.replication = replication;
+                cfg.digests = caching;
+                cfg.r_fact = r_fact;
+                cfg.r_map = r_map;
+                cfg.t_high = t_high;
+                cfg
+            },
+        )
 }
 
 fn arb_plan() -> impl Strategy<Value = (StreamPlan, f64)> {

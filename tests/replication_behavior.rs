@@ -1,10 +1,15 @@
 // Integration surface: panicking on unexpected state is the correct failure mode here.
-#![allow(clippy::unwrap_used, clippy::expect_used, clippy::indexing_slicing, clippy::panic)]
+#![allow(
+    clippy::unwrap_used,
+    clippy::expect_used,
+    clippy::indexing_slicing,
+    clippy::panic
+)]
 
 //! Integration tests for the adaptive replication protocol under load.
 
-use terradir_repro::protocol::oracle::{map_staleness, routing_accuracy, GlobalTruth};
 use terradir_repro::namespace::balanced_tree;
+use terradir_repro::protocol::oracle::{map_staleness, routing_accuracy, GlobalTruth};
 use terradir_repro::protocol::{Config, System};
 use terradir_repro::workload::StreamPlan;
 

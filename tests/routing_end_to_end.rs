@@ -1,5 +1,10 @@
 // Integration surface: panicking on unexpected state is the correct failure mode here.
-#![allow(clippy::unwrap_used, clippy::expect_used, clippy::indexing_slicing, clippy::panic)]
+#![allow(
+    clippy::unwrap_used,
+    clippy::expect_used,
+    clippy::indexing_slicing,
+    clippy::panic
+)]
 
 //! Cross-crate integration: namespaces from several generators routed
 //! end-to-end through the simulated system.

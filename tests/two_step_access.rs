@@ -1,5 +1,10 @@
 // Integration surface: panicking on unexpected state is the correct failure mode here.
-#![allow(clippy::unwrap_used, clippy::expect_used, clippy::indexing_slicing, clippy::panic)]
+#![allow(
+    clippy::unwrap_used,
+    clippy::expect_used,
+    clippy::indexing_slicing,
+    clippy::panic
+)]
 
 //! Integration tests of the paper's two-step access (§2.1): lookup
 //! (resolvable by any replica) followed by data retrieval (served by the
@@ -13,7 +18,11 @@ use terradir_repro::protocol::Config;
 
 fn fleet(seed: u64) -> Runtime {
     let ns = balanced_tree(2, 5);
-    Runtime::start(ns, RuntimeConfig::fast(Config::paper_default(4).with_seed(seed))).expect("start fleet")
+    Runtime::start(
+        ns,
+        RuntimeConfig::fast(Config::paper_default(4).with_seed(seed)),
+    )
+    .expect("start fleet")
 }
 
 #[test]
@@ -69,17 +78,20 @@ fn many_concurrent_fetches() {
     let rt = fleet(4);
     let nodes = rt.namespace().len() as u32;
     for n in 0..nodes {
-        rt.set_data(NodeId(n), format!("data-{n}").into_bytes()).unwrap();
+        rt.set_data(NodeId(n), format!("data-{n}").into_bytes())
+            .unwrap();
     }
     // Lookups first (populate mappings), then fetches.
     for n in 0..nodes {
         rt.inject(ServerId(n % 4), NodeId(n)).unwrap();
     }
-    rt.wait_resolved(nodes as u64, Duration::from_secs(20)).unwrap();
+    rt.wait_resolved(nodes as u64, Duration::from_secs(20))
+        .unwrap();
     for n in 0..nodes {
         rt.fetch_data(ServerId(n % 4), NodeId(n)).unwrap();
     }
-    rt.wait_fetches(nodes as u64, Duration::from_secs(20)).unwrap();
+    rt.wait_fetches(nodes as u64, Duration::from_secs(20))
+        .unwrap();
     let st = rt.stats();
     assert_eq!(st.data_fetches_ok + st.data_fetches_failed, nodes as u64);
     assert!(

@@ -67,9 +67,15 @@ impl Bencher {
 }
 
 fn run_one(label: &str, iters: u64, f: &mut dyn FnMut(&mut Bencher)) {
-    let mut b = Bencher { iters, mean_ns: f64::NAN };
+    let mut b = Bencher {
+        iters,
+        mean_ns: f64::NAN,
+    };
     f(&mut b);
-    println!("bench {label:<40} {:>12.1} ns/iter ({iters} iters)", b.mean_ns);
+    println!(
+        "bench {label:<40} {:>12.1} ns/iter ({iters} iters)",
+        b.mean_ns
+    );
 }
 
 /// Group of related benchmarks sharing a name prefix.
@@ -127,7 +133,10 @@ pub struct Criterion {
 
 impl Default for Criterion {
     fn default() -> Self {
-        Criterion { iters: 30, unit: () }
+        Criterion {
+            iters: 30,
+            unit: (),
+        }
     }
 }
 
@@ -141,7 +150,11 @@ impl Criterion {
     }
 
     pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
-        BenchmarkGroup { name: name.into(), iters: self.iters, _parent: &mut self.unit }
+        BenchmarkGroup {
+            name: name.into(),
+            iters: self.iters,
+            _parent: &mut self.unit,
+        }
     }
 }
 

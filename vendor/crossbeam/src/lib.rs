@@ -155,7 +155,12 @@ pub mod channel {
     }
 
     #[cfg(test)]
-    #[allow(clippy::unwrap_used, clippy::expect_used, clippy::indexing_slicing, clippy::panic)]
+    #[allow(
+        clippy::unwrap_used,
+        clippy::expect_used,
+        clippy::indexing_slicing,
+        clippy::panic
+    )]
     mod tests {
         use super::*;
 

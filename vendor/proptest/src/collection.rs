@@ -19,7 +19,10 @@ pub struct SizeRange {
 impl From<core::ops::Range<usize>> for SizeRange {
     fn from(r: core::ops::Range<usize>) -> Self {
         assert!(r.start < r.end, "collection size range must be non-empty");
-        SizeRange { lo: r.start, hi: r.end }
+        SizeRange {
+            lo: r.start,
+            hi: r.end,
+        }
     }
 }
 
@@ -37,7 +40,10 @@ impl SizeRange {
 
 /// Strategy producing `Vec<S::Value>` with a length drawn from `size`.
 pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
-    VecStrategy { element, size: size.into() }
+    VecStrategy {
+        element,
+        size: size.into(),
+    }
 }
 
 #[derive(Debug, Clone)]
@@ -66,7 +72,10 @@ where
     S: Strategy,
     S::Value: Hash + Eq,
 {
-    HashSetStrategy { element, size: size.into() }
+    HashSetStrategy {
+        element,
+        size: size.into(),
+    }
 }
 
 #[derive(Debug, Clone)]

@@ -40,7 +40,10 @@ impl Node {
         match self {
             Node::Lit(c) => out.push(*c),
             Node::Class(ranges) => {
-                let total: u32 = ranges.iter().map(|&(lo, hi)| hi as u32 - lo as u32 + 1).sum();
+                let total: u32 = ranges
+                    .iter()
+                    .map(|&(lo, hi)| hi as u32 - lo as u32 + 1)
+                    .sum();
                 let mut pick = (0..total).sample_single(rng);
                 for &(lo, hi) in ranges {
                     let span = hi as u32 - lo as u32 + 1;
@@ -58,7 +61,11 @@ impl Node {
                 }
             }
             Node::Repeat(node, lo, hi) => {
-                let n = if lo == hi { *lo } else { (*lo..=*hi).sample_single(rng) };
+                let n = if lo == hi {
+                    *lo
+                } else {
+                    (*lo..=*hi).sample_single(rng)
+                };
                 for _ in 0..n {
                     node.emit(rng, out);
                 }
