@@ -1,0 +1,196 @@
+// Experiment harness binary: aborting on unexpected state is the correct failure mode.
+#![allow(
+    clippy::unwrap_used,
+    clippy::expect_used,
+    clippy::indexing_slicing,
+    clippy::panic
+)]
+
+//! **Churn figure** — continuous failure/recovery under a lossy transport,
+//! with and without the source-side reliability layer (DESIGN.md §12).
+//!
+//! Protocol: warm the full protocol (BCR) under Zipf load, then open a
+//! churn window in which every server alternates exponential up/down
+//! times while the transport drops 2 % of remote messages and jitters
+//! delivery. Run two systems at the *identical* seed and scale: one with
+//! source-side retries + negative caching, one with the reliability layer
+//! off. After the window closes, the fleet heals and injection stops so
+//! in-flight traffic (including the retry tail) drains and the accounting
+//! identity `resolved + dropped == injected` is exact.
+//!
+//! Output: per-second availability curves (resolved/injected) for both
+//! variants, the availability over the churn window, and the
+//! time-to-recover after the window closes.
+
+use terradir::{ServerId, System};
+use terradir_bench::{pct, tsv_header, tsv_row, Args, ShapeChecks};
+use terradir_workload::StreamPlan;
+
+fn availability_curve(sys: &System) -> Vec<f64> {
+    let injected = sys.stats().injected_per_sec.bins();
+    let resolved = sys.stats().resolved_per_sec.bins();
+    (0..injected.len())
+        .map(|t| {
+            let inj = injected[t];
+            if inj == 0 {
+                1.0
+            } else {
+                (resolved.get(t).copied().unwrap_or(0) as f64 / inj as f64).min(1.0)
+            }
+        })
+        .collect()
+}
+
+struct Outcome {
+    label: String,
+    avail: Vec<f64>,
+    churn_availability: f64,
+    time_to_recover: f64,
+    retries: u64,
+    failures: u64,
+    recoveries: u64,
+    negative_evictions: u64,
+    accounting_exact: bool,
+    audit_findings: usize,
+}
+
+fn main() {
+    let args = Args::parse();
+    let scale = args.scale();
+    let warm = scale.duration(20.0);
+    let churn_stop = warm + scale.duration(40.0);
+    let heal_until = churn_stop + scale.duration(30.0);
+    // The drain must outlast the worst-case retry chain (Σ per-attempt
+    // timeouts ≈ 15 s at the defaults 1+2+4+8).
+    let drain_until = heal_until + 20.0;
+    let rate = scale.rate(20_000.0);
+
+    eprintln!(
+        "churn: {} servers, λ={rate:.0}/s, churn window [{warm:.0}s, {churn_stop:.0}s], loss 2%",
+        scale.servers
+    );
+
+    let mut outcomes: Vec<Outcome> = Vec::new();
+    for (label, retry_on) in [("retry", true), ("no-retry", false)] {
+        let mut cfg = scale.config(args.seed);
+        cfg.faults.loss_prob = 0.02;
+        cfg.faults.jitter = 0.01;
+        cfg.churn.enabled = true;
+        cfg.churn.start = warm;
+        cfg.churn.stop = churn_stop;
+        cfg.churn.mean_uptime = scale.duration(30.0);
+        cfg.churn.mean_downtime = scale.duration(5.0);
+        cfg.churn.max_down_fraction = 0.3;
+        // The single-flag A/B: everything else — seed, namespace, load,
+        // loss, churn — is identical between the two runs.
+        cfg.retry.enabled = retry_on;
+
+        let mut sys = System::new(
+            scale.ts_namespace(),
+            cfg,
+            StreamPlan::uzipf(1.0, drain_until),
+            rate,
+        );
+        sys.run_until(warm);
+        let injected_warm = sys.stats().injected;
+        let resolved_warm = sys.stats().resolved;
+        sys.run_until(heal_until);
+        sys.set_injection(false);
+        sys.run_until(drain_until);
+        // Heal any server whose churn downtime outlasted the window so
+        // the final audit sees a live fleet.
+        for i in 0..scale.servers {
+            sys.recover_server(ServerId(i));
+        }
+
+        let st = sys.stats();
+        let avail = availability_curve(&sys);
+        let churn_availability = ((st.resolved - resolved_warm) as f64
+            / (st.injected - injected_warm).max(1) as f64)
+            .min(1.0);
+        // Pre-churn baseline from the warm phase tail.
+        let warm_bin = warm as usize;
+        let base = &avail[warm_bin.saturating_sub(10)..warm_bin.min(avail.len())];
+        let baseline = base.iter().sum::<f64>() / base.len().max(1) as f64;
+        let stop_bin = churn_stop as usize;
+        let time_to_recover = avail
+            .iter()
+            .enumerate()
+            .skip(stop_bin)
+            .find(|(_, &a)| a >= baseline * 0.95)
+            .map_or(f64::INFINITY, |(t, _)| t as f64 - churn_stop);
+
+        let audit = sys.audit();
+        outcomes.push(Outcome {
+            label: label.to_string(),
+            avail,
+            churn_availability,
+            time_to_recover,
+            retries: st.retries,
+            failures: st.churn_failures,
+            recoveries: st.churn_recoveries,
+            negative_evictions: st.negative_evictions,
+            accounting_exact: st.resolved + st.dropped_total() == st.injected,
+            audit_findings: audit.len(),
+        });
+        eprint!(".");
+    }
+    eprintln!();
+
+    let labels: Vec<&str> = outcomes.iter().map(|o| o.label.as_str()).collect();
+    tsv_header(&[&["time"], labels.as_slice()].concat());
+    let bins = outcomes.iter().map(|o| o.avail.len()).max().unwrap_or(0);
+    for t in 0..bins {
+        let row: Vec<f64> = outcomes
+            .iter()
+            .map(|o| o.avail.get(t).copied().unwrap_or(1.0))
+            .collect();
+        tsv_row(&format!("{t}"), &row);
+    }
+    println!();
+    tsv_header(&["label", "churn_availability", "time_to_recover"]);
+    for o in &outcomes {
+        tsv_row(&o.label, &[o.churn_availability, o.time_to_recover]);
+    }
+
+    let mut checks = ShapeChecks::new();
+    for o in &outcomes {
+        checks.check(
+            &format!("{}: accounting is exactly decomposable", o.label),
+            o.accounting_exact,
+            "resolved + dropped == injected after drain".to_string(),
+        );
+        checks.check(
+            &format!("{}: invariant audit is clean", o.label),
+            o.audit_findings == 0,
+            format!("{} findings", o.audit_findings),
+        );
+        checks.check(
+            &format!("{}: churn actually happened", o.label),
+            o.failures > 0 && o.recoveries > 0,
+            format!("{} failures, {} recoveries", o.failures, o.recoveries),
+        );
+    }
+    let retry = &outcomes[0];
+    let base = &outcomes[1];
+    checks.check(
+        "retry layer actually retried",
+        retry.retries > 0 && base.retries == 0,
+        format!("{} retries vs {}", retry.retries, base.retries),
+    );
+    checks.check(
+        "negative caching evicted observed-dead hosts",
+        retry.negative_evictions > 0,
+        format!("{} evictions", retry.negative_evictions),
+    );
+    checks.check(
+        "retries + negative caching strictly improve availability under churn",
+        retry.churn_availability > base.churn_availability,
+        format!(
+            "{} with retries vs {} without",
+            pct(retry.churn_availability),
+            pct(base.churn_availability)
+        ),
+    );
+    std::process::exit(i32::from(!checks.finish()));
+}

@@ -13,30 +13,60 @@
 //! failure than before, and will replicate again to meet new load
 //! conditions". The paper never measures this; this binary does.
 //!
-//! Protocol: warm the system under Zipf load, fail a fraction of servers
-//! instantaneously, and track per-second resolution. Compare the full
-//! protocol (BCR) against the caching-only baseline, and report the
-//! post-failure replication response.
+//! Protocol: warm the system under Zipf load, fail 10 % of the servers
+//! instantaneously at `t = warm`, recover them at `t = warm + Δ`, and
+//! track the per-second availability curve (resolved/injected). Compare
+//! the full protocol (BCR) against the caching-only baseline, and report
+//! each curve's availability dip and time back to the pre-failure
+//! baseline.
 
 use terradir::{Config, ServerId, System};
 use terradir_bench::{pct, tsv_header, tsv_row, Args, ShapeChecks};
 use terradir_workload::StreamPlan;
 
+/// Per-second availability: resolved/injected per bin; seconds with no
+/// injections read as fully available.
+fn availability(sys: &System) -> Vec<f64> {
+    let injected = sys.stats().injected_per_sec.bins();
+    let resolved = sys.stats().resolved_per_sec.bins();
+    (0..injected.len())
+        .map(|t| {
+            let inj = injected[t];
+            if inj == 0 {
+                1.0
+            } else {
+                (resolved.get(t).copied().unwrap_or(0) as f64 / inj as f64).min(1.0)
+            }
+        })
+        .collect()
+}
+
+struct Curve {
+    label: String,
+    avail: Vec<f64>,
+    dip: f64,
+    time_to_baseline: f64,
+    post_drops: u64,
+    post_replicas: u64,
+}
+
 fn main() {
     let args = Args::parse();
     let scale = args.scale();
     let warm = scale.duration(60.0);
-    let total = scale.duration(160.0);
+    let down_for = scale.duration(30.0);
+    let recover_at = warm + down_for;
+    let total = recover_at + scale.duration(70.0);
     let rate = scale.rate(20_000.0);
     let fail_fraction = 0.10;
 
     eprintln!(
-        "resilience: {} servers, λ={rate:.0}/s, failing {} at t={warm:.0}s",
+        "resilience: {} servers, λ={rate:.0}/s, failing {} at t={warm:.0}s, recovering at t={recover_at:.0}s",
         scale.servers,
         pct(fail_fraction)
     );
 
-    let mut curves: Vec<(String, Vec<f64>, u64, u64)> = Vec::new();
+    let mut curves: Vec<Curve> = Vec::new();
     for (label, cfg) in [
         (
             "BCR",
@@ -58,70 +88,110 @@ fn main() {
         let replicas_before = sys.stats().replicas_created;
         // Fail every k-th server (deterministic, spread over the fleet).
         let step = (1.0 / fail_fraction) as u32;
-        for i in (0..scale.servers).step_by(step as usize) {
-            sys.fail_server(ServerId(i));
+        let victims: Vec<ServerId> = (0..scale.servers)
+            .step_by(step as usize)
+            .map(ServerId)
+            .collect();
+        for &v in &victims {
+            sys.fail_server(v);
+        }
+        sys.run_until(recover_at);
+        for &v in &victims {
+            sys.recover_server(v);
         }
         sys.run_until(total);
+        let avail = availability(&sys);
+
+        // Pre-failure baseline: mean availability over the last 10 s of
+        // the warm phase.
+        let fail_bin = warm as usize;
+        let base_lo = fail_bin.saturating_sub(10);
+        let baseline_window = &avail[base_lo..fail_bin.min(avail.len())];
+        let baseline = baseline_window.iter().sum::<f64>() / baseline_window.len().max(1) as f64;
+        // Dip: worst second anywhere in the failure + recovery aftermath.
+        let dip = avail[fail_bin.min(avail.len())..]
+            .iter()
+            .copied()
+            .fold(1.0f64, f64::min);
+        // Time back to (95 % of) the baseline, measured from the failure.
+        let time_to_baseline = avail
+            .iter()
+            .enumerate()
+            .skip(fail_bin)
+            .find(|(_, &a)| a >= baseline * 0.95)
+            .map_or(f64::INFINITY, |(t, _)| t as f64 - warm);
+
         let st = sys.stats();
-        // Per-second resolution fraction = 1 − drops/λ.
-        let per_sec: Vec<f64> = st
-            .drops_per_sec
-            .normalized(rate)
-            .into_iter()
-            .map(|d| 1.0 - d.min(1.0))
-            .collect();
-        curves.push((
-            label.to_string(),
-            per_sec,
-            st.dropped_total() - drops_before_fail,
-            st.replicas_created - replicas_before,
-        ));
+        curves.push(Curve {
+            label: label.to_string(),
+            avail,
+            dip,
+            time_to_baseline,
+            post_drops: st.dropped_total() - drops_before_fail,
+            post_replicas: st.replicas_created - replicas_before,
+        });
         eprint!(".");
     }
     eprintln!();
 
-    let labels: Vec<&str> = curves.iter().map(|(l, _, _, _)| l.as_str()).collect();
+    // Availability curves, one column per protocol variant.
+    let labels: Vec<&str> = curves.iter().map(|c| c.label.as_str()).collect();
     tsv_header(&[&["time"], labels.as_slice()].concat());
-    let bins = curves.iter().map(|(_, c, _, _)| c.len()).max().unwrap_or(0);
+    let bins = curves.iter().map(|c| c.avail.len()).max().unwrap_or(0);
     for t in 0..bins {
         let row: Vec<f64> = curves
             .iter()
-            .map(|(_, c, _, _)| c.get(t).copied().unwrap_or(1.0))
+            .map(|c| c.avail.get(t).copied().unwrap_or(1.0))
             .collect();
         tsv_row(&format!("{t}"), &row);
+    }
+    // Summary metrics, one row per variant.
+    println!();
+    tsv_header(&["label", "dip", "time_to_baseline"]);
+    for c in &curves {
+        tsv_row(&c.label, &[c.dip, c.time_to_baseline]);
     }
 
     let mut checks = ShapeChecks::new();
     let post_window = ((total - warm) * rate) as u64;
-    for (label, per_sec, post_drops, post_replicas) in &curves {
-        let post_drop_frac = *post_drops as f64 / post_window.max(1) as f64;
+    for c in &curves {
+        let post_drop_frac = c.post_drops as f64 / post_window.max(1) as f64;
         // The failure must not collapse the system: a 10 % server loss
         // bounds the *permanently* unresolvable mass well below 25 %.
         checks.check(
-            &format!("{label}: survives a 10% server failure"),
+            &format!("{}: survives a 10% server failure", c.label),
             post_drop_frac < 0.25,
             format!("post-failure drop fraction {}", pct(post_drop_frac)),
         );
+        checks.check(
+            &format!("{}: returns to baseline after recovery", c.label),
+            c.time_to_baseline.is_finite(),
+            format!(
+                "time to baseline {:.0}s, dip {}",
+                c.time_to_baseline,
+                pct(c.dip)
+            ),
+        );
         // Resolution in the final 10 s recovered close to its pre-failure
         // level.
-        let tail = &per_sec[per_sec.len().saturating_sub(10)..];
+        let tail = &c.avail[c.avail.len().saturating_sub(10)..];
         let tail_mean = tail.iter().sum::<f64>() / tail.len().max(1) as f64;
         checks.check(
-            &format!("{label}: steady state recovers"),
+            &format!("{}: steady state recovers", c.label),
             tail_mean > 0.75,
-            format!("final resolution fraction {}", pct(tail_mean)),
+            format!("final availability {}", pct(tail_mean)),
         );
-        if *label == "BCR" {
+        if c.label == "BCR" {
             checks.check(
                 "BCR: failure triggers re-replication",
-                *post_replicas > 0,
-                format!("{post_replicas} replicas created after the failure"),
+                c.post_replicas > 0,
+                format!("{} replicas created after the failure", c.post_replicas),
             );
         }
     }
     // BCR absorbs the failure at least as well as BC.
-    let bcr_drops = curves[0].2;
-    let bc_drops = curves[1].2;
+    let bcr_drops = curves[0].post_drops;
+    let bc_drops = curves[1].post_drops;
     checks.check(
         "replication absorbs failures at least as well as caching alone",
         bcr_drops <= bc_drops + post_window / 50,

@@ -99,8 +99,111 @@ pub struct Config {
     pub static_top_levels: u16,
     /// Replicas installed per statically replicated node.
     pub static_replicas_per_node: usize,
+    /// Transport fault injection: message loss and latency jitter.
+    pub faults: FaultConfig,
+    /// Source-side query reliability: timeout, backoff, bounded retries.
+    pub retry: RetryConfig,
+    /// Continuous churn process (exponential up/down times per server).
+    pub churn: ChurnConfig,
     /// Master seed for every random component.
     pub seed: u64,
+}
+
+/// Transport-level fault injection applied to every remote delivery
+/// (`System::deliver`). The defaults are inert: a run without faults takes
+/// exactly the same code path (and consumes zero fault-RNG draws) as before
+/// the failure model existed.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FaultConfig {
+    /// Probability that a remote message is silently lost in transit.
+    pub loss_prob: f64,
+    /// Uniform extra latency in `[0, jitter)` seconds added per remote hop.
+    pub jitter: f64,
+    /// How long a negative-cache entry ("host observed dead") is kept
+    /// before the host may re-enter maps via normal soft-state spread.
+    pub dead_ttl: f64,
+}
+
+impl FaultConfig {
+    /// Whether any transport fault is being injected.
+    pub fn enabled(&self) -> bool {
+        self.loss_prob > 0.0 || self.jitter > 0.0
+    }
+}
+
+impl Default for FaultConfig {
+    fn default() -> FaultConfig {
+        FaultConfig {
+            loss_prob: 0.0,
+            jitter: 0.0,
+            dead_ttl: 10.0,
+        }
+    }
+}
+
+/// Source-side query reliability (DESIGN.md §12): the issuing server keeps
+/// a per-query timer and re-issues unanswered queries with capped
+/// exponential backoff. With `enabled = false` queries are fire-and-forget,
+/// exactly the pre-reliability behavior.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RetryConfig {
+    /// Master switch for the reliability layer (pending table + timers).
+    pub enabled: bool,
+    /// Total attempts per query including the first (≥ 1).
+    pub max_attempts: u32,
+    /// Timeout of the first attempt, seconds; attempt `k` waits
+    /// `base_timeout · 2^(k-1)`, capped at `cap`.
+    pub base_timeout: f64,
+    /// Upper bound on any single attempt's timeout, seconds.
+    pub cap: f64,
+    /// Evict hosts observed dead from maps/cache/digests (negative
+    /// caching); only meaningful while the reliability layer is enabled.
+    pub negative_caching: bool,
+}
+
+impl Default for RetryConfig {
+    fn default() -> RetryConfig {
+        RetryConfig {
+            enabled: false,
+            max_attempts: 4,
+            base_timeout: 1.0,
+            cap: 8.0,
+            negative_caching: true,
+        }
+    }
+}
+
+/// Continuous churn (DESIGN.md §12): each server alternates exponential
+/// up/down periods inside `[start, stop)`; after `stop` only recoveries
+/// fire, so the fleet heals and time-to-recover is measurable.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ChurnConfig {
+    /// Master switch for the churn process.
+    pub enabled: bool,
+    /// Simulation time at which failures may begin, seconds.
+    pub start: f64,
+    /// No *new* failures occur at or after this time (recoveries still do).
+    pub stop: f64,
+    /// Mean up-time between a server's recoveries and its next failure.
+    pub mean_uptime: f64,
+    /// Mean down-time between a server's failure and its recovery.
+    pub mean_downtime: f64,
+    /// A failure is suppressed when it would push the failed fraction of
+    /// the fleet above this bound (keeps churn runs live).
+    pub max_down_fraction: f64,
+}
+
+impl Default for ChurnConfig {
+    fn default() -> ChurnConfig {
+        ChurnConfig {
+            enabled: false,
+            start: 0.0,
+            stop: f64::INFINITY,
+            mean_uptime: 30.0,
+            mean_downtime: 5.0,
+            max_down_fraction: 0.5,
+        }
+    }
 }
 
 impl Config {
@@ -142,6 +245,9 @@ impl Config {
             speed_spread: 1.0,
             static_top_levels: 0,
             static_replicas_per_node: 3,
+            faults: FaultConfig::default(),
+            retry: RetryConfig::default(),
+            churn: ChurnConfig::default(),
             seed: 0,
         }
     }
@@ -174,6 +280,12 @@ impl Config {
     /// Maximum number of replicas a server owning `owned` nodes may host.
     pub fn replica_cap(&self, owned: usize) -> usize {
         (self.r_fact * owned as f64).floor() as usize
+    }
+
+    /// Whether hosts observed dead are evicted from soft state (negative
+    /// caching rides on the reliability layer).
+    pub fn negative_caching_active(&self) -> bool {
+        self.retry.enabled && self.retry.negative_caching
     }
 
     /// Validates internal consistency; returns a description of the first
@@ -214,6 +326,43 @@ impl Config {
             // caching is allowed in principle but advertises replicas via
             // path dissemination, so warn via error to avoid accidental use.
             return Err("replication requires caching (BCR stacking)".into());
+        }
+        if self.faults.loss_prob.is_nan() || !(0.0..=1.0).contains(&self.faults.loss_prob) {
+            return Err("faults.loss_prob must be in [0, 1]".into());
+        }
+        if !self.faults.jitter.is_finite() || self.faults.jitter < 0.0 {
+            return Err("faults.jitter must be finite and non-negative".into());
+        }
+        if self.faults.dead_ttl.is_nan() || self.faults.dead_ttl <= 0.0 {
+            return Err("faults.dead_ttl must be positive".into());
+        }
+        if self.retry.max_attempts == 0 {
+            return Err("retry.max_attempts must be at least 1".into());
+        }
+        if !self.retry.base_timeout.is_finite() || self.retry.base_timeout < 0.0 {
+            return Err("retry.base_timeout must be finite and non-negative".into());
+        }
+        if self.retry.cap.is_nan() || self.retry.cap < 0.0 {
+            return Err("retry.cap must be non-negative".into());
+        }
+        if self.churn.enabled {
+            if !self.churn.mean_uptime.is_finite() || self.churn.mean_uptime <= 0.0 {
+                return Err("churn.mean_uptime must be positive".into());
+            }
+            if !self.churn.mean_downtime.is_finite() || self.churn.mean_downtime <= 0.0 {
+                return Err("churn.mean_downtime must be positive".into());
+            }
+            if self.churn.start.is_nan() || self.churn.start < 0.0 {
+                return Err("churn.start must be non-negative".into());
+            }
+            if self.churn.stop.is_nan() || self.churn.stop < self.churn.start {
+                return Err("churn.stop must be ≥ churn.start".into());
+            }
+            if self.churn.max_down_fraction.is_nan()
+                || !(0.0..=1.0).contains(&self.churn.max_down_fraction)
+            {
+                return Err("churn.max_down_fraction must be in [0, 1]".into());
+            }
         }
         Ok(())
     }
@@ -273,5 +422,62 @@ mod tests {
     fn with_seed_overrides() {
         let c = Config::paper_default(4).with_seed(99);
         assert_eq!(c.seed, 99);
+    }
+
+    #[test]
+    fn failure_model_defaults_are_inert_and_valid() {
+        let c = Config::paper_default(4);
+        assert!(!c.faults.enabled());
+        assert!(!c.retry.enabled);
+        assert!(!c.churn.enabled);
+        assert!(!c.negative_caching_active());
+        assert_eq!(c.validate(), Ok(()));
+    }
+
+    #[test]
+    fn validate_catches_bad_failure_model_values() {
+        let mut c = Config::paper_default(4);
+        c.faults.loss_prob = 1.5;
+        assert!(c.validate().is_err());
+        let mut c = Config::paper_default(4);
+        c.faults.jitter = -0.1;
+        assert!(c.validate().is_err());
+        let mut c = Config::paper_default(4);
+        c.faults.dead_ttl = 0.0;
+        assert!(c.validate().is_err());
+        let mut c = Config::paper_default(4);
+        c.retry.max_attempts = 0;
+        assert!(c.validate().is_err());
+        let mut c = Config::paper_default(4);
+        c.retry.base_timeout = f64::INFINITY;
+        assert!(c.validate().is_err());
+        let mut c = Config::paper_default(4);
+        c.churn.enabled = true;
+        c.churn.mean_uptime = 0.0;
+        assert!(c.validate().is_err());
+        let mut c = Config::paper_default(4);
+        c.churn.enabled = true;
+        c.churn.stop = 1.0;
+        c.churn.start = 2.0;
+        assert!(c.validate().is_err());
+        // Churn bounds are only enforced when the process is enabled.
+        let mut c = Config::paper_default(4);
+        c.churn.mean_uptime = 0.0;
+        assert_eq!(c.validate(), Ok(()));
+    }
+
+    #[test]
+    fn degenerate_retry_settings_are_valid() {
+        // The degenerate corners exercised by the reliability tests must
+        // pass validation: single attempt, zero timeout, certain loss.
+        let mut c = Config::paper_default(4);
+        c.retry.enabled = true;
+        c.retry.max_attempts = 1;
+        assert_eq!(c.validate(), Ok(()));
+        c.retry.base_timeout = 0.0;
+        c.retry.cap = 0.0;
+        assert_eq!(c.validate(), Ok(()));
+        c.faults.loss_prob = 1.0;
+        assert_eq!(c.validate(), Ok(()));
     }
 }

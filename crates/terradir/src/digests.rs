@@ -155,6 +155,14 @@ impl DigestStore {
     pub fn iter(&self) -> impl Iterator<Item = (ServerId, &Digest)> {
         self.entries.iter().map(|(&s, e)| (s, &e.digest))
     }
+
+    /// Drops everything stored about a server (negative caching: a host
+    /// observed dead must not keep steering digest shortcuts). Its denials
+    /// go too — a fresh digest from a recovered host starts clean.
+    pub fn forget(&mut self, server: ServerId) {
+        self.entries.remove(&server);
+        self.denied.retain(|(s, _), _| *s != server);
+    }
 }
 
 #[cfg(test)]

@@ -193,6 +193,44 @@ pub fn check_digest_no_false_negative(ns: &Namespace, server: &ServerState) -> V
     v
 }
 
+/// Negative-cache consistency (DESIGN.md §12): while a host sits in a
+/// server's negative cache, no stored structure may keep steering traffic
+/// at it. Hosted (owned and replica) record maps and route-cache entries
+/// must be strictly free of the host; a neighbor-context map may retain it
+/// only as its *sole* entry (context is never emptied — the last-resort
+/// pointer survives so routing stays total, and the digest/TTL machinery
+/// absorbs the cost).
+pub fn check_negative_cache(server: &ServerState) -> Vec<String> {
+    let mut v = Vec::new();
+    for h in server.negatively_cached() {
+        for (n, rec) in server.owned.iter().chain(server.replicas.iter()) {
+            if rec.map.contains(h) {
+                v.push(format!(
+                    "server {}: hosted map for node {} still lists dead host {}",
+                    server.id.0, n.0, h.0
+                ));
+            }
+        }
+        for (n, map) in &server.neighbor_maps {
+            if map.contains(h) && map.len() > 1 {
+                v.push(format!(
+                    "server {}: context map for node {} lists dead host {} alongside others",
+                    server.id.0, n.0, h.0
+                ));
+            }
+        }
+        for (n, map) in server.cache.iter() {
+            if map.contains(h) {
+                v.push(format!(
+                    "server {}: cache entry for node {} still lists dead host {}",
+                    server.id.0, n.0, h.0
+                ));
+            }
+        }
+    }
+    v
+}
+
 /// Runs every per-server structural checker and returns the combined
 /// violation list.
 pub fn audit_server(ns: &Namespace, server: &ServerState) -> Vec<String> {
@@ -200,6 +238,7 @@ pub fn audit_server(ns: &Namespace, server: &ServerState) -> Vec<String> {
     v.extend(check_replica_budget(server));
     v.extend(check_cache_capacity(server));
     v.extend(check_digest_no_false_negative(ns, server));
+    v.extend(check_negative_cache(server));
     v
 }
 
@@ -309,6 +348,23 @@ mod tests {
         let v = check_digest_no_false_negative(&ns, &s);
         assert_eq!(v.len(), 1);
         assert!(v[0].contains("false negative"), "{v:?}");
+    }
+
+    #[test]
+    fn negative_cache_leak_is_caught() {
+        let (_ns, mut s) = fixture();
+        assert!(check_negative_cache(&s).is_empty());
+        let dead = ServerId(3);
+        s.negative.insert(dead, 0.0);
+        // A sole-entry context map pointing at the dead host is tolerated
+        // (context is never emptied) …
+        assert!(check_negative_cache(&s).is_empty());
+        // … but a hosted map still listing it is a violation.
+        let own = s.owned_ids().next().unwrap();
+        s.owned.get_mut(&own).unwrap().map.advertise(dead, 8);
+        let v = check_negative_cache(&s);
+        assert_eq!(v.len(), 1, "{v:?}");
+        assert!(v[0].contains("dead host"), "{v:?}");
     }
 
     #[test]

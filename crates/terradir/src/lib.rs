@@ -70,7 +70,7 @@ pub mod stats;
 pub mod system;
 
 pub use cache::RouteCache;
-pub use config::Config;
+pub use config::{ChurnConfig, Config, FaultConfig, RetryConfig};
 pub use map::NodeMap;
 pub use messages::{Message, QueryPacket};
 pub use meta::Meta;

@@ -237,6 +237,14 @@ pub enum Message {
         /// Its current effective load (updates the sender's table).
         load: f64,
     },
+    /// Transport-failure feedback synthesized by the substrate: a send to
+    /// `host` failed outright (connection refused/reset in a real
+    /// deployment). The receiver negatively caches the host, evicting it
+    /// from its maps, cache, and digest store (DESIGN.md §12).
+    HostDown {
+        /// The unreachable server.
+        host: ServerId,
+    },
 }
 
 impl Message {
@@ -250,6 +258,29 @@ impl Message {
     /// paper's "load balancing messages" budget).
     pub fn is_control(&self) -> bool {
         !self.is_query_traffic()
+    }
+
+    /// The server that sent this message, where the message itself proves
+    /// it. `None` for variants without a trustworthy sender field:
+    /// `MapUpdate` carries none, and `NotHosting`/`HostDown` may be
+    /// synthesized by the substrate *about* a server that did not send
+    /// anything (using them as proof-of-life would resurrect dead hosts
+    /// in the negative cache).
+    pub fn sender(&self) -> Option<ServerId> {
+        match self {
+            Message::Query(p) => p.prev_hop,
+            Message::QueryResult { resolved_by, .. } => Some(*resolved_by),
+            Message::LoadProbe { from, .. }
+            | Message::LoadProbeReply { from, .. }
+            | Message::ReplicateRequest { from, .. }
+            | Message::ReplicateAck { from, .. }
+            | Message::ReplicateDeny { from, .. }
+            | Message::GetData { from, .. }
+            | Message::DataReply { from, .. } => Some(*from),
+            Message::MapUpdate { .. } | Message::NotHosting { .. } | Message::HostDown { .. } => {
+                None
+            }
+        }
     }
 }
 
@@ -313,5 +344,33 @@ mod tests {
             children: Vec::new(),
         };
         assert!(res.is_query_traffic());
+        assert!(Message::HostDown { host: ServerId(2) }.is_control());
+    }
+
+    #[test]
+    fn sender_extraction() {
+        let mut p = pkt();
+        assert_eq!(Message::Query(p.clone()).sender(), None);
+        p.prev_hop = Some(ServerId(3));
+        assert_eq!(Message::Query(p.clone()).sender(), Some(ServerId(3)));
+        let res = Message::QueryResult {
+            packet: p,
+            resolved_by: ServerId(1),
+            meta: crate::meta::Meta::new(),
+            children: Vec::new(),
+        };
+        assert_eq!(res.sender(), Some(ServerId(1)));
+        let probe = Message::LoadProbe {
+            from: ServerId(4),
+            load: 0.1,
+        };
+        assert_eq!(probe.sender(), Some(ServerId(4)));
+        // Substrate-synthesized corrections are not proof-of-life.
+        let nh = Message::NotHosting {
+            node: NodeId(1),
+            from: ServerId(5),
+        };
+        assert_eq!(nh.sender(), None);
+        assert_eq!(Message::HostDown { host: ServerId(6) }.sender(), None);
     }
 }

@@ -85,6 +85,12 @@ impl KnownLoads {
     pub(crate) fn len(&self) -> usize {
         self.entries.len()
     }
+
+    /// Drops the observation for a server (negative caching: a dead host
+    /// must not win partner selection on a stale low-load reading).
+    pub(crate) fn forget(&mut self, server: ServerId) {
+        self.entries.remove(&server);
+    }
 }
 
 /// An in-flight replication session at the overloaded server.
@@ -406,6 +412,7 @@ impl ServerState {
                 continue; // at capacity and the incoming node is not hotter
             }
             let mut map = p.map.clone();
+            self.strip_negative(&mut map);
             if !map.contains(self.id) {
                 map.advertise(self.id, self.cfg.r_map);
             }
@@ -414,11 +421,20 @@ impl ServerState {
             self.replicas.insert(p.node, rec);
             self.weights.set(p.node, now, p.weight);
             for (nb, m) in &p.neighbors {
+                let mut m = m.clone();
+                self.strip_negative(&mut m);
+                if m.is_empty() {
+                    continue;
+                }
                 if let Some(mine) = self.neighbor_maps.get_mut(nb) {
-                    let merged = mine.merge(m, self.cfg.r_map, rng);
+                    let mut merged = mine.merge(&m, self.cfg.r_map, rng);
+                    // A tolerated sole dead entry in the existing map must
+                    // not survive a merge that brings in live hosts.
+                    for &h in self.negative.keys() {
+                        merged.remove(h, false);
+                    }
                     *mine = merged;
                 } else {
-                    let mut m = m.clone();
                     m.truncate(self.cfg.r_map);
                     self.neighbor_maps.insert(*nb, m);
                 }

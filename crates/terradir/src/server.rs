@@ -101,6 +101,12 @@ pub enum ProtocolEvent {
         /// The initiating server.
         by: ServerId,
     },
+    /// A host was newly marked dead in this server's negative cache
+    /// (transport-failure feedback; DESIGN.md §12).
+    HostMarkedDead {
+        /// The unreachable server.
+        host: ServerId,
+    },
     /// A data fetch finished (step two of the two-step access).
     DataFetched {
         /// Fetch id passed to [`ServerState::begin_fetch`].
@@ -155,6 +161,11 @@ pub struct ServerState {
     pub(crate) data_store: HashMap<NodeId, std::sync::Arc<[u8]>>,
     /// In-progress data fetches initiated at this server.
     pub(crate) pending_fetches: HashMap<u64, FetchState>,
+    /// Negative cache (DESIGN.md §12): hosts observed dead via transport
+    /// failure, mapped to the observation time. While a host is here it is
+    /// kept out of every stored map; entries expire after
+    /// `Config::faults.dead_ttl` or on any message proving the host alive.
+    pub(crate) negative: HashMap<ServerId, f64>,
 }
 
 /// Client-side state of one in-progress data fetch.
@@ -220,6 +231,7 @@ impl ServerState {
             hop_accurate: 0,
             data_store: HashMap::new(),
             pending_fetches: HashMap::new(),
+            negative: HashMap::new(),
             ns,
             cfg,
         }
@@ -334,6 +346,10 @@ impl ServerState {
         rng: &mut StdRng,
         out: &mut Vec<Outgoing>,
     ) {
+        // Any message from a negatively cached host proves it alive again.
+        if let Some(sender) = msg.sender() {
+            self.negative.remove(&sender);
+        }
         match msg {
             Message::Query(packet) => self.on_query(now, packet, rng, out),
             Message::QueryResult {
@@ -393,7 +409,78 @@ impl ServerState {
             Message::NotHosting { node, from } => {
                 self.drop_stale_host(node, from);
             }
+            Message::HostDown { host } => {
+                self.mark_host_dead(now, host, out);
+            }
         }
+    }
+
+    /// Negative caching (DESIGN.md §12): a send to `host` failed at the
+    /// transport level, so evict it from every stored map — conservatively:
+    /// a hosted record re-advertises self if emptied, and a neighbor map
+    /// keeps a sole last-resort entry rather than losing its context — and
+    /// forget its digest and load observations so shortcuts and partner
+    /// selection stop targeting it.
+    pub(crate) fn mark_host_dead(&mut self, now: f64, host: ServerId, out: &mut Vec<Outgoing>) {
+        if host == self.id || !self.cfg.negative_caching_active() {
+            return;
+        }
+        let newly = self.negative.insert(host, now).is_none();
+        let r_map = self.cfg.r_map;
+        let my_id = self.id;
+        for rec in self.owned.values_mut().chain(self.replicas.values_mut()) {
+            if rec.map.contains(host) {
+                rec.map.remove(host, true);
+                if rec.map.is_empty() || !rec.map.contains(my_id) {
+                    rec.map.advertise(my_id, r_map);
+                }
+            }
+        }
+        for m in self.neighbor_maps.values_mut() {
+            m.remove(host, false);
+        }
+        let emptied: Vec<NodeId> = self
+            .cache
+            .iter()
+            .filter(|(_, m)| m.contains(host))
+            .map(|(n, _)| n)
+            .collect();
+        for n in emptied {
+            let mut drop_entry = false;
+            if let Some(m) = self.cache.get_mut(n) {
+                m.remove(host, true);
+                drop_entry = m.is_empty();
+            }
+            if drop_entry {
+                self.cache.remove(n);
+            }
+        }
+        self.digest_store.forget(host);
+        self.known_loads.forget(host);
+        if newly {
+            out.push(Outgoing::Event(ProtocolEvent::HostMarkedDead { host }));
+        }
+    }
+
+    /// Removes every negatively cached host from `map` (may empty it; the
+    /// caller decides whether an empty result is usable).
+    pub(crate) fn strip_negative(&self, map: &mut NodeMap) {
+        if self.negative.is_empty() {
+            return;
+        }
+        for &h in self.negative.keys() {
+            map.remove(h, true);
+        }
+    }
+
+    /// Whether `host` is currently negatively cached at this server.
+    pub fn is_negatively_cached(&self, host: ServerId) -> bool {
+        self.negative.contains_key(&host)
+    }
+
+    /// Iterator over the negatively cached hosts.
+    pub fn negatively_cached(&self) -> impl Iterator<Item = ServerId> + '_ {
+        self.negative.keys().copied()
     }
 
     /// Removes a server proven stale from whatever map tracks `node`, and
@@ -651,6 +738,7 @@ impl ServerState {
         let r_map = self.cfg.r_map;
         let mut incoming = incoming.clone();
         self.filter_map(node, &mut incoming);
+        self.strip_negative(&mut incoming);
         if incoming.is_empty() {
             return;
         }
@@ -676,6 +764,12 @@ impl ServerState {
         if let Some(m) = self.neighbor_maps.get_mut(&node) {
             let mut merged = m.merge(&incoming, r_map, rng);
             merged.remove(my_id, true);
+            // The *existing* map may hold a negatively cached host as its
+            // tolerated sole entry; once the merge brings in live hosts,
+            // the dead one must not ride along (never emptying the map).
+            for &h in self.negative.keys() {
+                merged.remove(h, false);
+            }
             if !merged.is_empty() {
                 *m = merged;
             }
@@ -694,15 +788,21 @@ impl ServerState {
         }
     }
 
-    /// Digest-based conservative map filtering (paper §3.6.2): drop hosts
-    /// whose stored digest proves they do not host `node`. Never empties
-    /// the map.
+    /// Digest-based conservative map filtering (paper §3.6.2), extended by
+    /// the failure model (DESIGN.md §12): drop hosts whose stored digest
+    /// proves they do not host `node`, and hosts currently in the negative
+    /// cache. Never empties the map.
     pub(crate) fn filter_map(&self, node: NodeId, map: &mut NodeMap) {
-        if !self.cfg.digests {
+        if !self.cfg.digests && self.negative.is_empty() {
             return;
         }
+        let digests = self.cfg.digests;
         let name = self.ns.name(node).as_str();
-        map.filter_stale(|h| h != self.id && self.digest_store.test(h, name) == Some(false));
+        map.filter_stale(|h| {
+            h != self.id
+                && ((digests && self.digest_store.test(h, name) == Some(false))
+                    || self.negative.contains_key(&h))
+        });
     }
 
     /// Periodic maintenance, called every load window by the substrate:
@@ -710,6 +810,10 @@ impl ServerState {
     /// sessions, and rebuilds the digest if the hosted set changed.
     pub fn maintenance(&mut self, now: f64, out: &mut Vec<Outgoing>) {
         self.load.roll(now);
+        if !self.negative.is_empty() {
+            let dead_ttl = self.cfg.faults.dead_ttl;
+            self.negative.retain(|_, at| now - *at <= dead_ttl);
+        }
         if self.cfg.replication {
             self.evict_idle_replicas(now, out);
             if let Some(s) = &self.session {
@@ -782,6 +886,52 @@ impl ServerState {
             self.digest_gen,
         );
         self.digest_dirty = false;
+    }
+
+    /// Rejoin after a failure (DESIGN.md §12): owned records survive with
+    /// their metadata and data intact, but every piece of *soft* state —
+    /// replicas, learned maps, the route cache, digests, load profiles,
+    /// the negative cache, in-flight sessions and fetches — is discarded
+    /// and rebuilt from the static bootstrap assignment, exactly as at
+    /// construction. The digest generation stays monotone so peers'
+    /// freshest-generation-wins logic accepts the rejoined server's digest.
+    pub fn reset_soft_state(&mut self, now: f64, assignment: &OwnerAssignment) {
+        self.replicas.clear();
+        self.neighbor_maps.clear();
+        for rec in self.owned.values_mut() {
+            rec.map = NodeMap::singleton(self.id);
+            rec.advertised_at = f64::NEG_INFINITY;
+            rec.backprop_at = f64::NEG_INFINITY;
+            rec.installed_at = now;
+        }
+        let owned: Vec<NodeId> = self.owned.keys().copied().collect();
+        for node in owned {
+            for nb in self.ns.neighbors(node) {
+                self.neighbor_maps
+                    .entry(nb)
+                    .or_insert_with(|| NodeMap::singleton(assignment.owner(nb)));
+            }
+        }
+        self.cache = RouteCache::new(if self.cfg.caching {
+            self.cfg.cache_slots
+        } else {
+            0
+        });
+        self.digest_store = DigestStore::new(if self.cfg.digests {
+            self.cfg.digest_store_slots
+        } else {
+            0
+        });
+        self.weights = NodeWeights::new(self.cfg.weight_half_life);
+        let mut load = LoadMeter::new(self.cfg.load_window, self.cfg.load_window * 4.0);
+        load.roll(now);
+        self.load = load;
+        self.known_loads = KnownLoads::new(self.cfg.known_load_slots);
+        self.session = None;
+        self.cooldown_until = now;
+        self.pending_fetches.clear();
+        self.negative.clear();
+        self.rebuild_digest();
     }
 
     /// For tests/oracle: a deterministic snapshot of all hosted node ids.

@@ -18,6 +18,12 @@ pub struct RunStats {
     pub dropped_ttl: u64,
     /// Queries dropped with no routable candidate.
     pub dropped_stuck: u64,
+    /// Queries finalized by exhausting every retry attempt (the only final
+    /// drop kind while the reliability layer is on).
+    pub dropped_timeout: u64,
+    /// Query-traffic messages lost in transit with no retry layer to
+    /// recover them (final drops under fault injection without retries).
+    pub dropped_lost: u64,
     /// Query-path messages serviced (each is one routing/result step).
     pub query_messages: u64,
     /// Replication control messages sent (probes, replies, requests, acks,
@@ -51,6 +57,36 @@ pub struct RunStats {
     pub data_fetches_ok: u64,
     /// Data retrievals that exhausted every mapped host.
     pub data_fetches_failed: u64,
+    /// Query re-issues by the reliability layer (attempts beyond the
+    /// first; `injected + retries` = total attempts launched).
+    pub retries: u64,
+    /// Messages lost to transport fault injection (all kinds).
+    pub messages_lost: u64,
+    /// Messages addressed to a failed server (all kinds).
+    pub messages_to_dead: u64,
+    /// Attempt-level query losses under retry, by cause. These are *not*
+    /// final drops — the pending-table timeout is — but together with
+    /// `retries` they decompose exactly where attempts went.
+    pub attempts_lost_queue: u64,
+    /// Attempt-level losses: hop TTL exceeded (retry mode).
+    pub attempts_lost_ttl: u64,
+    /// Attempt-level losses: no routable candidate (retry mode).
+    pub attempts_lost_stuck: u64,
+    /// Attempt-level losses: delivery to a dead server (retry mode).
+    pub attempts_lost_dead: u64,
+    /// Attempt-level losses: transport loss injection (retry mode).
+    pub attempts_lost_transport: u64,
+    /// Hosts newly marked dead (negative-cache insertions) across servers.
+    pub negative_evictions: u64,
+    /// Servers failed by the churn process.
+    pub churn_failures: u64,
+    /// Servers recovered (churn or `System::recover_server`).
+    pub churn_recoveries: u64,
+    /// Queries injected per second (availability-curve denominator).
+    pub injected_per_sec: BinnedCounter,
+    /// Queries resolved per second, binned at resolve time (availability-
+    /// curve numerator).
+    pub resolved_per_sec: BinnedCounter,
 }
 
 impl RunStats {
@@ -78,12 +114,31 @@ impl RunStats {
             created_per_level: vec![0; max_depth as usize + 1],
             data_fetches_ok: 0,
             data_fetches_failed: 0,
+            dropped_timeout: 0,
+            dropped_lost: 0,
+            retries: 0,
+            messages_lost: 0,
+            messages_to_dead: 0,
+            attempts_lost_queue: 0,
+            attempts_lost_ttl: 0,
+            attempts_lost_stuck: 0,
+            attempts_lost_dead: 0,
+            attempts_lost_transport: 0,
+            negative_evictions: 0,
+            churn_failures: 0,
+            churn_recoveries: 0,
+            injected_per_sec: BinnedCounter::new(1.0),
+            resolved_per_sec: BinnedCounter::new(1.0),
         }
     }
 
-    /// Total dropped queries (queue + TTL + stuck).
+    /// Total dropped queries (queue + TTL + stuck + timeout + lost).
     pub fn dropped_total(&self) -> u64 {
-        self.dropped_queue + self.dropped_ttl + self.dropped_stuck
+        self.dropped_queue
+            + self.dropped_ttl
+            + self.dropped_stuck
+            + self.dropped_timeout
+            + self.dropped_lost
     }
 
     /// Fraction of injected queries that were dropped.
@@ -110,6 +165,8 @@ impl RunStats {
             DropKind::Queue => self.dropped_queue += 1,
             DropKind::Ttl => self.dropped_ttl += 1,
             DropKind::Stuck => self.dropped_stuck += 1,
+            DropKind::Timeout => self.dropped_timeout += 1,
+            DropKind::Lost => self.dropped_lost += 1,
         }
         self.drops_per_sec.record(t);
     }
@@ -117,8 +174,27 @@ impl RunStats {
     /// Records a resolved query.
     pub fn on_resolved(&mut self, t: f64, issued_at: f64, hops: u32) {
         self.resolved += 1;
+        self.resolved_per_sec.record(t);
         self.latency.record((t - issued_at).max(0.0));
         self.hops.record(hops as f64);
+    }
+
+    /// Records an attempt-level query loss under the reliability layer
+    /// (the query stays pending; only its timeout finalizes it).
+    /// `Timeout` never reaches here — it is the finalizing kind.
+    pub fn on_attempt_lost(&mut self, kind: DropKind) {
+        match kind {
+            DropKind::Queue => self.attempts_lost_queue += 1,
+            DropKind::Ttl => self.attempts_lost_ttl += 1,
+            DropKind::Stuck => self.attempts_lost_stuck += 1,
+            DropKind::Lost => self.attempts_lost_transport += 1,
+            DropKind::Timeout => debug_assert!(false, "timeout is final, not attempt-level"),
+        }
+    }
+
+    /// Records an attempt-level loss to a dead-server delivery.
+    pub fn on_attempt_dead(&mut self) {
+        self.attempts_lost_dead += 1;
     }
 
     /// Records a replica installation at a node of the given depth.
@@ -163,6 +239,14 @@ pub struct Summary {
     pub control_messages: u64,
     /// Successful data fetches.
     pub data_fetches_ok: u64,
+    /// Query re-issues by the reliability layer.
+    pub retries: u64,
+    /// Messages lost to transport fault injection.
+    pub messages_lost: u64,
+    /// Servers failed by the churn process.
+    pub churn_failures: u64,
+    /// Servers recovered.
+    pub churn_recoveries: u64,
 }
 
 impl Summary {
@@ -176,7 +260,9 @@ impl Summary {
                 "\"latency_p99_s\":{:.6},\"hops_mean\":{:.4},",
                 "\"replicas_created\":{},\"replicas_deleted\":{},",
                 "\"sessions_completed\":{},\"control_messages\":{},",
-                "\"data_fetches_ok\":{}}}"
+                "\"data_fetches_ok\":{},\"retries\":{},",
+                "\"messages_lost\":{},\"churn_failures\":{},",
+                "\"churn_recoveries\":{}}}"
             ),
             self.injected,
             self.resolved,
@@ -190,6 +276,10 @@ impl Summary {
             self.sessions_completed,
             self.control_messages,
             self.data_fetches_ok,
+            self.retries,
+            self.messages_lost,
+            self.churn_failures,
+            self.churn_recoveries,
         )
     }
 }
@@ -210,6 +300,10 @@ impl RunStats {
             sessions_completed: self.sessions_completed,
             control_messages: self.control_messages,
             data_fetches_ok: self.data_fetches_ok,
+            retries: self.retries,
+            messages_lost: self.messages_lost,
+            churn_failures: self.churn_failures,
+            churn_recoveries: self.churn_recoveries,
         }
     }
 }
@@ -223,6 +317,10 @@ pub enum DropKind {
     Ttl,
     /// No routable candidate.
     Stuck,
+    /// Every retry attempt timed out at the issuing server.
+    Timeout,
+    /// Lost to transport fault injection with no retry layer.
+    Lost,
 }
 
 #[cfg(test)]
@@ -290,6 +388,36 @@ mod tests {
         assert!(json.contains("\"hops_mean\":3.0000"));
         // Balanced quotes and braces (cheap well-formedness probe).
         assert_eq!(json.matches('"').count() % 2, 0);
+    }
+
+    #[test]
+    fn reliability_drop_kinds_are_decomposable() {
+        let mut s = RunStats::new(2);
+        s.injected = 5;
+        s.on_drop(0.5, DropKind::Timeout);
+        s.on_drop(0.7, DropKind::Lost);
+        s.on_drop(1.1, DropKind::Queue);
+        assert_eq!(s.dropped_timeout, 1);
+        assert_eq!(s.dropped_lost, 1);
+        assert_eq!(s.dropped_total(), 3);
+        s.on_attempt_lost(DropKind::Queue);
+        s.on_attempt_lost(DropKind::Lost);
+        s.on_attempt_dead();
+        // Attempt-level losses never enter the final-drop totals.
+        assert_eq!(s.dropped_total(), 3);
+        assert_eq!(s.attempts_lost_queue, 1);
+        assert_eq!(s.attempts_lost_transport, 1);
+        assert_eq!(s.attempts_lost_dead, 1);
+    }
+
+    #[test]
+    fn availability_series_track_injection_and_resolution() {
+        let mut s = RunStats::new(2);
+        s.injected_per_sec.record(0.2);
+        s.injected_per_sec.record(1.4);
+        s.on_resolved(1.5, 0.2, 3);
+        assert_eq!(s.injected_per_sec.bins(), &[1, 1]);
+        assert_eq!(s.resolved_per_sec.bins(), &[0, 1]);
     }
 
     #[test]

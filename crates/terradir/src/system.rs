@@ -29,6 +29,8 @@ mod tags {
     pub const MAPPING: u64 = 1;
     pub const SPEEDS: u64 = 9;
     pub const STATIC: u64 = 10;
+    /// Failure model: message loss, jitter, churn timers, failover picks.
+    pub const FAULTS: u64 = 11;
 }
 
 /// DES event alphabet.
@@ -36,14 +38,47 @@ mod tags {
 enum Event {
     /// Inject the next query from the workload stream.
     Inject,
-    /// A message arrives at a server after its network delay.
-    Deliver { to: ServerId, msg: Message },
-    /// A server finishes servicing its current message.
-    ServiceDone { server: ServerId },
+    /// A message arrives at a server after its network delay. `from` is
+    /// the sending server for protocol sends (the substrate uses it to
+    /// synthesize `HostDown` feedback on delivery to a dead target);
+    /// `None` for injections and substrate-synthesized messages.
+    Deliver {
+        to: ServerId,
+        from: Option<ServerId>,
+        msg: Message,
+    },
+    /// A server finishes servicing its current message. Stale-filtered by
+    /// `epoch`: a failure bumps the server's epoch, so completions
+    /// scheduled before the crash are ignored.
+    ServiceDone { server: ServerId, epoch: u64 },
     /// Periodic per-server maintenance (every load window).
     Maintain,
     /// Per-second utilization sampling.
     Sample,
+    /// Source-side retry timer for an outstanding query (DESIGN.md §12).
+    /// Stale-filtered by `attempt`.
+    QueryTimeout { id: u64, attempt: u32 },
+    /// Churn process: this server's next failure.
+    ChurnFail { server: ServerId },
+    /// Churn process: this server's recovery.
+    ChurnRecover { server: ServerId },
+}
+
+/// Source-side record of one outstanding query under the retry layer.
+#[derive(Debug)]
+struct Pending {
+    origin: ServerId,
+    target: NodeId,
+    issued_at: f64,
+    attempt: u32,
+}
+
+/// An exponential holding-time draw with the given mean (inverse-CDF on a
+/// uniform; `1 - u` keeps the argument of `ln` in `(0, 1]`).
+fn exp_draw(rng: &mut StdRng, mean: f64) -> f64 {
+    use rand::Rng;
+    let u: f64 = rng.gen();
+    -mean * (1.0 - u).ln()
 }
 
 /// A complete simulated TerraDir system.
@@ -65,11 +100,20 @@ pub struct System {
     rng_service: StdRng,
     rng_protocol: StdRng,
     rng_arrivals: StdRng,
+    /// Failure-model randomness (loss, jitter, churn timers, failover
+    /// picks). Never drawn from while the failure model is inert, so
+    /// baseline runs stay bit-identical to pre-failure-model builds.
+    rng_faults: StdRng,
     stats: RunStats,
     next_query_id: u64,
     out_buf: Vec<Outgoing>,
     injecting: bool,
     failed: Vec<bool>,
+    /// Per-server service epoch, bumped at each failure (stale-filters
+    /// `ServiceDone` events scheduled before a crash).
+    epoch: Vec<u64>,
+    /// Outstanding queries under the retry layer, by query id.
+    pending: std::collections::HashMap<u64, Pending>,
     /// Per-server speed factors (service time divides by these).
     speeds: Vec<f64>,
 }
@@ -121,6 +165,18 @@ impl System {
         engine.schedule(first, Event::Inject);
         engine.schedule(cfg.load_window, Event::Maintain);
         engine.schedule(1.0, Event::Sample);
+        let mut rng_faults = seeded_rng(cfg.seed, tags::FAULTS);
+        if cfg.churn.enabled {
+            for i in 0..cfg.n_servers {
+                let at = cfg.churn.start + exp_draw(&mut rng_faults, cfg.churn.mean_uptime);
+                engine.schedule(
+                    at,
+                    Event::ChurnFail {
+                        server: ServerId(i),
+                    },
+                );
+            }
+        }
         System {
             service: ExpService::new(cfg.mean_service),
             util: (0..n)
@@ -131,6 +187,7 @@ impl System {
             rng_service: seeded_rng(cfg.seed, tags::SERVICE),
             rng_protocol: seeded_rng(cfg.seed, tags::PROTOCOL),
             rng_arrivals,
+            rng_faults,
             ns,
             cfg,
             assignment,
@@ -143,6 +200,8 @@ impl System {
             out_buf: Vec::new(),
             injecting: true,
             failed: vec![false; n],
+            epoch: vec![0; n],
+            pending: std::collections::HashMap::new(),
             speeds,
         }
     }
@@ -254,16 +313,97 @@ impl System {
             return;
         }
         *flag = true;
+        self.stats.churn_failures += 1;
         let now = self.engine.now();
+        let retry = self.cfg.retry.enabled;
         if let Some(q) = self.queues.get_mut(i) {
             for msg in q.drain(..) {
                 if msg.is_query_traffic() {
+                    if retry {
+                        self.stats.on_attempt_lost(DropKind::Queue);
+                    } else {
+                        self.stats.on_drop(now, DropKind::Queue);
+                    }
+                }
+            }
+        }
+        // The in-service message dies with the server right now; its
+        // already-scheduled completion event is stale-filtered by the
+        // epoch bump below.
+        if let Some(msg) = self.in_service.get_mut(i).and_then(Option::take) {
+            if msg.is_query_traffic() {
+                if retry {
+                    self.stats.on_attempt_lost(DropKind::Queue);
+                } else {
                     self.stats.on_drop(now, DropKind::Queue);
                 }
             }
         }
-        // Any in-service message dies with the server at its completion
-        // event (handled in finish_service).
+        if let Some(e) = self.epoch.get_mut(i) {
+            *e += 1;
+        }
+    }
+
+    /// Recovers a failed server (DESIGN.md §12): it rejoins with its owned
+    /// records intact but every piece of soft state — replicas, learned
+    /// maps, cache, digests, load profiles — reset to the static bootstrap,
+    /// and immediately resumes service. A no-op on a live server.
+    pub fn recover_server(&mut self, id: ServerId) {
+        let i = id.index();
+        let Some(flag) = self.failed.get_mut(i) else {
+            return;
+        };
+        if !*flag {
+            return;
+        }
+        *flag = false;
+        self.stats.churn_recoveries += 1;
+        let now = self.engine.now();
+        if let Some(server) = self.servers.get_mut(i) {
+            server.reset_soft_state(now, &self.assignment);
+        }
+        if let Some(m) = self.util.get_mut(i) {
+            *m = crate::load::LoadMeter::new(1.0, 1.0);
+            m.roll(now);
+        }
+        debug_assert!(self.queues.get(i).is_none_or(VecDeque::is_empty));
+        debug_assert!(self.in_service.get(i).is_none_or(Option::is_none));
+        self.try_start(id);
+    }
+
+    /// Churn process, failure side: fail the server and arm its recovery
+    /// timer. Failures are suppressed once the churn window closed, and
+    /// *deferred* (another uptime draw) while the down-fraction guard
+    /// would be exceeded — recoveries always fire, so the fleet heals.
+    fn churn_fail(&mut self, s: ServerId) {
+        let now = self.engine.now();
+        let churn = self.cfg.churn.clone();
+        if now >= churn.stop {
+            return;
+        }
+        let n = self.cfg.n_servers as usize;
+        let over_budget =
+            (self.failed_count() + 1) as f64 / n.max(1) as f64 > churn.max_down_fraction;
+        if self.is_failed(s) || over_budget {
+            let gap = exp_draw(&mut self.rng_faults, churn.mean_uptime);
+            self.engine.schedule_in(gap, Event::ChurnFail { server: s });
+            return;
+        }
+        self.fail_server(s);
+        let down = exp_draw(&mut self.rng_faults, churn.mean_downtime);
+        self.engine
+            .schedule_in(down, Event::ChurnRecover { server: s });
+    }
+
+    /// Churn process, recovery side: bring the server back and, while the
+    /// churn window is still open, arm its next failure.
+    fn churn_recover(&mut self, s: ServerId) {
+        self.recover_server(s);
+        let now = self.engine.now();
+        if now < self.cfg.churn.stop {
+            let up = exp_draw(&mut self.rng_faults, self.cfg.churn.mean_uptime);
+            self.engine.schedule_in(up, Event::ChurnFail { server: s });
+        }
     }
 
     /// Whether a server has been failed. Ids outside the fleet read as
@@ -400,8 +540,11 @@ impl System {
     fn handle(&mut self, ev: Event) {
         match ev {
             Event::Inject => self.inject(),
-            Event::Deliver { to, msg } => self.deliver(to, msg),
-            Event::ServiceDone { server } => self.finish_service(server),
+            Event::Deliver { to, from, msg } => self.deliver(to, from, msg),
+            Event::ServiceDone { server, epoch } => self.finish_service(server, epoch),
+            Event::QueryTimeout { id, attempt } => self.on_query_timeout(id, attempt),
+            Event::ChurnFail { server } => self.churn_fail(server),
+            Event::ChurnRecover { server } => self.churn_recover(server),
             Event::Maintain => {
                 let now = self.engine.now();
                 for i in 0..self.servers.len() {
@@ -445,6 +588,33 @@ impl System {
         }
     }
 
+    /// A uniformly random live server, drawn from the fault RNG (rejection
+    /// sampling with a deterministic linear fallback). `None` only when
+    /// the whole fleet is dead. Never draws while no server is failed, so
+    /// failure-free runs spend zero fault randomness here.
+    fn random_live_origin(&mut self) -> Option<ServerId> {
+        use rand::Rng;
+        let n = self.cfg.n_servers;
+        if self.failed_count() >= n as usize {
+            return None;
+        }
+        for _ in 0..64 {
+            let s = ServerId(self.rng_faults.gen_range(0..n));
+            if !self.is_failed(s) {
+                return Some(s);
+            }
+        }
+        (0..n).map(ServerId).find(|&s| !self.is_failed(s))
+    }
+
+    /// The timeout armed for a given attempt number: capped exponential
+    /// backoff `min(base · 2^(attempt-1), cap)`.
+    fn timeout_for(&self, attempt: u32) -> f64 {
+        let r = &self.cfg.retry;
+        let exp = attempt.saturating_sub(1).min(52);
+        (r.base_timeout * f64::powi(2.0, exp as i32)).min(r.cap)
+    }
+
     fn inject(&mut self) {
         if !self.injecting {
             return;
@@ -452,35 +622,97 @@ impl System {
         let now = self.engine.now();
         let (mut src, dst) = self.stream.next_query(now);
         // Clients attach to live servers: redirect an injection aimed at a
-        // failed origin to the next live one.
+        // failed origin to a uniformly random live one (a deterministic
+        // "next live" scan would funnel every orphaned client onto the
+        // failed server's successor and manufacture a hot spot).
         if self.is_failed(src) {
-            let n = self.cfg.n_servers;
-            match (1..n)
-                .map(|k| ServerId((src.0 + k) % n))
-                .find(|&s| !self.is_failed(s))
-            {
-                Some(live) => src = live,
-                None => return, // whole fleet dead
+            if let Some(live) = self.random_live_origin() {
+                src = live;
+            } else {
+                // Whole fleet dead: the query is never issued, but the
+                // arrival process must keep ticking or injection would
+                // silently stop for the rest of the run.
+                let gap = self.arrivals.next_gap(&mut self.rng_arrivals);
+                self.engine.schedule_in(gap, Event::Inject);
+                return;
             }
         }
         let id = self.next_query_id;
         self.next_query_id += 1;
         self.stats.injected += 1;
+        self.stats.injected_per_sec.record(now);
+        if self.cfg.retry.enabled {
+            self.pending.insert(
+                id,
+                Pending {
+                    origin: src,
+                    target: dst,
+                    issued_at: now,
+                    attempt: 1,
+                },
+            );
+            self.engine
+                .schedule_in(self.timeout_for(1), Event::QueryTimeout { id, attempt: 1 });
+        }
         let packet = QueryPacket::new(id, src, dst, now);
-        self.deliver(src, Message::Query(packet));
+        self.deliver(src, None, Message::Query(packet));
         let gap = self.arrivals.next_gap(&mut self.rng_arrivals);
         self.engine.schedule_in(gap, Event::Inject);
     }
 
+    /// A retry timer fired. Stale unless the pending record still exists
+    /// at exactly this attempt number (a resolution removes the record; a
+    /// retry bumps the attempt). On a live timeout: either finalize the
+    /// query as a `Timeout` drop (attempt budget spent) or re-issue it
+    /// from a live origin with the *original* issue time, so latency
+    /// measures client-perceived time including all retries.
+    fn on_query_timeout(&mut self, id: u64, attempt: u32) {
+        let now = self.engine.now();
+        let (origin0, target, issued_at) = match self.pending.get(&id) {
+            Some(p) if p.attempt == attempt => (p.origin, p.target, p.issued_at),
+            _ => return,
+        };
+        if attempt >= self.cfg.retry.max_attempts {
+            self.pending.remove(&id);
+            self.stats.on_drop(now, DropKind::Timeout);
+            return;
+        }
+        // Re-resolve the origin, excluding hosts observed dead.
+        let origin = if self.is_failed(origin0) {
+            self.random_live_origin()
+        } else {
+            Some(origin0)
+        };
+        let next = attempt + 1;
+        if let Some(p) = self.pending.get_mut(&id) {
+            p.attempt = next;
+            if let Some(o) = origin {
+                p.origin = o;
+            }
+        }
+        self.engine.schedule_in(
+            self.timeout_for(next),
+            Event::QueryTimeout { id, attempt: next },
+        );
+        if let Some(origin) = origin {
+            self.stats.retries += 1;
+            let packet = QueryPacket::new(id, origin, target, issued_at);
+            self.deliver(origin, None, Message::Query(packet));
+        }
+        // With the whole fleet dead no attempt can be issued; the armed
+        // timer keeps the budget ticking so the query still finalizes.
+    }
+
     /// Queue admission: bounded for query traffic ("queries arriving in
     /// excess being dropped"), unbounded for the rare control messages.
-    fn deliver(&mut self, to: ServerId, msg: Message) {
+    fn deliver(&mut self, to: ServerId, from: Option<ServerId>, msg: Message) {
         let now = self.engine.now();
         if self.is_failed(to) {
+            self.stats.messages_to_dead += 1;
             // Transport-level failure detection: the previous hop learns
             // its send failed (a connection reset in a real deployment)
             // and corrects the map it routed from. The query itself is
-            // lost — TerraDir has no retransmission.
+            // lost — TerraDir has no hop-level retransmission.
             if let Message::Query(p) = &msg {
                 if let (Some(prev), Some(via)) = (p.prev_hop, p.intended_via) {
                     if !self.is_failed(prev) {
@@ -488,6 +720,7 @@ impl System {
                             self.cfg.network_delay,
                             Event::Deliver {
                                 to: prev,
+                                from: None,
                                 msg: Message::NotHosting {
                                     node: via,
                                     from: to,
@@ -497,8 +730,29 @@ impl System {
                     }
                 }
             }
+            // Negative-caching feedback: the live sender — whatever the
+            // message kind — learns the host is unreachable and purges it
+            // from its soft state (DESIGN.md §12).
+            if self.cfg.negative_caching_active() {
+                if let Some(sender) = from {
+                    if !self.is_failed(sender) {
+                        self.engine.schedule_in(
+                            self.cfg.network_delay,
+                            Event::Deliver {
+                                to: sender,
+                                from: None,
+                                msg: Message::HostDown { host: to },
+                            },
+                        );
+                    }
+                }
+            }
             if msg.is_query_traffic() {
-                self.stats.on_drop(now, DropKind::Queue);
+                if self.cfg.retry.enabled {
+                    self.stats.on_attempt_dead();
+                } else {
+                    self.stats.on_drop(now, DropKind::Queue);
+                }
             }
             return;
         }
@@ -506,7 +760,11 @@ impl System {
             return;
         };
         if msg.is_query_traffic() && q.len() >= self.cfg.queue_capacity {
-            self.stats.on_drop(now, DropKind::Queue);
+            if self.cfg.retry.enabled {
+                self.stats.on_attempt_lost(DropKind::Queue);
+            } else {
+                self.stats.on_drop(now, DropKind::Queue);
+            }
             return;
         }
         q.push_back(msg);
@@ -540,21 +798,22 @@ impl System {
         if let Some(slot) = self.in_service.get_mut(i) {
             *slot = Some(msg);
         }
-        self.engine.schedule_in(d, Event::ServiceDone { server: s });
+        let epoch = self.epoch.get(i).copied().unwrap_or(0);
+        self.engine
+            .schedule_in(d, Event::ServiceDone { server: s, epoch });
     }
 
-    fn finish_service(&mut self, s: ServerId) {
+    fn finish_service(&mut self, s: ServerId, epoch: u64) {
         let i = s.index();
+        if self.epoch.get(i).copied().unwrap_or(0) != epoch {
+            // Completion scheduled before a crash: the message already
+            // died (and was accounted) in fail_server.
+            return;
+        }
         let Some(msg) = self.in_service.get_mut(i).and_then(Option::take) else {
             debug_assert!(false, "service completion without a message in service");
             return;
         };
-        if self.is_failed(s) {
-            if msg.is_query_traffic() {
-                self.stats.on_drop(self.engine.now(), DropKind::Queue);
-            }
-            return;
-        }
         let now = self.engine.now();
         let was_query = matches!(msg, Message::Query(_));
         debug_assert!(self.out_buf.is_empty());
@@ -584,12 +843,47 @@ impl System {
                     if msg.is_control() {
                         self.stats.control_messages += 1;
                     }
-                    let delay = if to == from {
-                        0.0
-                    } else {
-                        self.cfg.network_delay
-                    };
-                    self.engine.schedule_in(delay, Event::Deliver { to, msg });
+                    if to == from {
+                        // Local hand-off: no wire, no faults.
+                        self.engine.schedule_in(
+                            0.0,
+                            Event::Deliver {
+                                to,
+                                from: Some(from),
+                                msg,
+                            },
+                        );
+                        continue;
+                    }
+                    let mut delay = self.cfg.network_delay;
+                    let loss_prob = self.cfg.faults.loss_prob;
+                    let jitter = self.cfg.faults.jitter;
+                    if loss_prob > 0.0 {
+                        use rand::Rng;
+                        if self.rng_faults.gen::<f64>() < loss_prob {
+                            self.stats.messages_lost += 1;
+                            if msg.is_query_traffic() {
+                                if self.cfg.retry.enabled {
+                                    self.stats.on_attempt_lost(DropKind::Lost);
+                                } else {
+                                    self.stats.on_drop(now, DropKind::Lost);
+                                }
+                            }
+                            continue;
+                        }
+                    }
+                    if jitter > 0.0 {
+                        use rand::Rng;
+                        delay += self.rng_faults.gen::<f64>() * jitter;
+                    }
+                    self.engine.schedule_in(
+                        delay,
+                        Event::Deliver {
+                            to,
+                            from: Some(from),
+                            msg,
+                        },
+                    );
                 }
                 Outgoing::Event(e) => self.on_protocol_event(now, e),
             }
@@ -599,10 +893,38 @@ impl System {
     fn on_protocol_event(&mut self, now: f64, e: ProtocolEvent) {
         match e {
             ProtocolEvent::Resolved {
-                issued_at, hops, ..
-            } => self.stats.on_resolved(now, issued_at, hops),
-            ProtocolEvent::DroppedTtl { .. } => self.stats.on_drop(now, DropKind::Ttl),
-            ProtocolEvent::DroppedStuck { .. } => self.stats.on_drop(now, DropKind::Stuck),
+                id,
+                issued_at,
+                hops,
+                ..
+            } => {
+                if self.cfg.retry.enabled {
+                    // Only the first resolution of a still-pending query
+                    // counts: retries can race a slow earlier attempt, and
+                    // a resolution after timeout exhaustion arrives too
+                    // late (the query already finalized as a drop).
+                    if self.pending.remove(&id).is_some() {
+                        self.stats.on_resolved(now, issued_at, hops);
+                    }
+                } else {
+                    self.stats.on_resolved(now, issued_at, hops);
+                }
+            }
+            ProtocolEvent::DroppedTtl { .. } => {
+                if self.cfg.retry.enabled {
+                    self.stats.on_attempt_lost(DropKind::Ttl);
+                } else {
+                    self.stats.on_drop(now, DropKind::Ttl);
+                }
+            }
+            ProtocolEvent::DroppedStuck { .. } => {
+                if self.cfg.retry.enabled {
+                    self.stats.on_attempt_lost(DropKind::Stuck);
+                } else {
+                    self.stats.on_drop(now, DropKind::Stuck);
+                }
+            }
+            ProtocolEvent::HostMarkedDead { .. } => self.stats.negative_evictions += 1,
             ProtocolEvent::ReplicaCreated { node, .. } => {
                 let level = self.ns.depth(node);
                 self.stats.on_replica_created(now, level);

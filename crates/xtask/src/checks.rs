@@ -82,11 +82,27 @@ pub struct ConfigField {
     pub has_doc: bool,
 }
 
-/// Extracts the public fields of `pub struct Config { … }` with their
-/// doc-comment status.
-pub fn config_fields(config_src: &str) -> Vec<ConfigField> {
+/// Extracts the public fields of `pub struct <name> { … }` with their
+/// doc-comment status. The match requires an identifier boundary after
+/// `name`, so asking for `Config` does not land on `ConfigField`.
+pub fn struct_fields(config_src: &str, name: &str) -> Vec<ConfigField> {
     let scrubbed = scrub(config_src);
-    let Some(start) = scrubbed.find("pub struct Config") else {
+    let pat = format!("pub struct {name}");
+    let mut start = None;
+    let mut search = 0;
+    while let Some(rel) = scrubbed.get(search..).and_then(|s| s.find(&pat)) {
+        let pos = search + rel;
+        search = pos + 1;
+        let boundary = !scrubbed
+            .as_bytes()
+            .get(pos + pat.len())
+            .is_some_and(|b| b.is_ascii_alphanumeric() || *b == b'_');
+        if boundary {
+            start = Some(pos);
+            break;
+        }
+    }
+    let Some(start) = start else {
         return Vec::new();
     };
     let bytes = scrubbed.as_bytes();
@@ -149,18 +165,19 @@ pub fn config_fields(config_src: &str) -> Vec<ConfigField> {
     fields
 }
 
-/// Every `Config` field must carry a doc comment and be mentioned by name
-/// in DESIGN.md (the configuration reference is part of the design
-/// contract: a knob nobody documented is a knob nobody decoded from the
-/// paper).
-pub fn check_config_docs(config_src: &str, design_md: &str) -> Vec<Violation> {
+/// Every field of a named config struct (`Config` itself plus the
+/// failure-model sub-structs) must carry a doc comment and be mentioned
+/// by name in DESIGN.md (the configuration reference is part of the
+/// design contract: a knob nobody documented is a knob nobody decoded
+/// from the paper).
+pub fn check_struct_docs(config_src: &str, design_md: &str, name: &str) -> Vec<Violation> {
     let mut out = Vec::new();
-    let fields = config_fields(config_src);
+    let fields = struct_fields(config_src, name);
     if fields.is_empty() {
         out.push(Violation {
             file: "crates/terradir/src/config.rs".into(),
             line: 1,
-            what: "auditor found no `pub struct Config` fields (parser drift?)".into(),
+            what: format!("auditor found no `pub struct {name}` fields (parser drift?)"),
         });
         return out;
     }
@@ -169,14 +186,14 @@ pub fn check_config_docs(config_src: &str, design_md: &str) -> Vec<Violation> {
             out.push(Violation {
                 file: "crates/terradir/src/config.rs".into(),
                 line: f.line,
-                what: format!("Config field `{}` has no doc comment", f.name),
+                what: format!("{name} field `{}` has no doc comment", f.name),
             });
         }
         if !design_md.contains(&f.name) {
             out.push(Violation {
                 file: "DESIGN.md".into(),
                 line: 1,
-                what: format!("Config field `{}` is not documented in DESIGN.md", f.name),
+                what: format!("{name} field `{}` is not documented in DESIGN.md", f.name),
             });
         }
     }
@@ -360,13 +377,13 @@ pub struct Config {
     #[test]
     fn documented_fields_in_design_pass() {
         let design = "DESIGN: alpha is the count, beta the rate.";
-        assert!(check_config_docs(CONFIG_OK, design).is_empty());
+        assert!(check_struct_docs(CONFIG_OK, design, "Config").is_empty());
     }
 
     #[test]
     fn missing_doc_comment_is_caught() {
         let src = "pub struct Config {\n    pub naked: u32,\n}\n";
-        let vs = check_config_docs(src, "naked");
+        let vs = check_struct_docs(src, "naked", "Config");
         assert_eq!(vs.len(), 1);
         assert!(vs[0].what.contains("no doc comment"));
         assert_eq!(vs[0].line, 2);
@@ -375,7 +392,7 @@ pub struct Config {
     #[test]
     fn field_absent_from_design_is_caught() {
         let design = "only alpha is described here";
-        let vs = check_config_docs(CONFIG_OK, design);
+        let vs = check_struct_docs(CONFIG_OK, design, "Config");
         assert_eq!(vs.len(), 1);
         assert!(vs[0].what.contains("beta"));
         assert!(vs[0].what.contains("DESIGN.md"));
@@ -384,7 +401,32 @@ pub struct Config {
     #[test]
     fn parser_drift_is_loud_not_silent() {
         // If Config is renamed the check must fail, not vacuously pass.
-        let vs = check_config_docs("pub struct Settings { pub a: u32 }", "a");
+        let vs = check_struct_docs("pub struct Settings { pub a: u32 }", "a", "Config");
+        assert_eq!(vs.len(), 1);
+        assert!(vs[0].what.contains("parser drift"));
+    }
+
+    #[test]
+    fn struct_fields_respects_identifier_boundaries() {
+        // Asking for `Config` must skip `ConfigField` and land on the
+        // real struct even when the decoy comes first.
+        let src = "pub struct ConfigField {\n    pub decoy: u32,\n}\npub struct Config {\n    /// Doc.\n    pub real: u32,\n}\n";
+        let fields = struct_fields(src, "Config");
+        assert_eq!(fields.len(), 1);
+        assert_eq!(fields[0].name, "real");
+        let sub = struct_fields(src, "ConfigField");
+        assert_eq!(sub.len(), 1);
+        assert_eq!(sub[0].name, "decoy");
+    }
+
+    #[test]
+    fn sub_struct_docs_are_audited_by_name() {
+        let src = "pub struct FaultConfig {\n    /// Documented.\n    pub loss_prob: f64,\n    pub jitter: f64,\n}\n";
+        let vs = check_struct_docs(src, "loss_prob jitter", "FaultConfig");
+        assert_eq!(vs.len(), 1, "{vs:?}");
+        assert!(vs[0].what.contains("FaultConfig field `jitter`"));
+        // A missing struct is loud, not vacuous.
+        let vs = check_struct_docs(src, "", "RetryConfig");
         assert_eq!(vs.len(), 1);
         assert!(vs[0].what.contains("parser drift"));
     }
@@ -393,7 +435,7 @@ pub struct Config {
     fn attributes_do_not_break_a_doc_run() {
         let src =
             "pub struct Config {\n    /// Doc.\n    #[allow(dead_code)]\n    pub a: u32,\n}\n";
-        assert!(check_config_docs(src, "a").is_empty());
+        assert!(check_struct_docs(src, "a", "Config").is_empty());
     }
 
     // ---- message handlers ----------------------------------------------

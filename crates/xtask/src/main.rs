@@ -56,13 +56,16 @@ fn lint() -> ExitCode {
     let mut violations: Vec<Violation> = Vec::new();
     let mut io_errors: Vec<String> = Vec::new();
 
-    // Check 1: Config docs ↔ DESIGN.md.
+    // Check 1: Config docs ↔ DESIGN.md — the top-level struct plus the
+    // failure-model sub-structs it embeds.
     match (
         read(&root, "crates/terradir/src/config.rs"),
         read(&root, "DESIGN.md"),
     ) {
         (Ok(config), Ok(design)) => {
-            violations.extend(checks::check_config_docs(&config, &design));
+            for name in ["Config", "FaultConfig", "RetryConfig", "ChurnConfig"] {
+                violations.extend(checks::check_struct_docs(&config, &design, name));
+            }
         }
         (a, b) => {
             io_errors.extend(a.err());
