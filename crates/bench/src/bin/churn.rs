@@ -23,23 +23,8 @@
 //! time-to-recover after the window closes.
 
 use terradir::{ServerId, System};
-use terradir_bench::{pct, tsv_header, tsv_row, Args, ShapeChecks};
+use terradir_bench::{pct, tsv_header, tsv_row, write_bench_json, Args, JsonObj, ShapeChecks};
 use terradir_workload::StreamPlan;
-
-fn availability_curve(sys: &System) -> Vec<f64> {
-    let injected = sys.stats().injected_per_sec.bins();
-    let resolved = sys.stats().resolved_per_sec.bins();
-    (0..injected.len())
-        .map(|t| {
-            let inj = injected[t];
-            if inj == 0 {
-                1.0
-            } else {
-                (resolved.get(t).copied().unwrap_or(0) as f64 / inj as f64).min(1.0)
-            }
-        })
-        .collect()
-}
 
 struct Outcome {
     label: String,
@@ -104,7 +89,7 @@ fn main() {
         }
 
         let st = sys.stats();
-        let avail = availability_curve(&sys);
+        let avail = st.availability();
         let churn_availability = ((st.resolved - resolved_warm) as f64
             / (st.injected - injected_warm).max(1) as f64)
             .min(1.0);
@@ -152,6 +137,31 @@ fn main() {
     for o in &outcomes {
         tsv_row(&o.label, &[o.churn_availability, o.time_to_recover]);
     }
+
+    let mut json = JsonObj::new()
+        .str("bench", "churn")
+        .int("servers", u64::from(scale.servers))
+        .int("seed", args.seed)
+        .num("churn_start", warm)
+        .num("churn_stop", churn_stop);
+    for o in &outcomes {
+        json = json.obj(
+            &o.label,
+            JsonObj::new()
+                .num("churn_availability", o.churn_availability)
+                .num("time_to_recover", o.time_to_recover)
+                .int("retries", o.retries)
+                .int("failures", o.failures)
+                .int("recoveries", o.recoveries)
+                .int("negative_evictions", o.negative_evictions)
+                .arr("availability", &o.avail),
+        );
+    }
+    json = json.num(
+        "churn_availability_delta",
+        outcomes[0].churn_availability - outcomes[1].churn_availability,
+    );
+    write_bench_json("churn", &json);
 
     let mut checks = ShapeChecks::new();
     for o in &outcomes {

@@ -21,25 +21,8 @@
 //! baseline.
 
 use terradir::{Config, ServerId, System};
-use terradir_bench::{pct, tsv_header, tsv_row, Args, ShapeChecks};
+use terradir_bench::{pct, tsv_header, tsv_row, write_bench_json, Args, JsonObj, ShapeChecks};
 use terradir_workload::StreamPlan;
-
-/// Per-second availability: resolved/injected per bin; seconds with no
-/// injections read as fully available.
-fn availability(sys: &System) -> Vec<f64> {
-    let injected = sys.stats().injected_per_sec.bins();
-    let resolved = sys.stats().resolved_per_sec.bins();
-    (0..injected.len())
-        .map(|t| {
-            let inj = injected[t];
-            if inj == 0 {
-                1.0
-            } else {
-                (resolved.get(t).copied().unwrap_or(0) as f64 / inj as f64).min(1.0)
-            }
-        })
-        .collect()
-}
 
 struct Curve {
     label: String,
@@ -100,7 +83,7 @@ fn main() {
             sys.recover_server(v);
         }
         sys.run_until(total);
-        let avail = availability(&sys);
+        let avail = sys.stats().availability();
 
         // Pre-failure baseline: mean availability over the last 10 s of
         // the warm phase.
@@ -151,6 +134,25 @@ fn main() {
     for c in &curves {
         tsv_row(&c.label, &[c.dip, c.time_to_baseline]);
     }
+
+    let mut json = JsonObj::new()
+        .str("bench", "resilience")
+        .int("servers", u64::from(scale.servers))
+        .int("seed", args.seed)
+        .num("fail_at", warm)
+        .num("recover_at", recover_at);
+    for c in &curves {
+        json = json.obj(
+            &c.label,
+            JsonObj::new()
+                .num("dip", c.dip)
+                .num("time_to_baseline", c.time_to_baseline)
+                .int("post_drops", c.post_drops)
+                .int("post_replicas", c.post_replicas)
+                .arr("availability", &c.avail),
+        );
+    }
+    write_bench_json("resilience", &json);
 
     let mut checks = ShapeChecks::new();
     let post_window = ((total - warm) * rate) as u64;

@@ -153,6 +153,100 @@ impl Scale {
     }
 }
 
+/// Minimal hand-rolled JSON object builder for the machine-readable
+/// `BENCH_<name>.json` summaries (the workspace deliberately has no
+/// serde; see DESIGN.md §4). Keys keep insertion order so outputs are
+/// byte-stable across runs of the same binary.
+#[derive(Debug, Default, Clone)]
+pub struct JsonObj {
+    fields: Vec<(String, String)>,
+}
+
+impl JsonObj {
+    /// New empty object.
+    pub fn new() -> JsonObj {
+        JsonObj::default()
+    }
+
+    fn push(mut self, key: &str, rendered: String) -> JsonObj {
+        self.fields.push((escape_json(key), rendered));
+        self
+    }
+
+    /// Adds a float field; non-finite values render as `null` (JSON has
+    /// no NaN/Infinity) so "never recovered" markers survive parsing.
+    #[must_use]
+    pub fn num(self, key: &str, v: f64) -> JsonObj {
+        self.push(key, render_num(v))
+    }
+
+    /// Adds an integer field.
+    #[must_use]
+    pub fn int(self, key: &str, v: u64) -> JsonObj {
+        self.push(key, format!("{v}"))
+    }
+
+    /// Adds a string field (escaped).
+    #[must_use]
+    pub fn str(self, key: &str, v: &str) -> JsonObj {
+        let escaped = escape_json(v);
+        self.push(key, format!("\"{escaped}\""))
+    }
+
+    /// Adds an array of floats (non-finite values become `null`).
+    #[must_use]
+    pub fn arr(self, key: &str, vs: &[f64]) -> JsonObj {
+        let cells: Vec<String> = vs.iter().map(|&v| render_num(v)).collect();
+        self.push(key, format!("[{}]", cells.join(",")))
+    }
+
+    /// Adds a nested object field.
+    #[must_use]
+    pub fn obj(self, key: &str, v: JsonObj) -> JsonObj {
+        let rendered = v.render();
+        self.push(key, rendered)
+    }
+
+    /// Renders the object as a single-line JSON document.
+    pub fn render(&self) -> String {
+        let cells: Vec<String> = self
+            .fields
+            .iter()
+            .map(|(k, v)| format!("\"{k}\":{v}"))
+            .collect();
+        format!("{{{}}}", cells.join(","))
+    }
+}
+
+fn render_num(v: f64) -> String {
+    if v.is_finite() {
+        format!("{v:.6}")
+    } else {
+        "null".to_string()
+    }
+}
+
+fn escape_json(s: &str) -> String {
+    // escape_default covers `"` and `\` plus control characters; its
+    // \u{XX} form for controls is not valid JSON, but no bench emits
+    // control characters in keys or labels.
+    s.chars().flat_map(char::escape_default).collect()
+}
+
+/// Writes `BENCH_<name>.json` into the current directory so CI and
+/// plotting scripts can consume experiment results without scraping
+/// TSV. Failure to write is a warning, not an abort: the human-readable
+/// stdout report is the primary artifact.
+pub fn write_bench_json(name: &str, obj: &JsonObj) {
+    let path = format!("BENCH_{name}.json");
+    let mut body = obj.render();
+    body.push('\n');
+    match std::fs::write(&path, body) {
+        Ok(()) => eprintln!("wrote {path}"),
+        Err(e) => eprintln!("warning: could not write {path}: {e}"),
+    }
+}
+
 /// Prints a TSV header line (column names) to stdout.
 pub fn tsv_header(cols: &[&str]) {
     println!("{}", cols.join("\t"));
@@ -244,6 +338,28 @@ mod tests {
     fn rate_scales_with_servers() {
         let s = Scale::for_servers(256, 1.0);
         assert!((s.rate(20_000.0) - 1250.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn json_obj_renders_every_field_kind() {
+        let j = JsonObj::new()
+            .str("label", "a\"b")
+            .int("count", 7)
+            .num("frac", 0.5)
+            .num("never", f64::INFINITY)
+            .arr("curve", &[1.0, f64::NAN])
+            .obj("inner", JsonObj::new().int("x", 1));
+        assert_eq!(
+            j.render(),
+            "{\"label\":\"a\\\"b\",\"count\":7,\"frac\":0.500000,\
+             \"never\":null,\"curve\":[1.000000,null],\"inner\":{\"x\":1}}"
+        );
+    }
+
+    #[test]
+    fn json_obj_is_order_stable() {
+        let a = JsonObj::new().int("b", 2).int("a", 1).render();
+        assert_eq!(a, "{\"b\":2,\"a\":1}");
     }
 
     #[test]

@@ -7,7 +7,7 @@
 //! layer feeding [`RouteCache::insert`] with every `(node, map)` pair a
 //! query carries.
 
-use std::collections::HashMap;
+use crate::det::DetHashMap;
 
 use terradir_namespace::NodeId;
 
@@ -17,7 +17,7 @@ use crate::map::NodeMap;
 #[derive(Debug, Clone)]
 pub struct RouteCache {
     slots: usize,
-    entries: HashMap<NodeId, CacheEntry>,
+    entries: DetHashMap<NodeId, CacheEntry>,
     clock: u64,
     hits: u64,
     misses: u64,
@@ -36,7 +36,7 @@ impl RouteCache {
     pub fn new(slots: usize) -> RouteCache {
         RouteCache {
             slots,
-            entries: HashMap::with_capacity(slots),
+            entries: crate::det::det_map_with_capacity(slots),
             clock: 0,
             hits: 0,
             misses: 0,

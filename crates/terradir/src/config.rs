@@ -105,6 +105,16 @@ pub struct Config {
     pub retry: RetryConfig,
     /// Continuous churn process (exponential up/down times per server).
     pub churn: ChurnConfig,
+    /// Group-based network-partition fault model (DESIGN.md §13).
+    pub partitions: PartitionConfig,
+    /// Timed chaos-scenario script executed from the event calendar
+    /// (DESIGN.md §13).
+    pub scenario: ScenarioConfig,
+    /// Graceful degradation: when a request queue is full, shed the
+    /// deepest-TTL queued query in favor of the arrival instead of
+    /// FIFO-dropping the arrival (DESIGN.md §13). Control traffic is
+    /// unbounded either way.
+    pub shedding: bool,
     /// Master seed for every random component.
     pub seed: u64,
 }
@@ -206,6 +216,101 @@ impl Default for ChurnConfig {
     }
 }
 
+/// Group-based network partitions (DESIGN.md §13). Server `s` belongs to
+/// reachability group `s mod n_groups`; a *cut* severs a set of groups
+/// from the rest of the fleet for a window of simulated time. Remote
+/// deliveries crossing the active cut are dropped at delivery time, with
+/// `HostDown` feedback synthesized at the sender when negative caching is
+/// on. The default (`n_groups = 1`, no cuts) is inert.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PartitionConfig {
+    /// Number of reachability groups (≥ 1). With a single group every cut
+    /// is a no-op: there is never a far side to sever.
+    pub n_groups: u32,
+    /// Statically scheduled cut windows, independent of `Config::scenario`.
+    pub cuts: Vec<CutWindow>,
+}
+
+impl Default for PartitionConfig {
+    fn default() -> PartitionConfig {
+        PartitionConfig {
+            n_groups: 1,
+            cuts: Vec::new(),
+        }
+    }
+}
+
+/// One scheduled partition window: the listed groups are severed from the
+/// rest of the fleet over `[start, stop)`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CutWindow {
+    /// Simulation time the cut activates, seconds.
+    pub start: f64,
+    /// Simulation time the cut heals, seconds (∞ = never heals).
+    pub stop: f64,
+    /// Reachability groups on the severed side of the cut.
+    pub groups: Vec<u32>,
+}
+
+/// A timed chaos script (DESIGN.md §13): actions fire from the event
+/// calendar at their scheduled times, under the run's single fault-RNG
+/// stream, so every scenario replays bit-identically from a seed. The
+/// default (no events) is inert.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct ScenarioConfig {
+    /// The script: chaos actions with absolute fire times.
+    pub events: Vec<ScenarioEvent>,
+}
+
+impl ScenarioConfig {
+    /// Whether the script contains any events.
+    pub fn enabled(&self) -> bool {
+        !self.events.is_empty()
+    }
+}
+
+/// One scripted chaos event.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ScenarioEvent {
+    /// Absolute simulation time the action fires, seconds. Events past the
+    /// end of the run simply never fire.
+    pub at: f64,
+    /// The chaos action applied at `at`.
+    pub action: ChaosAction,
+}
+
+/// The chaos-action alphabet of `ScenarioConfig`.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ChaosAction {
+    /// Sever the listed reachability groups from the rest of the fleet
+    /// (replaces any active cut; an empty or all-covering side is a no-op
+    /// relation).
+    Cut {
+        /// Groups on the severed side (each < `partitions.n_groups`).
+        groups: Vec<u32>,
+    },
+    /// Clear the active cut, whatever installed it.
+    Heal,
+    /// Aim an extra Poisson query stream at one node: total arrivals for
+    /// that node become `rate_multiplier ×` the base system rate while
+    /// active. A multiplier ≤ 1 (or an out-of-namespace node) turns the
+    /// flash crowd off.
+    FlashCrowd {
+        /// The namespace node suddenly in demand.
+        node: u32,
+        /// Extra stream rate = `(rate_multiplier − 1) ×` base rate.
+        rate_multiplier: f64,
+    },
+    /// Instantaneously crash `round(fraction × n_servers)` live servers,
+    /// chosen uniformly from the fault RNG.
+    CorrelatedCrash {
+        /// Fraction of the fleet to crash, in `[0, 1]`.
+        fraction: f64,
+    },
+    /// Recover every currently failed server (cold rejoin).
+    Recover,
+}
+
 impl Config {
     /// The paper's evaluation defaults for a system of `n_servers` servers.
     pub fn paper_default(n_servers: u32) -> Config {
@@ -248,6 +353,9 @@ impl Config {
             faults: FaultConfig::default(),
             retry: RetryConfig::default(),
             churn: ChurnConfig::default(),
+            partitions: PartitionConfig::default(),
+            scenario: ScenarioConfig::default(),
+            shedding: false,
             seed: 0,
         }
     }
@@ -364,6 +472,53 @@ impl Config {
                 return Err("churn.max_down_fraction must be in [0, 1]".into());
             }
         }
+        if self.partitions.n_groups == 0 {
+            return Err("partitions.n_groups must be at least 1".into());
+        }
+        for cut in &self.partitions.cuts {
+            if !cut.start.is_finite() || cut.start < 0.0 {
+                return Err("partition cut start must be finite and non-negative".into());
+            }
+            if cut.stop.is_nan() || cut.stop < cut.start {
+                return Err("partition cut stop must be ≥ its start".into());
+            }
+            if let Some(g) = cut.groups.iter().find(|&&g| g >= self.partitions.n_groups) {
+                return Err(format!(
+                    "partition cut names group {g} but n_groups is {}",
+                    self.partitions.n_groups
+                ));
+            }
+        }
+        for ev in &self.scenario.events {
+            if !ev.at.is_finite() || ev.at < 0.0 {
+                return Err("scenario event time must be finite and non-negative".into());
+            }
+            match &ev.action {
+                ChaosAction::Cut { groups } => {
+                    if let Some(g) = groups.iter().find(|&&g| g >= self.partitions.n_groups) {
+                        return Err(format!(
+                            "scenario cut names group {g} but n_groups is {}",
+                            self.partitions.n_groups
+                        ));
+                    }
+                }
+                ChaosAction::FlashCrowd {
+                    rate_multiplier, ..
+                } => {
+                    if !rate_multiplier.is_finite() || *rate_multiplier < 0.0 {
+                        return Err(
+                            "flash-crowd rate_multiplier must be finite and non-negative".into(),
+                        );
+                    }
+                }
+                ChaosAction::CorrelatedCrash { fraction } => {
+                    if fraction.is_nan() || !(0.0..=1.0).contains(fraction) {
+                        return Err("correlated-crash fraction must be in [0, 1]".into());
+                    }
+                }
+                ChaosAction::Heal | ChaosAction::Recover => {}
+            }
+        }
         Ok(())
     }
 }
@@ -463,6 +618,116 @@ mod tests {
         // Churn bounds are only enforced when the process is enabled.
         let mut c = Config::paper_default(4);
         c.churn.mean_uptime = 0.0;
+        assert_eq!(c.validate(), Ok(()));
+    }
+
+    #[test]
+    fn chaos_defaults_are_inert_and_valid() {
+        let c = Config::paper_default(4);
+        assert_eq!(c.partitions, PartitionConfig::default());
+        assert_eq!(c.partitions.n_groups, 1);
+        assert!(c.partitions.cuts.is_empty());
+        assert!(!c.scenario.enabled());
+        assert!(!c.shedding);
+        assert_eq!(c.validate(), Ok(()));
+    }
+
+    #[test]
+    fn validate_catches_bad_partition_values() {
+        let mut c = Config::paper_default(4);
+        c.partitions.n_groups = 0;
+        assert!(c.validate().is_err());
+        let mut c = Config::paper_default(4);
+        c.partitions.cuts.push(CutWindow {
+            start: -1.0,
+            stop: 5.0,
+            groups: vec![0],
+        });
+        assert!(c.validate().is_err());
+        let mut c = Config::paper_default(4);
+        c.partitions.cuts.push(CutWindow {
+            start: 5.0,
+            stop: 1.0,
+            groups: vec![0],
+        });
+        assert!(c.validate().is_err());
+        let mut c = Config::paper_default(4);
+        c.partitions.n_groups = 2;
+        c.partitions.cuts.push(CutWindow {
+            start: 0.0,
+            stop: 1.0,
+            groups: vec![2],
+        });
+        assert!(c.validate().is_err(), "out-of-range group must be rejected");
+        // A never-healing cut is legal.
+        let mut c = Config::paper_default(4);
+        c.partitions.n_groups = 2;
+        c.partitions.cuts.push(CutWindow {
+            start: 1.0,
+            stop: f64::INFINITY,
+            groups: vec![1],
+        });
+        assert_eq!(c.validate(), Ok(()));
+    }
+
+    #[test]
+    fn validate_catches_bad_scenario_values() {
+        let mut c = Config::paper_default(4);
+        c.scenario.events.push(ScenarioEvent {
+            at: f64::NAN,
+            action: ChaosAction::Heal,
+        });
+        assert!(c.validate().is_err());
+        let mut c = Config::paper_default(4);
+        c.scenario.events.push(ScenarioEvent {
+            at: 1.0,
+            action: ChaosAction::Cut { groups: vec![7] },
+        });
+        assert!(c.validate().is_err(), "scenario cut group beyond n_groups");
+        let mut c = Config::paper_default(4);
+        c.scenario.events.push(ScenarioEvent {
+            at: 1.0,
+            action: ChaosAction::FlashCrowd {
+                node: 0,
+                rate_multiplier: f64::INFINITY,
+            },
+        });
+        assert!(c.validate().is_err());
+        let mut c = Config::paper_default(4);
+        c.scenario.events.push(ScenarioEvent {
+            at: 1.0,
+            action: ChaosAction::CorrelatedCrash { fraction: 1.5 },
+        });
+        assert!(c.validate().is_err());
+        // A full, in-range script validates.
+        let mut c = Config::paper_default(4);
+        c.partitions.n_groups = 2;
+        c.scenario.events = vec![
+            ScenarioEvent {
+                at: 1.0,
+                action: ChaosAction::Cut { groups: vec![1] },
+            },
+            ScenarioEvent {
+                at: 2.0,
+                action: ChaosAction::Heal,
+            },
+            ScenarioEvent {
+                at: 3.0,
+                action: ChaosAction::FlashCrowd {
+                    node: 5,
+                    rate_multiplier: 4.0,
+                },
+            },
+            ScenarioEvent {
+                at: 4.0,
+                action: ChaosAction::CorrelatedCrash { fraction: 0.25 },
+            },
+            ScenarioEvent {
+                at: 5.0,
+                action: ChaosAction::Recover,
+            },
+        ];
+        assert!(c.scenario.enabled());
         assert_eq!(c.validate(), Ok(()));
     }
 

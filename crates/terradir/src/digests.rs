@@ -6,7 +6,7 @@
 //! freshest digest per server in a bounded LRU store and use them for
 //! shortcut discovery and conservative map pruning.
 
-use std::collections::HashMap;
+use crate::det::DetHashMap;
 
 use terradir_bloom::{BloomParams, Digest, DigestBuilder};
 use terradir_namespace::{Namespace, NodeId, ServerId};
@@ -40,14 +40,14 @@ where
 #[derive(Debug, Clone)]
 pub struct DigestStore {
     slots: usize,
-    entries: HashMap<ServerId, StoredDigest>,
+    entries: DetHashMap<ServerId, StoredDigest>,
     clock: u64,
     /// Negative results: `(server, node) → digest generation` pairs proven
     /// wrong in the field (a `NotHosting` correction came back). A Bloom
     /// false positive is *deterministic* for a given digest, so without
     /// this memory the same wrong shortcut would be taken on every query
     /// for that name. Denials expire when a fresher digest arrives.
-    denied: HashMap<(ServerId, terradir_namespace::NodeId), u64>,
+    denied: DetHashMap<(ServerId, terradir_namespace::NodeId), u64>,
 }
 
 #[derive(Debug, Clone)]
@@ -61,9 +61,9 @@ impl DigestStore {
     pub fn new(slots: usize) -> DigestStore {
         DigestStore {
             slots,
-            entries: HashMap::new(),
+            entries: DetHashMap::default(),
             clock: 0,
-            denied: HashMap::new(),
+            denied: DetHashMap::default(),
         }
     }
 

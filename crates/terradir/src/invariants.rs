@@ -202,6 +202,18 @@ pub fn check_digest_no_false_negative(ns: &Namespace, server: &ServerState) -> V
 /// absorbs the cost).
 pub fn check_negative_cache(server: &ServerState) -> Vec<String> {
     let mut v = Vec::new();
+    // A live replication session must never target a host observed dead:
+    // the partner's death aborts the session on the spot (stranding a
+    // `Session` until its timeout would block replication exactly when
+    // the load spike needs it).
+    if let Some(target) = server.session_target() {
+        if server.is_negatively_cached(target) {
+            v.push(format!(
+                "server {}: replication session targets dead host {}",
+                server.id.0, target.0
+            ));
+        }
+    }
     for h in server.negatively_cached() {
         for (n, rec) in server.owned.iter().chain(server.replicas.iter()) {
             if rec.map.contains(h) {
@@ -229,6 +241,25 @@ pub fn check_negative_cache(server: &ServerState) -> Vec<String> {
         }
     }
     v
+}
+
+/// Partition enforcement (DESIGN.md §13): while a cut is active, no
+/// message may be handed to a server on the other side of the relation.
+/// `side` is the substrate's active cut (one flag per server); the checker
+/// runs at the instant a delivery is about to be enqueued — after the
+/// drop logic should already have fired — so any violation means a
+/// message slipped across the cut.
+pub fn check_cut_delivery(side: &[bool], from: ServerId, to: ServerId) -> Vec<String> {
+    let a = side.get(from.index()).copied().unwrap_or(false);
+    let b = side.get(to.index()).copied().unwrap_or(false);
+    if a == b {
+        Vec::new()
+    } else {
+        vec![format!(
+            "delivery from server {} to server {} crosses the active cut",
+            from.0, to.0
+        )]
+    }
 }
 
 /// Runs every per-server structural checker and returns the combined
@@ -365,6 +396,32 @@ mod tests {
         let v = check_negative_cache(&s);
         assert_eq!(v.len(), 1, "{v:?}");
         assert!(v[0].contains("dead host"), "{v:?}");
+    }
+
+    #[test]
+    fn cut_crossing_delivery_is_caught() {
+        // Servers 0 and 2 on one side, 1 and 3 on the other.
+        let side = [true, false, true, false];
+        assert!(check_cut_delivery(&side, ServerId(0), ServerId(2)).is_empty());
+        assert!(check_cut_delivery(&side, ServerId(1), ServerId(3)).is_empty());
+        let v = check_cut_delivery(&side, ServerId(0), ServerId(1));
+        assert_eq!(v.len(), 1);
+        assert!(v[0].contains("crosses the active cut"), "{v:?}");
+        // Out-of-range ids read as the un-cut side.
+        assert!(check_cut_delivery(&side, ServerId(1), ServerId(9)).is_empty());
+        assert_eq!(check_cut_delivery(&side, ServerId(0), ServerId(9)).len(), 1);
+    }
+
+    #[test]
+    fn session_targeting_dead_host_is_caught() {
+        let (_ns, mut s) = fixture();
+        let dead = ServerId(3);
+        s.session = Some(crate::replication::Session::new_for_tests(dead, 0.0));
+        assert!(check_negative_cache(&s).is_empty());
+        s.negative.insert(dead, 0.0);
+        let v = check_negative_cache(&s);
+        assert_eq!(v.len(), 1, "{v:?}");
+        assert!(v[0].contains("session targets dead host"), "{v:?}");
     }
 
     #[test]

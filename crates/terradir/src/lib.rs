@@ -54,6 +54,7 @@
 
 pub mod cache;
 pub mod config;
+pub mod det;
 pub mod digests;
 pub mod invariants;
 pub mod load;
@@ -70,7 +71,10 @@ pub mod stats;
 pub mod system;
 
 pub use cache::RouteCache;
-pub use config::{ChurnConfig, Config, FaultConfig, RetryConfig};
+pub use config::{
+    ChaosAction, ChurnConfig, Config, CutWindow, FaultConfig, PartitionConfig, RetryConfig,
+    ScenarioConfig, ScenarioEvent,
+};
 pub use map::NodeMap;
 pub use messages::{Message, QueryPacket};
 pub use meta::Meta;

@@ -15,7 +15,7 @@
 //!    it. Digest-based pruning should keep this near zero even under heavy
 //!    replica churn.
 
-use std::collections::HashSet;
+use crate::det::DetHashSet;
 
 use terradir_namespace::{NodeId, ServerId};
 
@@ -25,7 +25,7 @@ use crate::system::System;
 /// A snapshot of the true hosting relation across the whole system.
 #[derive(Debug, Clone)]
 pub struct GlobalTruth {
-    hosts: HashSet<(ServerId, NodeId)>,
+    hosts: DetHashSet<(ServerId, NodeId)>,
 }
 
 impl GlobalTruth {
@@ -36,7 +36,7 @@ impl GlobalTruth {
 
     /// Snapshots the hosting relation of an explicit server set.
     pub fn from_servers(servers: &[ServerState]) -> GlobalTruth {
-        let mut hosts = HashSet::new();
+        let mut hosts = DetHashSet::default();
         for s in servers {
             for n in s.hosted_ids() {
                 hosts.insert((s.id(), n));

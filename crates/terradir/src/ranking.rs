@@ -11,7 +11,7 @@
 //! the same estimator (a geometric moving average of demand) without the
 //! sawtooth, and it needs no timer.
 
-use std::collections::HashMap;
+use crate::det::DetHashMap;
 
 use terradir_namespace::NodeId;
 
@@ -19,7 +19,7 @@ use terradir_namespace::NodeId;
 #[derive(Debug, Clone)]
 pub struct NodeWeights {
     half_life: f64,
-    weights: HashMap<NodeId, Entry>,
+    weights: DetHashMap<NodeId, Entry>,
 }
 
 #[derive(Debug, Clone, Copy)]
@@ -41,7 +41,7 @@ impl NodeWeights {
         assert!(half_life > 0.0 && half_life.is_finite());
         NodeWeights {
             half_life,
-            weights: HashMap::new(),
+            weights: DetHashMap::default(),
         }
     }
 

@@ -13,7 +13,7 @@
 //! learn about deletions lazily, or never — stale maps are tolerated and
 //! pruned by digests.
 
-use std::collections::HashMap;
+use crate::det::DetHashMap;
 
 use rand::rngs::StdRng;
 use rand::Rng;
@@ -28,14 +28,14 @@ use crate::server::{Outgoing, ProtocolEvent, ServerState};
 #[derive(Debug, Clone)]
 pub(crate) struct KnownLoads {
     slots: usize,
-    entries: HashMap<ServerId, (f64, f64)>, // load, observed-at
+    entries: DetHashMap<ServerId, (f64, f64)>, // load, observed-at
 }
 
 impl KnownLoads {
     pub(crate) fn new(slots: usize) -> KnownLoads {
         KnownLoads {
             slots,
-            entries: HashMap::new(),
+            entries: DetHashMap::default(),
         }
     }
 
@@ -109,6 +109,20 @@ pub(crate) struct Session {
     pub(crate) pending_shift: Option<f64>,
 }
 
+impl Session {
+    /// Test fixture: a fresh session probing `target`.
+    #[cfg(test)]
+    pub(crate) fn new_for_tests(target: ServerId, now: f64) -> Session {
+        Session {
+            target,
+            attempts: 1,
+            started_at: now,
+            tried: vec![target],
+            pending_shift: None,
+        }
+    }
+}
+
 impl ServerState {
     /// Checks the replication trigger (run by the substrate after each
     /// processed query): "replication is triggered when a server's load
@@ -171,6 +185,10 @@ impl ServerState {
     ) -> Option<ServerId> {
         let mut exclude: Vec<ServerId> = vec![self.id];
         exclude.extend_from_slice(extra_exclude);
+        // Hosts observed dead are never worth probing; without this the
+        // random fallback can hand a fresh session straight to a host the
+        // negative cache just evicted.
+        exclude.extend(self.negative.keys().copied());
         if let Some(s) = self
             .known_loads
             .best_candidate(now, self.cfg.load_stale_after, &exclude)
@@ -265,7 +283,7 @@ impl ServerState {
         });
     }
 
-    fn abort_session(&mut self, now: f64, out: &mut Vec<Outgoing>) {
+    pub(crate) fn abort_session(&mut self, now: f64, out: &mut Vec<Outgoing>) {
         self.session = None;
         self.cooldown_until = now + self.cfg.session_cooldown;
         out.push(Outgoing::Event(ProtocolEvent::SessionAborted {
@@ -767,6 +785,53 @@ mod tests {
         assert!(out
             .iter()
             .any(|o| matches!(o, Outgoing::Event(ProtocolEvent::ReplicaDeleted { node, .. }) if *node == lowest)));
+    }
+
+    #[test]
+    fn partner_death_mid_session_aborts_cleanly() {
+        // Regression: a partner dying while a session is in flight must
+        // abort the session on the spot, not strand it until
+        // `session_timeout` — otherwise the overloaded server cannot shed
+        // load for the whole timeout window.
+        let (_, _, mut servers) = world(4);
+        let mut cfg = Config::paper_default(4);
+        cfg.retry.enabled = true; // negative caching active
+        let cfg = Arc::new(cfg);
+        servers[0].cfg = Arc::clone(&cfg);
+        let now = 1.0;
+        servers[0].session = Some(Session::new_for_tests(ServerId(2), now));
+        let mut out = Vec::new();
+        servers[0].mark_host_dead(now, ServerId(2), &mut out);
+        assert!(servers[0].session.is_none(), "session must abort");
+        assert!(servers[0].cooldown_until > now, "cooldown armed");
+        assert!(out
+            .iter()
+            .any(|o| matches!(o, Outgoing::Event(ProtocolEvent::SessionAborted { .. }))));
+        // A session targeting a different host survives.
+        servers[0].session = Some(Session::new_for_tests(ServerId(3), now));
+        out.clear();
+        servers[0].mark_host_dead(now, ServerId(1), &mut out);
+        assert!(servers[0].session.is_some());
+    }
+
+    #[test]
+    fn dead_hosts_are_never_picked_as_partners() {
+        let (_, _, mut servers) = world(4);
+        let mut cfg = Config::paper_default(4);
+        cfg.retry.enabled = true;
+        servers[0].cfg = Arc::new(cfg);
+        let now = 1.0;
+        // Everybody except server 3 is observed dead; the fallback must
+        // only ever pick 3.
+        let mut out = Vec::new();
+        servers[0].mark_host_dead(now, ServerId(1), &mut out);
+        servers[0].mark_host_dead(now, ServerId(2), &mut out);
+        let mut rng = StdRng::seed_from_u64(6);
+        for _ in 0..32 {
+            if let Some(p) = servers[0].pick_partner(now, &[], &mut rng) {
+                assert_eq!(p, ServerId(3), "negatively cached host picked");
+            }
+        }
     }
 
     #[test]

@@ -6,7 +6,7 @@
 //! It is substrate-agnostic: the discrete-event [`System`](crate::system)
 //! and the live `terradir-net` runtime both drive it.
 
-use std::collections::HashMap;
+use crate::det::DetHashMap;
 use std::sync::Arc;
 
 use rand::rngs::StdRng;
@@ -127,12 +127,12 @@ pub struct ServerState {
     pub(crate) ns: Arc<Namespace>,
     pub(crate) cfg: Arc<Config>,
     /// Nodes this server owns (full records; never evicted).
-    pub(crate) owned: HashMap<NodeId, NodeRecord>,
+    pub(crate) owned: DetHashMap<NodeId, NodeRecord>,
     /// Soft-state replicas (bounded by `R_fact · |owned|`).
-    pub(crate) replicas: HashMap<NodeId, NodeRecord>,
+    pub(crate) replicas: DetHashMap<NodeId, NodeRecord>,
     /// Maps for the topological neighbors of every hosted node (the
     /// routing *context* guaranteeing incremental progress).
-    pub(crate) neighbor_maps: HashMap<NodeId, NodeMap>,
+    pub(crate) neighbor_maps: DetHashMap<NodeId, NodeMap>,
     /// LRU route cache (pointer state, no context).
     pub(crate) cache: RouteCache,
     /// Freshest inverse-mapping digest per remote server.
@@ -158,14 +158,14 @@ pub struct ServerState {
     /// Of those, how many were accurate (we really host the via node).
     pub(crate) hop_accurate: u64,
     /// Node data exported by this server (owners only; never replicated).
-    pub(crate) data_store: HashMap<NodeId, std::sync::Arc<[u8]>>,
+    pub(crate) data_store: DetHashMap<NodeId, std::sync::Arc<[u8]>>,
     /// In-progress data fetches initiated at this server.
-    pub(crate) pending_fetches: HashMap<u64, FetchState>,
+    pub(crate) pending_fetches: DetHashMap<u64, FetchState>,
     /// Negative cache (DESIGN.md §12): hosts observed dead via transport
     /// failure, mapped to the observation time. While a host is here it is
     /// kept out of every stored map; entries expire after
     /// `Config::faults.dead_ttl` or on any message proving the host alive.
-    pub(crate) negative: HashMap<ServerId, f64>,
+    pub(crate) negative: DetHashMap<ServerId, f64>,
 }
 
 /// Client-side state of one in-progress data fetch.
@@ -187,8 +187,8 @@ impl ServerState {
         cfg: Arc<Config>,
         assignment: &OwnerAssignment,
     ) -> ServerState {
-        let mut owned = HashMap::new();
-        let mut neighbor_maps: HashMap<NodeId, NodeMap> = HashMap::new();
+        let mut owned = DetHashMap::default();
+        let mut neighbor_maps: DetHashMap<NodeId, NodeMap> = DetHashMap::default();
         for &node in assignment.owned_by(id) {
             owned.insert(
                 node,
@@ -211,7 +211,7 @@ impl ServerState {
         ServerState {
             id,
             owned,
-            replicas: HashMap::new(),
+            replicas: DetHashMap::default(),
             neighbor_maps,
             cache: RouteCache::new(if cfg.caching { cfg.cache_slots } else { 0 }),
             digest_store: DigestStore::new(if cfg.digests {
@@ -229,9 +229,9 @@ impl ServerState {
             cooldown_until: 0.0,
             hop_checks: 0,
             hop_accurate: 0,
-            data_store: HashMap::new(),
-            pending_fetches: HashMap::new(),
-            negative: HashMap::new(),
+            data_store: DetHashMap::default(),
+            pending_fetches: DetHashMap::default(),
+            negative: DetHashMap::default(),
             ns,
             cfg,
         }
@@ -457,6 +457,12 @@ impl ServerState {
         }
         self.digest_store.forget(host);
         self.known_loads.forget(host);
+        // A replication session probing the dead partner aborts on the
+        // spot: stranding it until `session_timeout` would block load
+        // shedding exactly when the failure makes it urgent.
+        if self.session.as_ref().is_some_and(|s| s.target == host) {
+            self.abort_session(now, out);
+        }
         if newly {
             out.push(Outgoing::Event(ProtocolEvent::HostMarkedDead { host }));
         }
@@ -476,6 +482,11 @@ impl ServerState {
     /// Whether `host` is currently negatively cached at this server.
     pub fn is_negatively_cached(&self, host: ServerId) -> bool {
         self.negative.contains_key(&host)
+    }
+
+    /// The partner of the in-flight replication session, if any.
+    pub fn session_target(&self) -> Option<ServerId> {
+        self.session.as_ref().map(|s| s.target)
     }
 
     /// Iterator over the negatively cached hosts.

@@ -87,6 +87,55 @@ pub struct RunStats {
     /// Queries resolved per second, binned at resolve time (availability-
     /// curve numerator).
     pub resolved_per_sec: BinnedCounter,
+    /// Queries shed by the deepest-TTL admission policy (final drops with
+    /// shedding on and no retry layer).
+    pub dropped_shed: u64,
+    /// Queries finalized by a delivery crossing an active partition cut
+    /// (no retry layer).
+    pub dropped_partition: u64,
+    /// Attempt-level losses: shed by the admission policy (retry mode).
+    pub attempts_lost_shed: u64,
+    /// Attempt-level losses: delivery crossed an active cut (retry mode).
+    pub attempts_lost_partition: u64,
+    /// Messages of every kind dropped for crossing an active cut.
+    pub messages_cut: u64,
+    /// Partition cuts applied (scheduled windows + scenario actions).
+    pub cuts_applied: u64,
+    /// Heals applied (window expiries + scenario actions).
+    pub heals_applied: u64,
+    /// Extra queries injected by flash crowds (already in `injected`).
+    pub flash_injected: u64,
+    /// Servers crashed by `CorrelatedCrash` scenario actions (already in
+    /// `churn_failures`).
+    pub scenario_crashes: u64,
+    /// Per-second injections whose origin sat on the minority side of the
+    /// most recent cut (sticky across the heal, until the next cut).
+    pub injected_per_sec_minority: BinnedCounter,
+    /// Per-second resolutions delivered on the minority side.
+    pub resolved_per_sec_minority: BinnedCounter,
+    /// Per-second injections from majority-side (or never-cut) origins.
+    pub injected_per_sec_majority: BinnedCounter,
+    /// Per-second resolutions delivered on the majority side.
+    pub resolved_per_sec_majority: BinnedCounter,
+}
+
+/// Per-second availability from an injected/resolved bin pair: each bin is
+/// `resolved / injected` capped at 1; a bin with no injections reads as
+/// fully available.
+pub fn availability_curve(injected: &BinnedCounter, resolved: &BinnedCounter) -> Vec<f64> {
+    let res = resolved.bins();
+    injected
+        .bins()
+        .iter()
+        .enumerate()
+        .map(|(t, &inj)| {
+            if inj == 0 {
+                1.0
+            } else {
+                (res.get(t).copied().unwrap_or(0) as f64 / inj as f64).min(1.0)
+            }
+        })
+        .collect()
 }
 
 impl RunStats {
@@ -129,16 +178,55 @@ impl RunStats {
             churn_recoveries: 0,
             injected_per_sec: BinnedCounter::new(1.0),
             resolved_per_sec: BinnedCounter::new(1.0),
+            dropped_shed: 0,
+            dropped_partition: 0,
+            attempts_lost_shed: 0,
+            attempts_lost_partition: 0,
+            messages_cut: 0,
+            cuts_applied: 0,
+            heals_applied: 0,
+            flash_injected: 0,
+            scenario_crashes: 0,
+            injected_per_sec_minority: BinnedCounter::new(1.0),
+            resolved_per_sec_minority: BinnedCounter::new(1.0),
+            injected_per_sec_majority: BinnedCounter::new(1.0),
+            resolved_per_sec_majority: BinnedCounter::new(1.0),
         }
     }
 
-    /// Total dropped queries (queue + TTL + stuck + timeout + lost).
+    /// Total dropped queries (queue + TTL + stuck + timeout + lost + shed
+    /// + partition).
     pub fn dropped_total(&self) -> u64 {
         self.dropped_queue
             + self.dropped_ttl
             + self.dropped_stuck
             + self.dropped_timeout
             + self.dropped_lost
+            + self.dropped_shed
+            + self.dropped_partition
+    }
+
+    /// Fleet-wide per-second availability curve.
+    pub fn availability(&self) -> Vec<f64> {
+        availability_curve(&self.injected_per_sec, &self.resolved_per_sec)
+    }
+
+    /// Availability of queries issued on the minority side of the most
+    /// recent cut (the full run's curve; before any cut the series is
+    /// empty and reads fully available).
+    pub fn availability_minority(&self) -> Vec<f64> {
+        availability_curve(
+            &self.injected_per_sec_minority,
+            &self.resolved_per_sec_minority,
+        )
+    }
+
+    /// Availability of queries issued on the majority (or never-cut) side.
+    pub fn availability_majority(&self) -> Vec<f64> {
+        availability_curve(
+            &self.injected_per_sec_majority,
+            &self.resolved_per_sec_majority,
+        )
     }
 
     /// Fraction of injected queries that were dropped.
@@ -167,6 +255,8 @@ impl RunStats {
             DropKind::Stuck => self.dropped_stuck += 1,
             DropKind::Timeout => self.dropped_timeout += 1,
             DropKind::Lost => self.dropped_lost += 1,
+            DropKind::Shed => self.dropped_shed += 1,
+            DropKind::Partition => self.dropped_partition += 1,
         }
         self.drops_per_sec.record(t);
     }
@@ -188,6 +278,8 @@ impl RunStats {
             DropKind::Ttl => self.attempts_lost_ttl += 1,
             DropKind::Stuck => self.attempts_lost_stuck += 1,
             DropKind::Lost => self.attempts_lost_transport += 1,
+            DropKind::Shed => self.attempts_lost_shed += 1,
+            DropKind::Partition => self.attempts_lost_partition += 1,
             DropKind::Timeout => debug_assert!(false, "timeout is final, not attempt-level"),
         }
     }
@@ -247,6 +339,18 @@ pub struct Summary {
     pub churn_failures: u64,
     /// Servers recovered.
     pub churn_recoveries: u64,
+    /// Queries shed by the admission policy (final drops).
+    pub dropped_shed: u64,
+    /// Queries finalized by crossing an active cut.
+    pub dropped_partition: u64,
+    /// Messages dropped for crossing an active cut.
+    pub messages_cut: u64,
+    /// Partition cuts applied.
+    pub cuts_applied: u64,
+    /// Heals applied.
+    pub heals_applied: u64,
+    /// Extra queries injected by flash crowds.
+    pub flash_injected: u64,
 }
 
 impl Summary {
@@ -262,7 +366,10 @@ impl Summary {
                 "\"sessions_completed\":{},\"control_messages\":{},",
                 "\"data_fetches_ok\":{},\"retries\":{},",
                 "\"messages_lost\":{},\"churn_failures\":{},",
-                "\"churn_recoveries\":{}}}"
+                "\"churn_recoveries\":{},\"dropped_shed\":{},",
+                "\"dropped_partition\":{},\"messages_cut\":{},",
+                "\"cuts_applied\":{},\"heals_applied\":{},",
+                "\"flash_injected\":{}}}"
             ),
             self.injected,
             self.resolved,
@@ -280,6 +387,12 @@ impl Summary {
             self.messages_lost,
             self.churn_failures,
             self.churn_recoveries,
+            self.dropped_shed,
+            self.dropped_partition,
+            self.messages_cut,
+            self.cuts_applied,
+            self.heals_applied,
+            self.flash_injected,
         )
     }
 }
@@ -304,6 +417,12 @@ impl RunStats {
             messages_lost: self.messages_lost,
             churn_failures: self.churn_failures,
             churn_recoveries: self.churn_recoveries,
+            dropped_shed: self.dropped_shed,
+            dropped_partition: self.dropped_partition,
+            messages_cut: self.messages_cut,
+            cuts_applied: self.cuts_applied,
+            heals_applied: self.heals_applied,
+            flash_injected: self.flash_injected,
         }
     }
 }
@@ -321,6 +440,10 @@ pub enum DropKind {
     Timeout,
     /// Lost to transport fault injection with no retry layer.
     Lost,
+    /// Shed by the deepest-TTL admission policy at a full queue.
+    Shed,
+    /// Delivery crossed an active partition cut.
+    Partition,
 }
 
 #[cfg(test)]
@@ -418,6 +541,60 @@ mod tests {
         s.on_resolved(1.5, 0.2, 3);
         assert_eq!(s.injected_per_sec.bins(), &[1, 1]);
         assert_eq!(s.resolved_per_sec.bins(), &[0, 1]);
+    }
+
+    #[test]
+    fn chaos_drop_kinds_enter_the_totals() {
+        let mut s = RunStats::new(2);
+        s.injected = 4;
+        s.on_drop(0.5, DropKind::Shed);
+        s.on_drop(0.7, DropKind::Partition);
+        assert_eq!(s.dropped_shed, 1);
+        assert_eq!(s.dropped_partition, 1);
+        assert_eq!(s.dropped_total(), 2);
+        s.on_attempt_lost(DropKind::Shed);
+        s.on_attempt_lost(DropKind::Partition);
+        assert_eq!(s.attempts_lost_shed, 1);
+        assert_eq!(s.attempts_lost_partition, 1);
+        // Attempt-level losses never enter the final totals.
+        assert_eq!(s.dropped_total(), 2);
+    }
+
+    #[test]
+    fn availability_curve_handles_empty_and_partial_bins() {
+        let mut s = RunStats::new(2);
+        s.injected_per_sec.record(0.5);
+        s.injected_per_sec.record(0.6);
+        s.injected_per_sec.record(2.5);
+        s.on_resolved(0.9, 0.5, 3);
+        let curve = s.availability();
+        assert_eq!(curve.len(), 3);
+        assert!((curve[0] - 0.5).abs() < 1e-12);
+        assert_eq!(curve[1], 1.0, "no injections in bin 1 reads available");
+        assert_eq!(curve[2], 0.0);
+        // Per-side series start empty: fully available by definition.
+        assert!(s.availability_minority().is_empty());
+        s.injected_per_sec_minority.record(0.5);
+        s.resolved_per_sec_minority.record(0.6);
+        assert_eq!(s.availability_minority(), vec![1.0]);
+    }
+
+    #[test]
+    fn chaos_counters_reach_the_summary_json() {
+        let mut s = RunStats::new(2);
+        s.messages_cut = 3;
+        s.cuts_applied = 1;
+        s.heals_applied = 1;
+        s.flash_injected = 9;
+        s.on_drop(0.1, DropKind::Shed);
+        let json = s.summary().to_json();
+        assert!(json.contains("\"messages_cut\":3"));
+        assert!(json.contains("\"cuts_applied\":1"));
+        assert!(json.contains("\"heals_applied\":1"));
+        assert!(json.contains("\"flash_injected\":9"));
+        assert!(json.contains("\"dropped_shed\":1"));
+        assert!(json.contains("\"dropped_partition\":0"));
+        assert_eq!(json.matches('"').count() % 2, 0);
     }
 
     #[test]

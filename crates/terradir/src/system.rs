@@ -15,7 +15,7 @@ use terradir_namespace::{Namespace, NodeId, OwnerAssignment, ServerId};
 use terradir_sim::Engine;
 use terradir_workload::{seeded_rng, ExpService, PoissonArrivals, QueryStream, StreamPlan};
 
-use crate::config::Config;
+use crate::config::{ChaosAction, Config};
 use crate::messages::{Message, QueryPacket};
 use crate::server::{Outgoing, ProtocolEvent, ServerState};
 use crate::stats::{DropKind, RunStats};
@@ -62,6 +62,16 @@ enum Event {
     ChurnFail { server: ServerId },
     /// Churn process: this server's recovery.
     ChurnRecover { server: ServerId },
+    /// Scenario script: apply `cfg.scenario.events[idx]` (DESIGN.md §13).
+    Chaos { idx: usize },
+    /// Scheduled partition window `cfg.partitions.cuts[cut]` activates.
+    CutStart { cut: usize },
+    /// A scheduled partition window expires. Heals whatever cut is active
+    /// (cuts do not stack: the latest install wins, any stop clears).
+    CutStop,
+    /// Flash crowd: inject the next extra query. Stale-filtered by
+    /// `epoch`: changing or stopping the flash crowd bumps the epoch.
+    FlashInject { epoch: u64 },
 }
 
 /// Source-side record of one outstanding query under the retry layer.
@@ -113,9 +123,25 @@ pub struct System {
     /// `ServiceDone` events scheduled before a crash).
     epoch: Vec<u64>,
     /// Outstanding queries under the retry layer, by query id.
-    pending: std::collections::HashMap<u64, Pending>,
+    pending: crate::det::DetHashMap<u64, Pending>,
     /// Per-server speed factors (service time divides by these).
     speeds: Vec<f64>,
+    /// Reachability group of each server (`id mod partitions.n_groups`).
+    group_of: Vec<u32>,
+    /// Active partition cut: each server's side of the relation. `None`
+    /// while the network is whole. A delivery between different sides is
+    /// dropped (DESIGN.md §13).
+    cut_side: Option<Vec<bool>>,
+    /// Sticky minority classification for the per-side availability
+    /// curves: set by the most recent effective cut and kept across the
+    /// heal (until the next cut) so post-heal reconciliation of the
+    /// formerly isolated side stays measurable.
+    minority: Vec<bool>,
+    /// Active flash crowd: the hot node and its extra arrival process.
+    flash: Option<(NodeId, PoissonArrivals)>,
+    /// Bumped whenever the flash state changes (stale-filters
+    /// `FlashInject` events).
+    flash_epoch: u64,
 }
 
 impl System {
@@ -177,7 +203,24 @@ impl System {
                 );
             }
         }
+        // Scheduled partition windows and the chaos script go on the
+        // calendar up front; events past the end of the run never fire.
+        for (i, w) in cfg.partitions.cuts.iter().enumerate() {
+            engine.schedule(w.start, Event::CutStart { cut: i });
+            if w.stop.is_finite() {
+                engine.schedule(w.stop, Event::CutStop);
+            }
+        }
+        for (i, ev) in cfg.scenario.events.iter().enumerate() {
+            engine.schedule(ev.at, Event::Chaos { idx: i });
+        }
+        let groups = cfg.partitions.n_groups.max(1);
         System {
+            group_of: (0..cfg.n_servers).map(|i| i % groups).collect(),
+            cut_side: None,
+            minority: vec![false; n],
+            flash: None,
+            flash_epoch: 0,
             service: ExpService::new(cfg.mean_service),
             util: (0..n)
                 .map(|_| crate::load::LoadMeter::new(1.0, 1.0))
@@ -201,7 +244,7 @@ impl System {
             injecting: true,
             failed: vec![false; n],
             epoch: vec![0; n],
-            pending: std::collections::HashMap::new(),
+            pending: crate::det::DetHashMap::default(),
             speeds,
         }
     }
@@ -406,6 +449,172 @@ impl System {
         }
     }
 
+    /// Applies one scripted chaos action (DESIGN.md §13). All randomness
+    /// (crash victims, flash origins and gaps) comes from the fault RNG,
+    /// so a scenario replays bit-identically from the seed.
+    fn apply_chaos(&mut self, idx: usize) {
+        let Some(action) = self.cfg.scenario.events.get(idx).map(|e| e.action.clone()) else {
+            return;
+        };
+        match action {
+            ChaosAction::Cut { groups } => self.apply_cut(&groups),
+            ChaosAction::Heal => self.heal_cut(),
+            ChaosAction::FlashCrowd {
+                node,
+                rate_multiplier,
+            } => self.set_flash(node, rate_multiplier),
+            ChaosAction::CorrelatedCrash { fraction } => self.correlated_crash(fraction),
+            ChaosAction::Recover => {
+                for i in 0..self.cfg.n_servers {
+                    self.recover_server(ServerId(i));
+                }
+            }
+        }
+    }
+
+    /// Installs a cut severing `groups` from the rest of the fleet. Each
+    /// side stays internally connected; deliveries between them drop at
+    /// delivery time, so messages already in flight across the cut are
+    /// lost too. A later cut replaces the active one. When the severed
+    /// side is empty or covers the whole fleet the relation is a no-op
+    /// (nothing to sever), though the cut still counts as applied.
+    fn apply_cut(&mut self, groups: &[u32]) {
+        self.stats.cuts_applied += 1;
+        let side: Vec<bool> = self.group_of.iter().map(|g| groups.contains(g)).collect();
+        let cut_count = side.iter().filter(|&&s| s).count();
+        if cut_count == 0 || cut_count == side.len() {
+            self.cut_side = None;
+            return;
+        }
+        // Sticky side classification: the smaller side is the minority
+        // (the named side wins ties) and keeps that label through the
+        // heal, until the next cut — that is what makes post-heal
+        // reconciliation of the formerly isolated side measurable.
+        let cut_is_minority = cut_count * 2 <= side.len();
+        self.minority = side.iter().map(|&s| s == cut_is_minority).collect();
+        self.cut_side = Some(side);
+    }
+
+    /// Clears the active cut, whichever event installed it. Counted even
+    /// when the network is already whole (the script said heal).
+    fn heal_cut(&mut self) {
+        self.stats.heals_applied += 1;
+        self.cut_side = None;
+    }
+
+    /// Whether a delivery from `a` to `b` crosses the active cut.
+    fn crosses_cut(&self, a: ServerId, b: ServerId) -> bool {
+        match &self.cut_side {
+            Some(side) => {
+                side.get(a.index()).copied().unwrap_or(false)
+                    != side.get(b.index()).copied().unwrap_or(false)
+            }
+            None => false,
+        }
+    }
+
+    /// Starts — or, with `rate_multiplier ≤ 1` or an out-of-namespace
+    /// node, stops — a flash crowd: an extra Poisson stream at
+    /// `(rate_multiplier − 1) ×` the base rate whose every query targets
+    /// `node`. Gaps and origins draw from the fault RNG; the base arrival
+    /// stream is untouched, so runs without flash crowds stay
+    /// bit-identical.
+    fn set_flash(&mut self, node: u32, rate_multiplier: f64) {
+        self.flash_epoch += 1;
+        let extra = self.arrivals.rate() * (rate_multiplier - 1.0);
+        if rate_multiplier <= 1.0 || extra <= 0.0 || (node as usize) >= self.ns.len() {
+            self.flash = None;
+            return;
+        }
+        let arrivals = PoissonArrivals::new(extra);
+        let gap = arrivals.next_gap(&mut self.rng_faults);
+        self.flash = Some((NodeId(node), arrivals));
+        let epoch = self.flash_epoch;
+        self.engine.schedule_in(gap, Event::FlashInject { epoch });
+    }
+
+    /// Injects one flash-crowd query and arms the next arrival. Flash
+    /// queries are full citizens of the accounting: they count as
+    /// injected, enter the availability denominators, and get pending
+    /// records under the retry layer.
+    fn flash_inject(&mut self, epoch: u64) {
+        if epoch != self.flash_epoch {
+            return;
+        }
+        let Some((node, arrivals)) = self.flash.clone() else {
+            return;
+        };
+        let gap = arrivals.next_gap(&mut self.rng_faults);
+        self.engine.schedule_in(gap, Event::FlashInject { epoch });
+        let Some(src) = self.random_live_origin() else {
+            return;
+        };
+        let now = self.engine.now();
+        let id = self.next_query_id;
+        self.next_query_id += 1;
+        self.stats.injected += 1;
+        self.stats.flash_injected += 1;
+        self.stats.injected_per_sec.record(now);
+        self.record_injection_side(now, src);
+        if self.cfg.retry.enabled {
+            self.pending.insert(
+                id,
+                Pending {
+                    origin: src,
+                    target: node,
+                    issued_at: now,
+                    attempt: 1,
+                },
+            );
+            self.engine
+                .schedule_in(self.timeout_for(1), Event::QueryTimeout { id, attempt: 1 });
+        }
+        let packet = QueryPacket::new(id, src, node, now);
+        self.deliver(src, None, Message::Query(packet));
+    }
+
+    /// Crashes `round(fraction × n_servers)` currently-live servers,
+    /// chosen uniformly via the fault RNG (rejection sampling with a
+    /// deterministic linear sweep as fallback).
+    fn correlated_crash(&mut self, fraction: f64) {
+        use rand::Rng;
+        let n = self.cfg.n_servers as usize;
+        let live = n.saturating_sub(self.failed_count());
+        let k = ((fraction * n as f64).round() as usize).min(live);
+        let mut crashed = 0;
+        let mut tries = 0;
+        while crashed < k && tries < 64 * n.max(1) {
+            tries += 1;
+            let s = ServerId(self.rng_faults.gen_range(0..self.cfg.n_servers));
+            if !self.is_failed(s) {
+                self.fail_server(s);
+                self.stats.scenario_crashes += 1;
+                crashed += 1;
+            }
+        }
+        for i in 0..self.cfg.n_servers {
+            if crashed >= k {
+                break;
+            }
+            let s = ServerId(i);
+            if !self.is_failed(s) {
+                self.fail_server(s);
+                self.stats.scenario_crashes += 1;
+                crashed += 1;
+            }
+        }
+    }
+
+    /// Classifies an injection into the per-side availability
+    /// denominators by its origin's sticky minority label.
+    fn record_injection_side(&mut self, now: f64, src: ServerId) {
+        if self.minority.get(src.index()).copied().unwrap_or(false) {
+            self.stats.injected_per_sec_minority.record(now);
+        } else {
+            self.stats.injected_per_sec_majority.record(now);
+        }
+    }
+
     /// Whether a server has been failed. Ids outside the fleet read as
     /// failed: nothing can be delivered to them.
     pub fn is_failed(&self, id: ServerId) -> bool {
@@ -423,6 +632,12 @@ impl System {
     pub fn set_injection(&mut self, on: bool) {
         let was = self.injecting;
         self.injecting = on;
+        if !on {
+            // Flash crowds are injection too: they end with it, so drain
+            // phases really drain (they do not resume with injection).
+            self.flash = None;
+            self.flash_epoch += 1;
+        }
         if on && !was {
             let gap = self.arrivals.next_gap(&mut self.rng_arrivals);
             self.engine.schedule_in(gap, Event::Inject);
@@ -545,6 +760,15 @@ impl System {
             Event::QueryTimeout { id, attempt } => self.on_query_timeout(id, attempt),
             Event::ChurnFail { server } => self.churn_fail(server),
             Event::ChurnRecover { server } => self.churn_recover(server),
+            Event::Chaos { idx } => self.apply_chaos(idx),
+            Event::CutStart { cut } => {
+                let groups = self.cfg.partitions.cuts.get(cut).map(|w| w.groups.clone());
+                if let Some(g) = groups {
+                    self.apply_cut(&g);
+                }
+            }
+            Event::CutStop => self.heal_cut(),
+            Event::FlashInject { epoch } => self.flash_inject(epoch),
             Event::Maintain => {
                 let now = self.engine.now();
                 for i in 0..self.servers.len() {
@@ -641,6 +865,7 @@ impl System {
         self.next_query_id += 1;
         self.stats.injected += 1;
         self.stats.injected_per_sec.record(now);
+        self.record_injection_side(now, src);
         if self.cfg.retry.enabled {
             self.pending.insert(
                 id,
@@ -707,6 +932,37 @@ impl System {
     /// excess being dropped"), unbounded for the rare control messages.
     fn deliver(&mut self, to: ServerId, from: Option<ServerId>, msg: Message) {
         let now = self.engine.now();
+        // Partition enforcement (DESIGN.md §13): a protocol send crossing
+        // the active cut is dropped at delivery time — in-flight messages
+        // die when a cut lands mid-hop. Injections and substrate feedback
+        // (`from = None`) originate locally and never cross a wire.
+        if let Some(sender) = from {
+            if self.crosses_cut(sender, to) {
+                self.stats.messages_cut += 1;
+                // The sender observes the failed send exactly as it would
+                // a dead host (PR 2's negative-caching path). The far
+                // side is unreachable, not dead: entries clear via
+                // proof-of-life after the heal or expire at dead_ttl.
+                if self.cfg.negative_caching_active() && !self.is_failed(sender) {
+                    self.engine.schedule_in(
+                        self.cfg.network_delay,
+                        Event::Deliver {
+                            to: sender,
+                            from: None,
+                            msg: Message::HostDown { host: to },
+                        },
+                    );
+                }
+                if msg.is_query_traffic() {
+                    if self.cfg.retry.enabled {
+                        self.stats.on_attempt_lost(DropKind::Partition);
+                    } else {
+                        self.stats.on_drop(now, DropKind::Partition);
+                    }
+                }
+                return;
+            }
+        }
         if self.is_failed(to) {
             self.stats.messages_to_dead += 1;
             // Transport-level failure detection: the previous hop learns
@@ -756,14 +1012,62 @@ impl System {
             }
             return;
         }
+        if cfg!(debug_assertions) {
+            if let (Some(sender), Some(side)) = (from, self.cut_side.as_deref()) {
+                let violations = crate::invariants::check_cut_delivery(side, sender, to);
+                debug_assert!(
+                    violations.is_empty(),
+                    "partition invariant violated: {violations:#?}"
+                );
+            }
+        }
         let Some(q) = self.queues.get_mut(to.index()) else {
             return;
         };
         if msg.is_query_traffic() && q.len() >= self.cfg.queue_capacity {
+            if !self.cfg.shedding {
+                if self.cfg.retry.enabled {
+                    self.stats.on_attempt_lost(DropKind::Queue);
+                } else {
+                    self.stats.on_drop(now, DropKind::Queue);
+                }
+                return;
+            }
+            // Graceful degradation (DESIGN.md §13): shed the deepest-TTL
+            // query — the one with the most remaining hop budget, i.e.
+            // the freshest, least-invested one — in favor of deeper
+            // traffic. Every hop a query has taken is service capacity
+            // the fleet already paid; discarding invested work raises
+            // the mean cost per resolution, so under overload the fresh
+            // query is the cheapest to lose. Results are never shed
+            // (badness −1): a result is a query one delivery away from
+            // resolving. If nothing queued is strictly worse than the
+            // arrival, the arrival itself is shed.
+            let ttl = i64::from(self.cfg.ttl_hops);
+            let badness = |m: &Message| match m {
+                Message::Query(p) => ttl - i64::from(p.hops),
+                _ => -1,
+            };
+            let incoming = badness(&msg);
+            let victim = q
+                .iter()
+                .enumerate()
+                .filter(|(_, m)| m.is_query_traffic())
+                .max_by_key(|&(_, m)| badness(m))
+                .filter(|&(_, m)| badness(m) > incoming)
+                .map(|(i, _)| i);
+            if let Some(i) = victim {
+                if q.remove(i).is_some() {
+                    q.push_back(msg);
+                }
+            }
             if self.cfg.retry.enabled {
-                self.stats.on_attempt_lost(DropKind::Queue);
+                self.stats.on_attempt_lost(DropKind::Shed);
             } else {
-                self.stats.on_drop(now, DropKind::Queue);
+                self.stats.on_drop(now, DropKind::Shed);
+            }
+            if victim.is_some() {
+                self.try_start(to);
             }
             return;
         }
@@ -885,12 +1189,12 @@ impl System {
                         },
                     );
                 }
-                Outgoing::Event(e) => self.on_protocol_event(now, e),
+                Outgoing::Event(e) => self.on_protocol_event(now, from, e),
             }
         }
     }
 
-    fn on_protocol_event(&mut self, now: f64, e: ProtocolEvent) {
+    fn on_protocol_event(&mut self, now: f64, at: ServerId, e: ProtocolEvent) {
         match e {
             ProtocolEvent::Resolved {
                 id,
@@ -898,16 +1202,25 @@ impl System {
                 hops,
                 ..
             } => {
-                if self.cfg.retry.enabled {
+                let counts = if self.cfg.retry.enabled {
                     // Only the first resolution of a still-pending query
                     // counts: retries can race a slow earlier attempt, and
                     // a resolution after timeout exhaustion arrives too
                     // late (the query already finalized as a drop).
-                    if self.pending.remove(&id).is_some() {
-                        self.stats.on_resolved(now, issued_at, hops);
-                    }
+                    self.pending.remove(&id).is_some()
                 } else {
+                    true
+                };
+                if counts {
                     self.stats.on_resolved(now, issued_at, hops);
+                    // Per-side availability numerator: results deliver at
+                    // the origin, so `at` is the side the query was
+                    // served to.
+                    if self.minority.get(at.index()).copied().unwrap_or(false) {
+                        self.stats.resolved_per_sec_minority.record(now);
+                    } else {
+                        self.stats.resolved_per_sec_majority.record(now);
+                    }
                 }
             }
             ProtocolEvent::DroppedTtl { .. } => {
@@ -941,6 +1254,27 @@ impl System {
                 }
             }
         }
+    }
+
+    /// Whether a partition cut is currently severing the fleet.
+    pub fn cut_active(&self) -> bool {
+        self.cut_side.is_some()
+    }
+
+    /// For tests: servers classified as the minority side of the most
+    /// recent effective cut (sticky across the heal).
+    pub fn minority_servers(&self) -> Vec<ServerId> {
+        self.minority
+            .iter()
+            .enumerate()
+            .filter(|&(_, &m)| m)
+            .map(|(i, _)| ServerId(i as u32))
+            .collect()
+    }
+
+    /// For tests: outstanding queries in the retry layer's pending table.
+    pub fn pending_queries(&self) -> usize {
+        self.pending.len()
     }
 
     /// For tests: total queued messages across all servers.

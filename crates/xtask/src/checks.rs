@@ -202,8 +202,30 @@ pub fn check_struct_docs(config_src: &str, design_md: &str, name: &str) -> Vec<V
 
 /// Variant names of `pub enum Message { … }`.
 pub fn message_variants(messages_src: &str) -> Vec<String> {
-    let scrubbed = scrub(messages_src);
-    let Some(start) = scrubbed.find("pub enum Message") else {
+    enum_variants(messages_src, "Message")
+}
+
+/// Variant names of any `pub enum <name> { … }`. The match requires an
+/// identifier boundary after `name`, so `DropKind` does not land on a
+/// hypothetical `DropKindSet`.
+pub fn enum_variants(src: &str, name: &str) -> Vec<String> {
+    let scrubbed = scrub(src);
+    let pat = format!("pub enum {name}");
+    let mut start_at = None;
+    let mut search = 0;
+    while let Some(rel) = scrubbed.get(search..).and_then(|s| s.find(&pat)) {
+        let pos = search + rel;
+        search = pos + 1;
+        let boundary = !scrubbed
+            .as_bytes()
+            .get(pos + pat.len())
+            .is_some_and(|b| b.is_ascii_alphanumeric() || *b == b'_');
+        if boundary {
+            start_at = Some(pos);
+            break;
+        }
+    }
+    let Some(start) = start_at else {
         return Vec::new();
     };
     let bytes = scrubbed.as_bytes();
@@ -252,6 +274,43 @@ pub fn message_variants(messages_src: &str) -> Vec<String> {
         i += 1;
     }
     variants
+}
+
+/// Every `DropKind` variant must be named in the drop-taxonomy test
+/// (`tests/partitions.rs::drop_taxonomy_is_fully_accounted`) — a drop
+/// class missing from that test is a drop class that could silently
+/// fall out of the accounting identity `resolved + dropped == injected`.
+pub fn check_drop_kind_accounting(stats_src: &str, test_src: &str) -> Vec<Violation> {
+    let variants = enum_variants(stats_src, "DropKind");
+    let mut out = Vec::new();
+    if variants.is_empty() {
+        out.push(Violation {
+            file: "crates/terradir/src/stats.rs".into(),
+            line: 1,
+            what: "auditor found no `pub enum DropKind` variants (parser drift?)".into(),
+        });
+        return out;
+    }
+    let scrubbed = scrub(test_src);
+    for v in &variants {
+        let pat = format!("DropKind::{v}");
+        let named = scrubbed.match_indices(&pat).any(|(pos, _)| {
+            // Token boundary, so `DropKind::Ttl` is not satisfied by a
+            // hypothetical `DropKind::TtlExceeded`.
+            !scrubbed
+                .as_bytes()
+                .get(pos + pat.len())
+                .is_some_and(|b| b.is_ascii_alphanumeric() || *b == b'_')
+        });
+        if !named {
+            out.push(Violation {
+                file: "tests/partitions.rs".into(),
+                line: 1,
+                what: format!("DropKind::{v} is never named in the drop-taxonomy test"),
+            });
+        }
+    }
+    out
 }
 
 /// Every `Message` variant must be matched somewhere in `server.rs` —
@@ -479,5 +538,52 @@ pub enum Message {
     fn variant_parser_reads_real_shape() {
         let vs = message_variants(MESSAGES);
         assert_eq!(vs, vec!["Query", "QueryResult", "LoadProbe"]);
+    }
+
+    // ---- drop-kind accounting -------------------------------------------
+
+    const STATS: &str = r"
+pub enum DropKind {
+    Queue,
+    Ttl,
+    Shed,
+}
+";
+
+    #[test]
+    fn enum_variants_respects_identifier_boundaries() {
+        let src = "pub enum DropKindSet { Decoy }\npub enum DropKind { Queue, Ttl }\n";
+        assert_eq!(enum_variants(src, "DropKind"), vec!["Queue", "Ttl"]);
+        assert_eq!(enum_variants(src, "DropKindSet"), vec!["Decoy"]);
+    }
+
+    #[test]
+    fn fully_named_taxonomy_passes() {
+        let test = "let ks = [DropKind::Queue, DropKind::Ttl, DropKind::Shed];";
+        assert!(check_drop_kind_accounting(STATS, test).is_empty());
+    }
+
+    #[test]
+    fn missing_taxonomy_variant_is_caught() {
+        let test = "let ks = [DropKind::Queue, DropKind::Ttl];";
+        let vs = check_drop_kind_accounting(STATS, test);
+        assert_eq!(vs.len(), 1);
+        assert!(vs[0].what.contains("DropKind::Shed"));
+    }
+
+    #[test]
+    fn taxonomy_prefix_names_are_not_confused() {
+        // `DropKind::TtlExceeded` must not satisfy `DropKind::Ttl`.
+        let test = "[DropKind::Queue, DropKind::TtlExceeded, DropKind::Shed]";
+        let vs = check_drop_kind_accounting(STATS, test);
+        assert_eq!(vs.len(), 1);
+        assert!(vs[0].what.contains("DropKind::Ttl is"));
+    }
+
+    #[test]
+    fn drop_kind_parser_drift_is_loud_not_silent() {
+        let vs = check_drop_kind_accounting("pub enum Drops { A }", "DropKind::A");
+        assert_eq!(vs.len(), 1);
+        assert!(vs[0].what.contains("parser drift"));
     }
 }

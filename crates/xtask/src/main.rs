@@ -9,13 +9,15 @@
 
 //! Repository auditor, run as `cargo xtask lint`.
 //!
-//! Three protocol-invariant checks the compiler cannot express:
+//! Four protocol-invariant checks the compiler cannot express:
 //!
 //! 1. every `Config` field is doc-commented *and* named in DESIGN.md,
 //! 2. no `unwrap`/`expect`/`panic!` in library code outside `#[cfg(test)]`
 //!    (a token-level backstop behind the clippy wall — it also catches
 //!    code hidden from clippy by `#[allow]`),
-//! 3. every `Message` variant is matched in `server.rs` handlers.
+//! 3. every `Message` variant is matched in `server.rs` handlers,
+//! 4. every `DropKind` variant is named in the drop-taxonomy test, so no
+//!    drop class can silently fall out of the accounting identity.
 //!
 //! Exit status is the number of violated rules capped at 1 — i.e. 0 when
 //! clean, 1 otherwise — so CI can gate on it.
@@ -63,7 +65,16 @@ fn lint() -> ExitCode {
         read(&root, "DESIGN.md"),
     ) {
         (Ok(config), Ok(design)) => {
-            for name in ["Config", "FaultConfig", "RetryConfig", "ChurnConfig"] {
+            for name in [
+                "Config",
+                "FaultConfig",
+                "RetryConfig",
+                "ChurnConfig",
+                "PartitionConfig",
+                "CutWindow",
+                "ScenarioConfig",
+                "ScenarioEvent",
+            ] {
                 violations.extend(checks::check_struct_docs(&config, &design, name));
             }
         }
@@ -115,6 +126,20 @@ fn lint() -> ExitCode {
         }
     }
 
+    // Check 4: DropKind variants ↔ the drop-taxonomy accounting test.
+    match (
+        read(&root, "crates/terradir/src/stats.rs"),
+        read(&root, "tests/partitions.rs"),
+    ) {
+        (Ok(stats), Ok(test)) => {
+            violations.extend(checks::check_drop_kind_accounting(&stats, &test));
+        }
+        (a, b) => {
+            io_errors.extend(a.err());
+            io_errors.extend(b.err());
+        }
+    }
+
     for e in &io_errors {
         eprintln!("xtask: io error: {e}");
     }
@@ -123,7 +148,7 @@ fn lint() -> ExitCode {
     }
     if violations.is_empty() && io_errors.is_empty() {
         println!(
-            "xtask lint: ok (config docs, panic-free libraries: {}, message handlers)",
+            "xtask lint: ok (config docs, panic-free libraries: {}, message handlers, drop taxonomy)",
             LIB_CRATES.join(", ")
         );
         ExitCode::SUCCESS
