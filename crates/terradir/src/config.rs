@@ -110,6 +110,14 @@ pub struct Config {
     /// Timed chaos-scenario script executed from the event calendar
     /// (DESIGN.md §13).
     pub scenario: ScenarioConfig,
+    /// Soft-state lease lifecycle: lease stamps on replicas, neighbor
+    /// maps, and cache entries, with a periodic lazy sweep and the
+    /// `Misroute` repair NACK (DESIGN.md §14).
+    pub leases: LeaseConfig,
+    /// Warm rejoin and post-heal anti-entropy: recovered or healed
+    /// servers re-advertise owned records to namespace neighbors
+    /// (DESIGN.md §14).
+    pub reconcile: ReconcileConfig,
     /// Graceful degradation: when a request queue is full, shed the
     /// deepest-TTL queued query in favor of the arrival instead of
     /// FIFO-dropping the arrival (DESIGN.md §13). Control traffic is
@@ -252,6 +260,74 @@ pub struct CutWindow {
     pub groups: Vec<u32>,
 }
 
+/// Soft-state leases (DESIGN.md §14): every replica record, neighbor
+/// context map, and route-cache entry carries a lease stamp; stamps are
+/// refreshed when fresh evidence arrives (and, optionally, on routing
+/// use), and a lazy sweep at maintenance time evicts entries whose lease
+/// has been stale for longer than `ttl`. The `misroute` flag additionally
+/// upgrades the `NotHosting` correction into a digest-carrying `Misroute`
+/// NACK so one stale hop repairs every stale entry for that server. The
+/// default is inert: `enabled = false` changes no behavior and consumes
+/// zero RNG draws.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LeaseConfig {
+    /// Master switch for lease stamping and the lazy sweep.
+    pub enabled: bool,
+    /// Seconds a lease survives without refresh before the sweep may
+    /// evict the entry. `0` is legal and means "evict anything not
+    /// refreshed in the current instant" (the degenerate corner).
+    pub ttl: f64,
+    /// Refresh an entry's lease whenever routing actually uses it, not
+    /// only when fresh map evidence arrives.
+    pub refresh_on_use: bool,
+    /// Reply to stale-pointer hops with a digest-carrying `Misroute`
+    /// NACK instead of the plain `NotHosting` correction: the receiver
+    /// evicts the stale per-(node, host) pair and then purges every
+    /// other local pointer at the sender that its digest
+    /// authoritatively disclaims.
+    pub misroute: bool,
+}
+
+impl Default for LeaseConfig {
+    fn default() -> LeaseConfig {
+        LeaseConfig {
+            enabled: false,
+            ttl: 120.0,
+            refresh_on_use: true,
+            misroute: false,
+        }
+    }
+}
+
+/// Bounded anti-entropy reconciliation (DESIGN.md §14): when a server
+/// recovers, or a partition heals, the rejoining servers push fresh
+/// self-advertisements for their owned records to the owners of
+/// namespace-neighbor nodes so stale remote soft state is corrected
+/// eagerly instead of waiting for misroutes. Only the authoritative
+/// "I host this node" fact is pushed — never the pusher's full host
+/// map, which could propagate exactly the staleness being repaired. Peer
+/// selection draws only from the `tags::FAULTS` stream, so scripted chaos
+/// replays stay byte-identical. The default is inert.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ReconcileConfig {
+    /// Master switch for warm-rejoin / post-heal advertisement pushes.
+    pub enabled: bool,
+    /// Maximum distinct neighbor owners pushed to per rejoining server.
+    pub fanout: u32,
+    /// Maximum owned-record advertisements sent to each chosen peer.
+    pub batch: u32,
+}
+
+impl Default for ReconcileConfig {
+    fn default() -> ReconcileConfig {
+        ReconcileConfig {
+            enabled: false,
+            fanout: 8,
+            batch: 16,
+        }
+    }
+}
+
 /// A timed chaos script (DESIGN.md §13): actions fire from the event
 /// calendar at their scheduled times, under the run's single fault-RNG
 /// stream, so every scenario replays bit-identically from a seed. The
@@ -355,6 +431,8 @@ impl Config {
             churn: ChurnConfig::default(),
             partitions: PartitionConfig::default(),
             scenario: ScenarioConfig::default(),
+            leases: LeaseConfig::default(),
+            reconcile: ReconcileConfig::default(),
             shedding: false,
             seed: 0,
         }
@@ -394,6 +472,12 @@ impl Config {
     /// caching rides on the reliability layer).
     pub fn negative_caching_active(&self) -> bool {
         self.retry.enabled && self.retry.negative_caching
+    }
+
+    /// Whether stale-pointer hops are answered with the digest-carrying
+    /// `Misroute` NACK (rides on the lease subsystem).
+    pub fn misroute_active(&self) -> bool {
+        self.leases.enabled && self.leases.misroute
     }
 
     /// Validates internal consistency; returns a description of the first
@@ -487,6 +571,17 @@ impl Config {
                     "partition cut names group {g} but n_groups is {}",
                     self.partitions.n_groups
                 ));
+            }
+        }
+        if self.leases.enabled && (!self.leases.ttl.is_finite() || self.leases.ttl < 0.0) {
+            return Err("leases.ttl must be finite and non-negative".into());
+        }
+        if self.reconcile.enabled {
+            if self.reconcile.fanout == 0 {
+                return Err("reconcile.fanout must be at least 1".into());
+            }
+            if self.reconcile.batch == 0 {
+                return Err("reconcile.batch must be at least 1".into());
             }
         }
         for ev in &self.scenario.events {
@@ -728,6 +823,54 @@ mod tests {
             },
         ];
         assert!(c.scenario.enabled());
+        assert_eq!(c.validate(), Ok(()));
+    }
+
+    #[test]
+    fn lease_and_reconcile_defaults_are_inert_and_valid() {
+        let c = Config::paper_default(4);
+        assert_eq!(c.leases, LeaseConfig::default());
+        assert!(!c.leases.enabled);
+        assert!(!c.misroute_active());
+        assert_eq!(c.reconcile, ReconcileConfig::default());
+        assert!(!c.reconcile.enabled);
+        assert_eq!(c.validate(), Ok(()));
+    }
+
+    #[test]
+    fn validate_catches_bad_lease_and_reconcile_values() {
+        let mut c = Config::paper_default(4);
+        c.leases.enabled = true;
+        c.leases.ttl = f64::NAN;
+        assert!(c.validate().is_err());
+        let mut c = Config::paper_default(4);
+        c.leases.enabled = true;
+        c.leases.ttl = -1.0;
+        assert!(c.validate().is_err());
+        let mut c = Config::paper_default(4);
+        c.reconcile.enabled = true;
+        c.reconcile.fanout = 0;
+        assert!(c.validate().is_err());
+        let mut c = Config::paper_default(4);
+        c.reconcile.enabled = true;
+        c.reconcile.batch = 0;
+        assert!(c.validate().is_err());
+        // Bounds are only enforced when the subsystem is enabled.
+        let mut c = Config::paper_default(4);
+        c.leases.ttl = -1.0;
+        c.reconcile.fanout = 0;
+        assert_eq!(c.validate(), Ok(()));
+        // ttl = 0 is a legal degenerate corner: sweep everything.
+        let mut c = Config::paper_default(4);
+        c.leases.enabled = true;
+        c.leases.ttl = 0.0;
+        assert_eq!(c.validate(), Ok(()));
+        // misroute requires the lease layer to be on to take effect.
+        let mut c = Config::paper_default(4);
+        c.leases.misroute = true;
+        assert!(!c.misroute_active());
+        c.leases.enabled = true;
+        assert!(c.misroute_active());
         assert_eq!(c.validate(), Ok(()));
     }
 

@@ -262,6 +262,92 @@ pub fn check_cut_delivery(side: &[bool], from: ServerId, to: ServerId) -> Vec<St
     }
 }
 
+/// Lease freshness (DESIGN.md §14): lease stamps are bookkeeping about the
+/// *past* — no stored record, context map, or cache entry may carry a
+/// stamp from the future, and the context-lease table must mirror the
+/// neighbor-context map set exactly (a stamp without a map is a leak; a
+/// map without a stamp would never expire). Stamps are maintained
+/// unconditionally, so this checker runs whether or not leases are
+/// enabled.
+pub fn check_lease_freshness(server: &ServerState, now: f64) -> Vec<String> {
+    let mut v = Vec::new();
+    let eps = 1e-9;
+    for (n, rec) in server.owned.iter().chain(server.replicas.iter()) {
+        if rec.lease_at > now + eps {
+            v.push(format!(
+                "server {}: record for node {} leased at {} > now {}",
+                server.id.0, n.0, rec.lease_at, now
+            ));
+        }
+    }
+    for (n, &stamp) in &server.context_lease {
+        if stamp > now + eps {
+            v.push(format!(
+                "server {}: context lease for node {} stamped {} > now {}",
+                server.id.0, n.0, stamp, now
+            ));
+        }
+        if !server.neighbor_maps.contains_key(n) {
+            v.push(format!(
+                "server {}: context lease for node {} has no context map",
+                server.id.0, n.0
+            ));
+        }
+    }
+    for n in server.neighbor_maps.keys() {
+        if !server.context_lease.contains_key(n) {
+            v.push(format!(
+                "server {}: context map for node {} carries no lease stamp",
+                server.id.0, n.0
+            ));
+        }
+    }
+    for (n, _) in server.cache.iter() {
+        match server.cache.lease_of(n) {
+            Some(stamp) if stamp > now + eps => v.push(format!(
+                "server {}: cache entry for node {} leased at {} > now {}",
+                server.id.0, n.0, stamp, now
+            )),
+            Some(_) => {}
+            None => v.push(format!(
+                "server {}: cache entry for node {} carries no lease stamp",
+                server.id.0, n.0
+            )),
+        }
+    }
+    v
+}
+
+/// Pending-table hygiene (DESIGN.md §14): every injected query finalizes
+/// exactly once, so at any audit point the retry layer's pending table
+/// holds precisely the queries that are neither resolved nor dropped —
+/// and with the retry layer disabled it is never populated at all. A
+/// mismatch means a finalized query leaked its pending entry (or an
+/// entry was dropped without finalizing), which would silently skew the
+/// drop accounting.
+pub fn check_pending_hygiene(
+    retry_enabled: bool,
+    injected: u64,
+    resolved: u64,
+    dropped: u64,
+    pending_len: usize,
+) -> Vec<String> {
+    if retry_enabled {
+        let outstanding = injected.saturating_sub(resolved + dropped);
+        if pending_len as u64 != outstanding {
+            return vec![format!(
+                "pending table holds {pending_len} entries, expected {outstanding} \
+                 (injected {injected} − resolved {resolved} − dropped {dropped})"
+            )];
+        }
+    } else if pending_len != 0 {
+        return vec![format!(
+            "retry disabled but pending table holds {pending_len} entries"
+        )];
+    }
+    Vec::new()
+}
+
 /// Runs every per-server structural checker and returns the combined
 /// violation list.
 pub fn audit_server(ns: &Namespace, server: &ServerState) -> Vec<String> {
@@ -422,6 +508,54 @@ mod tests {
         let v = check_negative_cache(&s);
         assert_eq!(v.len(), 1, "{v:?}");
         assert!(v[0].contains("session targets dead host"), "{v:?}");
+    }
+
+    #[test]
+    fn lease_freshness_catches_future_stamps_and_orphans() {
+        let (_ns, mut s) = fixture();
+        assert!(check_lease_freshness(&s, 0.0).is_empty());
+        // Future record stamp.
+        let own = s.owned_ids().next().unwrap();
+        s.owned.get_mut(&own).unwrap().lease_at = 5.0;
+        let v = check_lease_freshness(&s, 1.0);
+        assert_eq!(v.len(), 1, "{v:?}");
+        assert!(v[0].contains("leased at"), "{v:?}");
+        assert!(check_lease_freshness(&s, 5.0).is_empty(), "stamp == now ok");
+        // Context stamp without a map, and a map without a stamp.
+        let (&ctx, _) = s.neighbor_maps.iter().next().unwrap();
+        s.context_lease.remove(&ctx);
+        let v = check_lease_freshness(&s, 5.0);
+        assert_eq!(v.len(), 1, "{v:?}");
+        assert!(v[0].contains("no lease stamp"), "{v:?}");
+        s.neighbor_maps.remove(&ctx);
+        assert!(check_lease_freshness(&s, 5.0).is_empty());
+        s.context_lease.insert(ctx, 0.0);
+        let v = check_lease_freshness(&s, 5.0);
+        assert_eq!(v.len(), 1, "{v:?}");
+        assert!(v[0].contains("no context map"), "{v:?}");
+    }
+
+    #[test]
+    fn lease_freshness_covers_cache_entries() {
+        let (ns, mut s) = fixture();
+        let far = non_hosted(&ns, &s);
+        s.cache.insert(far, NodeMap::singleton(ServerId(1)), 2.0);
+        assert!(check_lease_freshness(&s, 2.0).is_empty());
+        let v = check_lease_freshness(&s, 1.0);
+        assert_eq!(v.len(), 1, "{v:?}");
+        assert!(v[0].contains("cache entry"), "{v:?}");
+    }
+
+    #[test]
+    fn pending_hygiene_balances_the_query_ledger() {
+        // Retry on: pending must equal injected − resolved − dropped.
+        assert!(check_pending_hygiene(true, 10, 6, 3, 1).is_empty());
+        let v = check_pending_hygiene(true, 10, 6, 3, 2);
+        assert_eq!(v.len(), 1, "{v:?}");
+        assert!(v[0].contains("expected 1"), "{v:?}");
+        // Retry off: the table must stay empty.
+        assert!(check_pending_hygiene(false, 10, 6, 3, 0).is_empty());
+        assert_eq!(check_pending_hygiene(false, 10, 6, 3, 1).len(), 1);
     }
 
     #[test]

@@ -72,8 +72,8 @@ pub mod system;
 
 pub use cache::RouteCache;
 pub use config::{
-    ChaosAction, ChurnConfig, Config, CutWindow, FaultConfig, PartitionConfig, RetryConfig,
-    ScenarioConfig, ScenarioEvent,
+    ChaosAction, ChurnConfig, Config, CutWindow, FaultConfig, LeaseConfig, PartitionConfig,
+    ReconcileConfig, RetryConfig, ScenarioConfig, ScenarioEvent,
 };
 pub use map::NodeMap;
 pub use messages::{Message, QueryPacket};

@@ -79,12 +79,16 @@ impl NodeMap {
 
     /// Removes a host (e.g. one proven stale); never removes the last entry
     /// unless `allow_empty` — the routing layer must always have somewhere
-    /// to forward.
-    pub fn remove(&mut self, host: ServerId, allow_empty: bool) {
+    /// to forward. Returns whether the host was actually removed, so
+    /// eviction paths (negative caching, `Misroute` repair) can account
+    /// for the entries they drop.
+    pub fn remove(&mut self, host: ServerId, allow_empty: bool) -> bool {
         if !allow_empty && self.entries.len() == 1 {
-            return;
+            return false;
         }
+        let before = self.entries.len();
         self.entries.retain(|&h| h != host);
+        self.entries.len() != before
     }
 
     /// Merges `self` with `other` per the paper's map-merging policy:
@@ -286,9 +290,17 @@ mod tests {
     #[test]
     fn remove_guards_last_entry() {
         let mut m = NodeMap::from_entries([s(1)]);
-        m.remove(s(1), false);
+        assert!(!m.remove(s(1), false));
         assert_eq!(m.len(), 1);
-        m.remove(s(1), true);
+        assert!(m.remove(s(1), true));
         assert!(m.is_empty());
+    }
+
+    #[test]
+    fn remove_reports_whether_an_entry_was_dropped() {
+        let mut m = NodeMap::from_entries([s(1), s(2)]);
+        assert!(!m.remove(s(9), false), "absent host removes nothing");
+        assert!(m.remove(s(2), false));
+        assert_eq!(m.entries(), &[s(1)]);
     }
 }

@@ -67,6 +67,13 @@ pub struct QueryPacket {
     /// The last few servers this packet visited (loop damping: selection
     /// prefers hosts not in this ring). Bounded to [`RECENT_HOPS`].
     pub recent: Vec<ServerId>,
+    /// Whether any hop of this attempt landed on a server that did not
+    /// host the node it was routed via (pure observation, set regardless
+    /// of configuration; feeds the reconvergence curve, DESIGN.md §14).
+    pub misrouted: bool,
+    /// Forwarding steps taken *after* the first misroute (the detour the
+    /// stale pointer cost this attempt; bounded by the hop TTL).
+    pub detour_hops: u32,
 }
 
 /// How many recently visited servers a packet remembers for loop damping.
@@ -88,6 +95,8 @@ impl QueryPacket {
             intended_via: None,
             prev_hop: None,
             recent: Vec::new(),
+            misrouted: false,
+            detour_hops: 0,
         }
     }
 
@@ -230,6 +239,20 @@ pub enum Message {
         /// The server that does not host it.
         from: ServerId,
     },
+    /// Misroute self-healing NACK (DESIGN.md §14): like
+    /// [`Message::NotHosting`], but always originated by the live server
+    /// that received the stale hop, and carrying that server's
+    /// inverse-mapping digest so the sender can prune *every* stale entry
+    /// naming it — not just the one that caused this hop. Sent instead of
+    /// `NotHosting` when `Config::misroute_active()`.
+    Misroute {
+        /// The node the stale hop was routed via.
+        node: NodeId,
+        /// The live server that does not host it.
+        from: ServerId,
+        /// The replier's current inverse-mapping digest.
+        digest: Digest,
+    },
     /// The partner refused (its load rose, or the gap closed).
     ReplicateDeny {
         /// The refusing server.
@@ -265,7 +288,9 @@ impl Message {
     /// `MapUpdate` carries none, and `NotHosting`/`HostDown` may be
     /// synthesized by the substrate *about* a server that did not send
     /// anything (using them as proof-of-life would resurrect dead hosts
-    /// in the negative cache).
+    /// in the negative cache). `Misroute` is never synthesized — only the
+    /// live server itself replies with its digest — so it *is*
+    /// proof-of-life.
     pub fn sender(&self) -> Option<ServerId> {
         match self {
             Message::Query(p) => p.prev_hop,
@@ -276,7 +301,8 @@ impl Message {
             | Message::ReplicateAck { from, .. }
             | Message::ReplicateDeny { from, .. }
             | Message::GetData { from, .. }
-            | Message::DataReply { from, .. } => Some(*from),
+            | Message::DataReply { from, .. }
+            | Message::Misroute { from, .. } => Some(*from),
             Message::MapUpdate { .. } | Message::NotHosting { .. } | Message::HostDown { .. } => {
                 None
             }
@@ -372,5 +398,20 @@ mod tests {
         };
         assert_eq!(nh.sender(), None);
         assert_eq!(Message::HostDown { host: ServerId(6) }.sender(), None);
+        // Misroute is always server-originated, so it IS proof-of-life.
+        let mr = Message::Misroute {
+            node: NodeId(1),
+            from: ServerId(5),
+            digest: Digest::empty(terradir_bloom::BloomParams::for_capacity(8, 0.01, 0)),
+        };
+        assert_eq!(mr.sender(), Some(ServerId(5)));
+        assert!(mr.is_control());
+    }
+
+    #[test]
+    fn new_packet_has_no_detour() {
+        let p = pkt();
+        assert!(!p.misrouted);
+        assert_eq!(p.detour_hops, 0);
     }
 }

@@ -39,6 +39,12 @@ pub struct NodeRecord {
     pub advertised_at: f64,
     /// Last time this record's map was back-propagated (rate limit).
     pub backprop_at: f64,
+    /// Soft-state lease stamp (DESIGN.md §14): last time fresh evidence
+    /// for this record arrived (installation, an absorbed payload, or —
+    /// with `leases.refresh_on_use` — a resolution at this host). The
+    /// lazy sweep evicts *replica* records whose stamp is older than
+    /// `leases.ttl`; owned records are authoritative and exempt.
+    pub lease_at: f64,
 }
 
 impl NodeRecord {
@@ -51,6 +57,14 @@ impl NodeRecord {
             installed_at,
             advertised_at: f64::NEG_INFINITY,
             backprop_at: f64::NEG_INFINITY,
+            lease_at: installed_at,
+        }
+    }
+
+    /// Refreshes the lease stamp; stamps never move backwards.
+    pub fn refresh_lease(&mut self, now: f64) {
+        if now > self.lease_at {
+            self.lease_at = now;
         }
     }
 
@@ -71,6 +85,16 @@ impl NodeRecord {
 mod tests {
     use super::*;
     use terradir_namespace::ServerId;
+
+    #[test]
+    fn lease_stamp_initializes_and_never_regresses() {
+        let mut r = NodeRecord::new(NodeId(1), NodeMap::singleton(ServerId(0)), Meta::new(), 3.0);
+        assert!((r.lease_at - 3.0).abs() < 1e-12);
+        r.refresh_lease(5.0);
+        assert!((r.lease_at - 5.0).abs() < 1e-12);
+        r.refresh_lease(4.0);
+        assert!((r.lease_at - 5.0).abs() < 1e-12, "stamps never move back");
+    }
 
     #[test]
     fn absorb_meta_keeps_newest() {

@@ -391,13 +391,15 @@ impl ServerState {
         for p in payloads {
             if self.owned.contains_key(&p.node) {
                 // We own it already; just absorb the incoming map.
-                self.absorb_mapping(p.node, &p.map, rng);
+                self.absorb_mapping(p.node, &p.map, now, rng);
                 continue;
             }
             if let Some(rec) = self.replicas.get_mut(&p.node) {
                 rec.absorb_meta(&p.meta);
+                // A re-shipped payload is fresh evidence: renew the lease.
+                rec.refresh_lease(now);
                 let map = p.map.clone();
-                self.absorb_mapping(p.node, &map, rng);
+                self.absorb_mapping(p.node, &map, now, rng);
                 continue;
             }
             if cap == 0 {
@@ -455,6 +457,11 @@ impl ServerState {
                 } else {
                     m.truncate(self.cfg.r_map);
                     self.neighbor_maps.insert(*nb, m);
+                }
+                // Shipped context is fresh evidence for the lease.
+                let stamp = self.context_lease.entry(*nb).or_insert(now);
+                if now > *stamp {
+                    *stamp = now;
                 }
             }
             self.digest_dirty = true;

@@ -340,7 +340,9 @@ mod tests {
             .find(|&n| !servers[0].hosts(n) && !servers[0].neighbor_maps.contains_key(&n))
             .unwrap();
         let owner = asg.owner(target);
-        servers[0].cache.insert(target, NodeMap::singleton(owner));
+        servers[0]
+            .cache
+            .insert(target, NodeMap::singleton(owner), 0.0);
         match servers[0].decide_route(target, &[], &mut rng) {
             RouteChoice::Forward {
                 via,

@@ -58,6 +58,11 @@ pub enum ProtocolEvent {
         meta_version: u64,
         /// Children returned by a List query (empty for plain lookups).
         children: Vec<NodeId>,
+        /// Whether this attempt hit at least one stale pointer on its way
+        /// (feeds the reconvergence curve; DESIGN.md §14).
+        misrouted: bool,
+        /// Forwarding steps taken after the first misroute.
+        detour_hops: u32,
     },
     /// A query exceeded the hop TTL and was discarded.
     DroppedTtl {
@@ -107,6 +112,20 @@ pub enum ProtocolEvent {
         /// The unreachable server.
         host: ServerId,
     },
+    /// A forwarded query arrived at a server that does not host the node
+    /// it was routed via (stale soft state; DESIGN.md §14). Emitted
+    /// regardless of configuration — it is pure observation.
+    Misrouted {
+        /// The server the stale pointer named.
+        at: ServerId,
+    },
+    /// The lease sweep evicted stale soft state (DESIGN.md §14).
+    LeaseExpired {
+        /// The sweeping server.
+        at: ServerId,
+        /// Replica records, context maps, and cache entries evicted.
+        count: u64,
+    },
     /// A data fetch finished (step two of the two-step access).
     DataFetched {
         /// Fetch id passed to [`ServerState::begin_fetch`].
@@ -133,6 +152,12 @@ pub struct ServerState {
     /// Maps for the topological neighbors of every hosted node (the
     /// routing *context* guaranteeing incremental progress).
     pub(crate) neighbor_maps: DetHashMap<NodeId, NodeMap>,
+    /// Lease stamps for `neighbor_maps` entries (DESIGN.md §14): one
+    /// stamp per context map, refreshed on fresh evidence or routing use.
+    /// Always maintained (stamping is pure bookkeeping); the sweep only
+    /// acts on it when `Config::leases` is enabled. Key set mirrors
+    /// `neighbor_maps` exactly (checked by `check_lease_freshness`).
+    pub(crate) context_lease: DetHashMap<NodeId, f64>,
     /// LRU route cache (pointer state, no context).
     pub(crate) cache: RouteCache,
     /// Freshest inverse-mapping digest per remote server.
@@ -200,6 +225,10 @@ impl ServerState {
                     .or_insert_with(|| NodeMap::singleton(assignment.owner(nb)));
             }
         }
+        let mut context_lease: DetHashMap<NodeId, f64> = DetHashMap::default();
+        for &nb in neighbor_maps.keys() {
+            context_lease.insert(nb, 0.0);
+        }
         let digest = build_digest(
             &ns,
             id,
@@ -213,6 +242,7 @@ impl ServerState {
             owned,
             replicas: DetHashMap::default(),
             neighbor_maps,
+            context_lease,
             cache: RouteCache::new(if cfg.caching { cfg.cache_slots } else { 0 }),
             digest_store: DigestStore::new(if cfg.digests {
                 cfg.digest_store_slots
@@ -404,10 +434,21 @@ impl ServerState {
                 self.on_replicate_deny(now, from, load, rng, out);
             }
             Message::MapUpdate { node, map } => {
-                self.absorb_mapping(node, &map, rng);
+                self.absorb_mapping(node, &map, now, rng);
             }
             Message::NotHosting { node, from } => {
                 self.drop_stale_host(node, from);
+            }
+            Message::Misroute { node, from, digest } => {
+                // Misroute repair (DESIGN.md §14): the attached digest
+                // both proves the sender alive and pins the eviction at
+                // its current generation, then the stale per-(node, host)
+                // entry is dropped exactly as for `NotHosting`.
+                if self.cfg.digests {
+                    self.digest_store.observe(from, &digest);
+                }
+                self.drop_stale_host(node, from);
+                self.purge_disclaimed(from, &digest);
             }
             Message::HostDown { host } => {
                 self.mark_host_dead(now, host, out);
@@ -520,6 +561,49 @@ impl ServerState {
         }
     }
 
+    /// Misroute repair, digest purge (DESIGN.md §14): the NACK's digest
+    /// authoritatively disclaims every name its sender no longer hosts, so
+    /// one correction from a freshly reset server clears *all* local
+    /// pointers at it — not just the pair that misrouted. Bloom false
+    /// positives err toward keeping entries (conservative pruning, §3.6).
+    fn purge_disclaimed(&mut self, from: ServerId, digest: &Digest) {
+        if from == self.id {
+            return;
+        }
+        let my_id = self.id;
+        let r_map = self.cfg.r_map;
+        let ns = Arc::clone(&self.ns);
+        for rec in self.owned.values_mut().chain(self.replicas.values_mut()) {
+            if rec.map.contains(from) && !digest.test(ns.name(rec.node).as_str()) {
+                rec.map.remove(from, true);
+                if rec.map.is_empty() || !rec.map.contains(my_id) {
+                    rec.map.advertise(my_id, r_map);
+                }
+            }
+        }
+        for (&n, m) in &mut self.neighbor_maps {
+            if m.contains(from) && !digest.test(ns.name(n).as_str()) {
+                m.remove(from, false);
+            }
+        }
+        let stale_cached: Vec<NodeId> = self
+            .cache
+            .iter()
+            .filter(|&(n, m)| m.contains(from) && !digest.test(ns.name(n).as_str()))
+            .map(|(n, _)| n)
+            .collect();
+        for n in stale_cached {
+            let mut drop_entry = false;
+            if let Some(m) = self.cache.get_mut(n) {
+                m.remove(from, true);
+                drop_entry = m.is_empty();
+            }
+            if drop_entry {
+                self.cache.remove(n);
+            }
+        }
+    }
+
     /// Sends the record's map upstream if it was freshly advertised and the
     /// rate limit allows.
     fn maybe_backprop(&mut self, now: f64, node: NodeId, prev: ServerId, out: &mut Vec<Outgoing>) {
@@ -562,17 +646,37 @@ impl ServerState {
                 if let Some(prev) = p.prev_hop {
                     self.maybe_backprop(now, via, prev, out);
                 }
-            } else if let Some(prev) = p.prev_hop {
-                // Stale-entry correction (§3.5): the sender's map for
-                // `via` named us, but we no longer host it.
-                if prev != self.id {
-                    out.push(Outgoing::Send {
-                        to: prev,
-                        msg: Message::NotHosting {
-                            node: via,
-                            from: self.id,
-                        },
-                    });
+            } else {
+                // Misroute (DESIGN.md §14): the sender's map for `via`
+                // named us, but we do not host it. Detection is
+                // unconditional — the repair-off baseline must still
+                // measure its detours — while the NACK upgrade below is
+                // the gated repair half.
+                p.misrouted = true;
+                out.push(Outgoing::Event(ProtocolEvent::Misrouted { at: self.id }));
+                if let Some(prev) = p.prev_hop {
+                    if prev != self.id {
+                        if self.cfg.misroute_active() {
+                            self.rebuild_digest_if_dirty();
+                            out.push(Outgoing::Send {
+                                to: prev,
+                                msg: Message::Misroute {
+                                    node: via,
+                                    from: self.id,
+                                    digest: self.digest.clone(),
+                                },
+                            });
+                        } else {
+                            // Stale-entry correction (§3.5).
+                            out.push(Outgoing::Send {
+                                to: prev,
+                                msg: Message::NotHosting {
+                                    node: via,
+                                    from: self.id,
+                                },
+                            });
+                        }
+                    }
                 }
             }
         }
@@ -580,6 +684,11 @@ impl ServerState {
         match self.decide_route(p.target, &avoid, rng) {
             RouteChoice::Resolve => {
                 self.weights.bump(p.target, now, 1.0);
+                if self.cfg.leases.enabled && self.cfg.leases.refresh_on_use {
+                    if let Some(rec) = self.host_record_mut(p.target) {
+                        rec.refresh_lease(now);
+                    }
+                }
                 // `decide_route` only resolves when we host the target, so
                 // a missing record is a protocol bug; answer with an empty
                 // map rather than dying mid-query.
@@ -621,10 +730,16 @@ impl ServerState {
                 if let Some(h) = used_context_of {
                     self.weights.bump(h, now, 1.0);
                 }
+                if self.cfg.leases.enabled && self.cfg.leases.refresh_on_use {
+                    self.refresh_lease_of(via, now);
+                }
                 if self.cfg.path_propagation {
                     p.push_path(via, map_snapshot, self.cfg.path_cap);
                 }
                 p.hops += 1;
+                if p.misrouted {
+                    p.detour_hops += 1;
+                }
                 if p.hops > self.cfg.ttl_hops {
                     if std::env::var_os("TERRADIR_TRACE_TTL").is_some() {
                         eprintln!(
@@ -677,16 +792,18 @@ impl ServerState {
     ) {
         self.absorb_piggyback(now, &mut p, rng);
         // If we happen to host the node (e.g. we replicate it), keep the
-        // newest meta we have encountered.
+        // newest meta we have encountered — fresh evidence, so the lease
+        // renews too.
         if let Some(rec) = self.host_record_mut(p.target) {
             rec.absorb_meta(&meta);
+            rec.refresh_lease(now);
         }
         // Child maps returned by a List query feed the local soft state:
         // the follow-up per-child lookups of a decomposed search start
         // with direct pointers.
         let child_ids: Vec<NodeId> = children.iter().map(|(c, _)| *c).collect();
         for (c, m) in &children {
-            self.absorb_mapping(*c, m, rng);
+            self.absorb_mapping(*c, m, now, rng);
         }
         out.push(Outgoing::Event(ProtocolEvent::Resolved {
             id: p.id,
@@ -695,6 +812,8 @@ impl ServerState {
             issued_at: p.issued_at,
             meta_version: meta.version(),
             children: child_ids,
+            misrouted: p.misrouted,
+            detour_hops: p.detour_hops,
         }));
     }
 
@@ -728,14 +847,14 @@ impl ServerState {
         });
         if self.cfg.path_propagation {
             for (node, map) in &path {
-                self.absorb_mapping(*node, map, rng);
+                self.absorb_mapping(*node, map, now, rng);
             }
         } else {
             // Endpoint-only caching (the strawman of §2.4): only the
             // looked-up target's map is absorbed, and only at the origin
             // when the result returns.
             if let Some((node, map)) = path.iter().find(|(n, _)| *n == p.target) {
-                self.absorb_mapping(*node, map, rng);
+                self.absorb_mapping(*node, map, now, rng);
             }
         }
         p.path = path;
@@ -745,7 +864,13 @@ impl ServerState {
     /// tracks it (paper §3.7 "maps are merged whenever a server keeps a map
     /// for a node, and an incoming query contains another map for the same
     /// node"), with digest-based filtering applied at merge time.
-    pub(crate) fn absorb_mapping(&mut self, node: NodeId, incoming: &NodeMap, rng: &mut StdRng) {
+    pub(crate) fn absorb_mapping(
+        &mut self,
+        node: NodeId,
+        incoming: &NodeMap,
+        now: f64,
+        rng: &mut StdRng,
+    ) {
         let r_map = self.cfg.r_map;
         let mut incoming = incoming.clone();
         self.filter_map(node, &mut incoming);
@@ -762,6 +887,8 @@ impl ServerState {
                 merged.advertise(my_id, r_map);
             }
             rec.map = merged;
+            // Fresh evidence renews the lease (DESIGN.md §14).
+            rec.refresh_lease(now);
             return;
         }
         // For nodes we do NOT host, a self entry is authoritatively wrong
@@ -784,6 +911,11 @@ impl ServerState {
             if !merged.is_empty() {
                 *m = merged;
             }
+            if let Some(stamp) = self.context_lease.get_mut(&node) {
+                if now > *stamp {
+                    *stamp = now;
+                }
+            }
             return;
         }
         if self.cfg.caching {
@@ -793,10 +925,28 @@ impl ServerState {
                 if !merged.is_empty() {
                     *m = merged;
                 }
+                self.cache.refresh_lease(node, now);
             } else {
-                self.cache.insert(node, incoming);
+                self.cache.insert(node, incoming, now);
             }
         }
+    }
+
+    /// Renews the lease of whatever soft-state structure tracks `node`
+    /// (refresh-on-use; DESIGN.md §14). Stamps are pure bookkeeping, so
+    /// this never perturbs routing, LRU order, or accounting.
+    fn refresh_lease_of(&mut self, node: NodeId, now: f64) {
+        if let Some(rec) = self.host_record_mut(node) {
+            rec.refresh_lease(now);
+            return;
+        }
+        if let Some(stamp) = self.context_lease.get_mut(&node) {
+            if now > *stamp {
+                *stamp = now;
+            }
+            return;
+        }
+        self.cache.refresh_lease(node, now);
     }
 
     /// Digest-based conservative map filtering (paper §3.6.2), extended by
@@ -837,8 +987,59 @@ impl ServerState {
                 }
             }
         }
+        if self.cfg.leases.enabled {
+            self.sweep_leases(now, out);
+        }
         if self.digest_dirty {
             self.rebuild_digest();
+        }
+    }
+
+    /// The lazy lease sweep (DESIGN.md §14), riding the periodic
+    /// maintenance tick: evicts replica records, neighbor-context maps,
+    /// and cache entries whose lease stamp is older than `leases.ttl`.
+    /// Owned records are authoritative and exempt; context maps still
+    /// required by a hosted node's routing context are restamped instead
+    /// of evicted (routing totality outranks freshness).
+    fn sweep_leases(&mut self, now: f64, out: &mut Vec<Outgoing>) {
+        let ttl = self.cfg.leases.ttl;
+        let mut expired: u64 = 0;
+        let mut victims: Vec<NodeId> = self
+            .replicas
+            .values()
+            .filter(|r| now - r.lease_at > ttl)
+            .map(|r| r.node)
+            .collect();
+        victims.sort_unstable();
+        for v in victims {
+            self.remove_replica(v, out);
+            expired += 1;
+        }
+        let mut stale_ctx: Vec<NodeId> = self
+            .context_lease
+            .iter()
+            .filter(|&(_, &at)| now - at > ttl)
+            .map(|(&n, _)| n)
+            .collect();
+        stale_ctx.sort_unstable();
+        for n in stale_ctx {
+            let still_needed = self.ns.neighbors(n).iter().any(|&h| self.hosts(h));
+            if still_needed {
+                if let Some(at) = self.context_lease.get_mut(&n) {
+                    *at = now;
+                }
+                continue;
+            }
+            self.neighbor_maps.remove(&n);
+            self.context_lease.remove(&n);
+            expired += 1;
+        }
+        expired += self.cache.sweep_expired(now, ttl).len() as u64;
+        if expired > 0 {
+            out.push(Outgoing::Event(ProtocolEvent::LeaseExpired {
+                at: self.id,
+                count: expired,
+            }));
         }
     }
 
@@ -871,6 +1072,7 @@ impl ServerState {
             let still_needed = self.ns.neighbors(nb).iter().any(|&h| self.hosts(h));
             if !still_needed {
                 self.neighbor_maps.remove(&nb);
+                self.context_lease.remove(&nb);
             }
         }
         out.push(Outgoing::Event(ProtocolEvent::ReplicaDeleted {
@@ -909,11 +1111,13 @@ impl ServerState {
     pub fn reset_soft_state(&mut self, now: f64, assignment: &OwnerAssignment) {
         self.replicas.clear();
         self.neighbor_maps.clear();
+        self.context_lease.clear();
         for rec in self.owned.values_mut() {
             rec.map = NodeMap::singleton(self.id);
             rec.advertised_at = f64::NEG_INFINITY;
             rec.backprop_at = f64::NEG_INFINITY;
             rec.installed_at = now;
+            rec.lease_at = now;
         }
         let owned: Vec<NodeId> = self.owned.keys().copied().collect();
         for node in owned {
@@ -922,6 +1126,10 @@ impl ServerState {
                     .entry(nb)
                     .or_insert_with(|| NodeMap::singleton(assignment.owner(nb)));
             }
+        }
+        let ctx: Vec<NodeId> = self.neighbor_maps.keys().copied().collect();
+        for nb in ctx {
+            self.context_lease.insert(nb, now);
         }
         self.cache = RouteCache::new(if self.cfg.caching {
             self.cfg.cache_slots
@@ -1170,16 +1378,22 @@ mod tests {
         s.absorb_mapping(
             own,
             &NodeMap::from_entries([ServerId(2), ServerId(3)]),
+            1.5,
             &mut rng,
         );
         assert!(s.host_record(own).unwrap().map.contains(ServerId(0)));
+        assert!(
+            (s.host_record(own).unwrap().lease_at - 1.5).abs() < 1e-12,
+            "evidence renews the lease"
+        );
         // A node that is neither hosted nor a neighbor lands in the cache.
         let far = ns
             .ids()
             .find(|&n| !s.hosts(n) && !s.neighbor_maps.contains_key(&n))
             .unwrap();
-        s.absorb_mapping(far, &NodeMap::singleton(ServerId(3)), &mut rng);
+        s.absorb_mapping(far, &NodeMap::singleton(ServerId(3)), 2.0, &mut rng);
         assert!(s.cache.peek(far).is_some());
+        assert_eq!(s.cache.lease_of(far), Some(2.0));
     }
 
     #[test]
@@ -1258,5 +1472,165 @@ mod tests {
         s.maintenance(0.5, &mut out);
         assert!(s.digest().generation() > gen_before);
         assert!(s.digest().test(ns.name(far).as_str()));
+    }
+
+    #[test]
+    fn misroute_detection_is_unconditional_and_nack_is_gated() {
+        let (ns, cfg, asg) = fixture(4);
+        let mut rng = StdRng::seed_from_u64(7);
+        let mut s = ServerState::new(ServerId(0), Arc::clone(&ns), cfg, &asg);
+        let far = ns.ids().find(|&n| !s.hosts(n)).unwrap();
+        let mut p = QueryPacket::new(1, ServerId(1), far, 0.0);
+        p.intended_via = Some(far);
+        p.prev_hop = Some(ServerId(1));
+        // Default config: detection fires, the correction stays NotHosting.
+        let mut out = Vec::new();
+        s.handle_message(1.0, Message::Query(p.clone()), &mut rng, &mut out);
+        assert!(out
+            .iter()
+            .any(|o| matches!(o, Outgoing::Event(ProtocolEvent::Misrouted { .. }))));
+        assert!(out.iter().any(
+            |o| matches!(o, Outgoing::Send { to, msg: Message::NotHosting { .. } } if *to == ServerId(1))
+        ));
+        assert!(!out.iter().any(|o| matches!(
+            o,
+            Outgoing::Send {
+                msg: Message::Misroute { .. },
+                ..
+            }
+        )));
+        // Misroute repair on: the NACK upgrades and carries our digest.
+        let mut cfg2 = Config::paper_default(4);
+        cfg2.leases.enabled = true;
+        cfg2.leases.misroute = true;
+        let mut s = ServerState::new(ServerId(0), Arc::clone(&ns), Arc::new(cfg2), &asg);
+        let mut out = Vec::new();
+        s.handle_message(1.0, Message::Query(p), &mut rng, &mut out);
+        assert!(out.iter().any(|o| matches!(
+            o,
+            Outgoing::Send { to, msg: Message::Misroute { node, from, .. } }
+                if *to == ServerId(1) && *node == far && *from == ServerId(0)
+        )));
+        assert!(!out.iter().any(|o| matches!(
+            o,
+            Outgoing::Send {
+                msg: Message::NotHosting { .. },
+                ..
+            }
+        )));
+    }
+
+    #[test]
+    fn misroute_handler_evicts_stale_entry() {
+        let (ns, cfg, asg) = fixture(4);
+        let mut rng = StdRng::seed_from_u64(8);
+        let mut s = ServerState::new(ServerId(0), Arc::clone(&ns), cfg, &asg);
+        let far = ns
+            .ids()
+            .find(|&n| !s.hosts(n) && !s.neighbor_maps.contains_key(&n))
+            .unwrap();
+        s.cache
+            .insert(far, NodeMap::from_entries([ServerId(2), ServerId(3)]), 0.0);
+        let digest = s.digest().clone();
+        let mut out = Vec::new();
+        s.handle_message(
+            1.0,
+            Message::Misroute {
+                node: far,
+                from: ServerId(2),
+                digest,
+            },
+            &mut rng,
+            &mut out,
+        );
+        let m = s.cache.peek(far).unwrap();
+        assert!(
+            !m.contains(ServerId(2)),
+            "stale per-(node, host) entry evicted"
+        );
+        assert!(m.contains(ServerId(3)), "other hosts survive");
+    }
+
+    #[test]
+    fn misroute_digest_purges_all_disclaimed_pointers() {
+        let (ns, cfg, asg) = fixture(4);
+        let mut rng = StdRng::seed_from_u64(9);
+        let mut s = ServerState::new(ServerId(0), Arc::clone(&ns), cfg, &asg);
+        let stale = ServerId(2);
+        let mut fars = ns
+            .ids()
+            .filter(|&n| !s.hosts(n) && !s.neighbor_maps.contains_key(&n));
+        let a = fars.next().unwrap();
+        let b = fars.next().unwrap();
+        let kept = fars.next().unwrap();
+        s.cache
+            .insert(a, NodeMap::from_entries([stale, ServerId(3)]), 0.0);
+        s.cache.insert(b, NodeMap::singleton(stale), 0.0);
+        s.cache
+            .insert(kept, NodeMap::from_entries([stale, ServerId(3)]), 0.0);
+        // The NACK's digest claims only `kept`: every other local pointer
+        // at the sender is authoritatively disclaimed and purged in the
+        // same stroke, not just the pair that misrouted.
+        let digest = build_digest(&ns, stale, [kept].iter(), 8, 0.01, 1);
+        let mut out = Vec::new();
+        s.handle_message(
+            1.0,
+            Message::Misroute {
+                node: a,
+                from: stale,
+                digest,
+            },
+            &mut rng,
+            &mut out,
+        );
+        assert!(!s.cache.peek(a).unwrap().contains(stale));
+        assert!(
+            s.cache.peek(b).is_none(),
+            "entry whose sole host is disclaimed drops entirely"
+        );
+        let k = s.cache.peek(kept).unwrap();
+        assert!(k.contains(stale), "digest hit is conservatively kept");
+    }
+
+    #[test]
+    fn lease_sweep_evicts_expired_soft_state_but_not_owned() {
+        let (ns, _, asg) = fixture(4);
+        let mut cfg = Config::paper_default(4);
+        cfg.leases.enabled = true;
+        cfg.leases.ttl = 5.0;
+        cfg.replication = false; // isolate the lease sweep from idle eviction
+        let mut s = ServerState::new(ServerId(0), Arc::clone(&ns), Arc::new(cfg), &asg);
+        let owned_before = s.owned_count();
+        let far = ns
+            .ids()
+            .find(|&n| !s.hosts(n) && !s.neighbor_maps.contains_key(&n))
+            .unwrap();
+        s.replicas.insert(
+            far,
+            NodeRecord::new(far, NodeMap::singleton(ServerId(0)), Meta::new(), 0.0),
+        );
+        let cached = ns
+            .ids()
+            .find(|&n| n != far && !s.hosts(n) && !s.neighbor_maps.contains_key(&n))
+            .unwrap();
+        s.cache.insert(cached, NodeMap::singleton(ServerId(3)), 0.0);
+        let mut out = Vec::new();
+        s.maintenance(100.0, &mut out);
+        assert_eq!(s.replica_count(), 0, "expired replica swept");
+        assert!(s.cache.peek(cached).is_none(), "expired cache entry swept");
+        assert_eq!(s.owned_count(), owned_before, "owned records are exempt");
+        // Context maps required by owned nodes survive (restamped, not
+        // evicted) — routing totality outranks freshness.
+        for node in s.owned_ids().collect::<Vec<_>>() {
+            assert!(s.has_context(node));
+        }
+        let total: u64 = out
+            .iter()
+            .filter_map(|o| match o {
+                Outgoing::Event(ProtocolEvent::LeaseExpired { count, .. }) => Some(*count),
+                _ => None,
+            })
+            .sum();
+        assert_eq!(total, 2, "one replica + one cache entry accounted");
     }
 }

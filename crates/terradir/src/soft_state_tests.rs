@@ -72,6 +72,7 @@ fn not_hosting_removes_entry_and_denies_digest() {
     servers[0].absorb_mapping(
         far,
         &NodeMap::from_entries([ServerId(2), ServerId(3)]),
+        0.0,
         &mut rng,
     );
     // Store server 2's digest so denial has a generation to bind to.
@@ -359,6 +360,7 @@ fn data_fetch_succeeds_at_owner_and_skips_replicas() {
     servers[2].absorb_mapping(
         node,
         &NodeMap::from_entries([ServerId(1), ServerId(0)]),
+        0.0,
         &mut rng,
     );
     servers[2].begin_fetch(7, node, &mut client_out);

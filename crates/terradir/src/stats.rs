@@ -117,6 +117,22 @@ pub struct RunStats {
     pub injected_per_sec_majority: BinnedCounter,
     /// Per-second resolutions delivered on the majority side.
     pub resolved_per_sec_majority: BinnedCounter,
+    /// Forwarded queries that landed on a server not hosting the node the
+    /// sender routed via (stale-pointer detections; DESIGN.md §14). Pure
+    /// observation: counted with or without misroute repair enabled.
+    pub misroutes: u64,
+    /// Total forwarding steps resolved queries spent after their first
+    /// misroute (the aggregate detour cost of stale soft state).
+    pub detour_hops: u64,
+    /// Soft-state entries (replica records, context maps, cache entries)
+    /// evicted by the lease sweep.
+    pub lease_evictions: u64,
+    /// `MapUpdate` advertisements pushed by warm-rejoin / post-heal
+    /// anti-entropy reconciliation.
+    pub reconcile_pushes: u64,
+    /// Per-second resolutions that never hit a stale pointer (numerator of
+    /// the reconvergence curve; denominator is `resolved_per_sec`).
+    pub clean_resolved_per_sec: BinnedCounter,
 }
 
 /// Per-second availability from an injected/resolved bin pair: each bin is
@@ -191,6 +207,11 @@ impl RunStats {
             resolved_per_sec_minority: BinnedCounter::new(1.0),
             injected_per_sec_majority: BinnedCounter::new(1.0),
             resolved_per_sec_majority: BinnedCounter::new(1.0),
+            misroutes: 0,
+            detour_hops: 0,
+            lease_evictions: 0,
+            reconcile_pushes: 0,
+            clean_resolved_per_sec: BinnedCounter::new(1.0),
         }
     }
 
@@ -261,12 +282,25 @@ impl RunStats {
         self.drops_per_sec.record(t);
     }
 
-    /// Records a resolved query.
-    pub fn on_resolved(&mut self, t: f64, issued_at: f64, hops: u32) {
+    /// Records a resolved query. `misrouted`/`detour_hops` come from the
+    /// winning attempt's packet: a clean resolution (no stale pointer hit)
+    /// feeds the reconvergence-curve numerator.
+    pub fn on_resolved(&mut self, t: f64, issued_at: f64, hops: u32, misrouted: bool, detour: u32) {
         self.resolved += 1;
         self.resolved_per_sec.record(t);
         self.latency.record((t - issued_at).max(0.0));
         self.hops.record(hops as f64);
+        self.detour_hops += u64::from(detour);
+        if !misrouted {
+            self.clean_resolved_per_sec.record(t);
+        }
+    }
+
+    /// Per-second reconvergence curve (DESIGN.md §14): the fraction of
+    /// resolutions each second that never hit a stale pointer. A second
+    /// with no resolutions reads fully reconverged.
+    pub fn reconvergence(&self) -> Vec<f64> {
+        availability_curve(&self.resolved_per_sec, &self.clean_resolved_per_sec)
     }
 
     /// Records an attempt-level query loss under the reliability layer
@@ -351,6 +385,14 @@ pub struct Summary {
     pub heals_applied: u64,
     /// Extra queries injected by flash crowds.
     pub flash_injected: u64,
+    /// Stale-pointer detections (queries landing on a non-hosting server).
+    pub misroutes: u64,
+    /// Aggregate post-misroute forwarding steps over resolved queries.
+    pub detour_hops: u64,
+    /// Soft-state entries evicted by the lease sweep.
+    pub lease_evictions: u64,
+    /// Anti-entropy advertisements pushed on warm rejoin / post-heal.
+    pub reconcile_pushes: u64,
 }
 
 impl Summary {
@@ -369,7 +411,9 @@ impl Summary {
                 "\"churn_recoveries\":{},\"dropped_shed\":{},",
                 "\"dropped_partition\":{},\"messages_cut\":{},",
                 "\"cuts_applied\":{},\"heals_applied\":{},",
-                "\"flash_injected\":{}}}"
+                "\"flash_injected\":{},\"misroutes\":{},",
+                "\"detour_hops\":{},\"lease_evictions\":{},",
+                "\"reconcile_pushes\":{}}}"
             ),
             self.injected,
             self.resolved,
@@ -393,6 +437,10 @@ impl Summary {
             self.cuts_applied,
             self.heals_applied,
             self.flash_injected,
+            self.misroutes,
+            self.detour_hops,
+            self.lease_evictions,
+            self.reconcile_pushes,
         )
     }
 }
@@ -423,6 +471,10 @@ impl RunStats {
             cuts_applied: self.cuts_applied,
             heals_applied: self.heals_applied,
             flash_injected: self.flash_injected,
+            misroutes: self.misroutes,
+            detour_hops: self.detour_hops,
+            lease_evictions: self.lease_evictions,
+            reconcile_pushes: self.reconcile_pushes,
         }
     }
 }
@@ -479,7 +531,7 @@ mod tests {
     fn resolved_records_latency_and_hops() {
         let mut s = RunStats::new(4);
         s.injected = 1;
-        s.on_resolved(2.0, 1.5, 7);
+        s.on_resolved(2.0, 1.5, 7, false, 0);
         assert_eq!(s.resolved, 1);
         assert!((s.latency.mean().unwrap() - 0.5).abs() < 1e-9);
         assert_eq!(s.hops.mean(), Some(7.0));
@@ -489,7 +541,7 @@ mod tests {
     fn summary_snapshot_matches_fields() {
         let mut s = RunStats::new(2);
         s.injected = 4;
-        s.on_resolved(1.0, 0.5, 3);
+        s.on_resolved(1.0, 0.5, 3, false, 0);
         s.on_drop(1.0, DropKind::Queue);
         let sum = s.summary();
         assert_eq!(sum.injected, 4);
@@ -504,7 +556,7 @@ mod tests {
     fn summary_json_is_well_formed() {
         let mut s = RunStats::new(2);
         s.injected = 2;
-        s.on_resolved(1.0, 0.5, 3);
+        s.on_resolved(1.0, 0.5, 3, false, 0);
         let json = s.summary().to_json();
         assert!(json.starts_with('{') && json.ends_with('}'));
         assert!(json.contains("\"injected\":2"));
@@ -538,7 +590,7 @@ mod tests {
         let mut s = RunStats::new(2);
         s.injected_per_sec.record(0.2);
         s.injected_per_sec.record(1.4);
-        s.on_resolved(1.5, 0.2, 3);
+        s.on_resolved(1.5, 0.2, 3, false, 0);
         assert_eq!(s.injected_per_sec.bins(), &[1, 1]);
         assert_eq!(s.resolved_per_sec.bins(), &[0, 1]);
     }
@@ -566,7 +618,7 @@ mod tests {
         s.injected_per_sec.record(0.5);
         s.injected_per_sec.record(0.6);
         s.injected_per_sec.record(2.5);
-        s.on_resolved(0.9, 0.5, 3);
+        s.on_resolved(0.9, 0.5, 3, false, 0);
         let curve = s.availability();
         assert_eq!(curve.len(), 3);
         assert!((curve[0] - 0.5).abs() < 1e-12);
@@ -577,6 +629,34 @@ mod tests {
         s.injected_per_sec_minority.record(0.5);
         s.resolved_per_sec_minority.record(0.6);
         assert_eq!(s.availability_minority(), vec![1.0]);
+    }
+
+    #[test]
+    fn reconvergence_curve_tracks_clean_resolutions() {
+        let mut s = RunStats::new(2);
+        s.on_resolved(0.5, 0.1, 3, true, 2);
+        s.on_resolved(0.6, 0.1, 3, false, 0);
+        s.on_resolved(1.5, 0.9, 4, false, 0);
+        assert_eq!(s.detour_hops, 2);
+        let curve = s.reconvergence();
+        assert_eq!(curve.len(), 2);
+        assert!((curve[0] - 0.5).abs() < 1e-12, "1 of 2 resolved cleanly");
+        assert_eq!(curve[1], 1.0, "all-clean bin fully reconverged");
+    }
+
+    #[test]
+    fn self_healing_counters_reach_the_summary_json() {
+        let mut s = RunStats::new(2);
+        s.misroutes = 4;
+        s.lease_evictions = 2;
+        s.reconcile_pushes = 5;
+        s.on_resolved(0.5, 0.1, 3, true, 7);
+        let json = s.summary().to_json();
+        assert!(json.contains("\"misroutes\":4"));
+        assert!(json.contains("\"detour_hops\":7"));
+        assert!(json.contains("\"lease_evictions\":2"));
+        assert!(json.contains("\"reconcile_pushes\":5"));
+        assert_eq!(json.matches('"').count() % 2, 0);
     }
 
     #[test]

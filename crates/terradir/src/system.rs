@@ -16,6 +16,7 @@ use terradir_sim::Engine;
 use terradir_workload::{seeded_rng, ExpService, PoissonArrivals, QueryStream, StreamPlan};
 
 use crate::config::{ChaosAction, Config};
+use crate::map::NodeMap;
 use crate::messages::{Message, QueryPacket};
 use crate::server::{Outgoing, ProtocolEvent, ServerState};
 use crate::stats::{DropKind, RunStats};
@@ -403,6 +404,12 @@ impl System {
         self.stats.churn_recoveries += 1;
         let now = self.engine.now();
         if let Some(server) = self.servers.get_mut(i) {
+            // A replication session whose *initiator* dies is gone for
+            // good — the reset below discards it, and the ledger must
+            // record the abort so started == completed + aborted holds.
+            if server.session.is_some() {
+                self.stats.sessions_aborted += 1;
+            }
             server.reset_soft_state(now, &self.assignment);
         }
         if let Some(m) = self.util.get_mut(i) {
@@ -412,6 +419,7 @@ impl System {
         debug_assert!(self.queues.get(i).is_none_or(VecDeque::is_empty));
         debug_assert!(self.in_service.get(i).is_none_or(Option::is_none));
         self.try_start(id);
+        self.warm_rejoin_push(id);
     }
 
     /// Churn process, failure side: fail the server and arm its recovery
@@ -496,10 +504,84 @@ impl System {
     }
 
     /// Clears the active cut, whichever event installed it. Counted even
-    /// when the network is already whole (the script said heal).
+    /// when the network is already whole (the script said heal). With
+    /// reconciliation enabled, the formerly isolated minority side
+    /// re-advertises its records to namespace neighbors (DESIGN.md §14)
+    /// so majority-side soft state repairs eagerly instead of waiting
+    /// for misroute NACKs.
     fn heal_cut(&mut self) {
         self.stats.heals_applied += 1;
         self.cut_side = None;
+        if self.cfg.reconcile.enabled {
+            for id in self.minority_servers() {
+                if !self.is_failed(id) {
+                    self.warm_rejoin_push(id);
+                }
+            }
+        }
+    }
+
+    /// Bounded anti-entropy push (DESIGN.md §14): the server re-advertises
+    /// up to `reconcile.batch` of its owned records to at most
+    /// `reconcile.fanout` namespace-neighbor owners, chosen from the fault
+    /// RNG so runs replay bit-identically. Inert unless
+    /// `reconcile.enabled` (and then draws no fault randomness at all, so
+    /// disabled runs stay byte-identical to pre-reconcile baselines).
+    fn warm_rejoin_push(&mut self, id: ServerId) {
+        use rand::seq::SliceRandom;
+        if !self.cfg.reconcile.enabled || self.is_failed(id) {
+            return;
+        }
+        let Some(server) = self.servers.get(id.index()) else {
+            return;
+        };
+        let mut peers: Vec<ServerId> = Vec::new();
+        for node in server.owned_ids() {
+            for nb in self.ns.neighbors(node) {
+                let owner = self.assignment.owner(nb);
+                if owner != id && !self.is_failed(owner) {
+                    peers.push(owner);
+                }
+            }
+        }
+        peers.sort_unstable();
+        peers.dedup();
+        peers.shuffle(&mut self.rng_faults);
+        peers.truncate(self.cfg.reconcile.fanout as usize);
+        let mut nodes: Vec<NodeId> = server.owned_ids().collect();
+        nodes.sort_unstable();
+        nodes.truncate(self.cfg.reconcile.batch as usize);
+        // Each push advertises only the authoritative fact the pusher can
+        // vouch for — "I host this node", a singleton map. Forwarding its
+        // full host map would propagate exactly the stale third-party
+        // pointers the reconciliation exists to repair.
+        let records: Vec<(NodeId, NodeMap)> = nodes
+            .iter()
+            .filter(|&&n| server.hosts(n))
+            .map(|&n| (n, NodeMap::singleton(id)))
+            .collect();
+        let mut sends: Vec<(ServerId, NodeId, NodeMap)> = Vec::new();
+        for &peer in &peers {
+            for (node, map) in &records {
+                sends.push((peer, *node, map.clone()));
+            }
+        }
+        for (peer, node, map) in sends {
+            self.stats.reconcile_pushes += 1;
+            self.stats.control_messages += 1;
+            // Flat delivery delay, no loss/jitter draws: reconcile pushes
+            // are substrate-scheduled like HostDown/NotHosting notices,
+            // and extra RNG draws here would perturb replay of the fault
+            // stream shared with churn/chaos.
+            self.engine.schedule_in(
+                self.cfg.network_delay,
+                Event::Deliver {
+                    to: peer,
+                    from: Some(id),
+                    msg: Message::MapUpdate { node, map },
+                },
+            );
+        }
     }
 
     /// Whether a delivery from `a` to `b` crosses the active cut.
@@ -721,12 +803,21 @@ impl System {
     /// maintained. Debug builds call this once per simulated second; tests
     /// call it directly at any point.
     pub fn audit(&self) -> Vec<String> {
+        let now = self.engine.now();
         let mut v = Vec::new();
         for (server, failed) in self.servers.iter().zip(&self.failed) {
             if !failed {
                 v.extend(crate::invariants::audit_server(&self.ns, server));
+                v.extend(crate::invariants::check_lease_freshness(server, now));
             }
         }
+        v.extend(crate::invariants::check_pending_hygiene(
+            self.cfg.retry.enabled,
+            self.stats.injected,
+            self.stats.resolved,
+            self.stats.dropped_total(),
+            self.pending.len(),
+        ));
         v
     }
 
@@ -1200,6 +1291,8 @@ impl System {
                 id,
                 issued_at,
                 hops,
+                misrouted,
+                detour_hops,
                 ..
             } => {
                 let counts = if self.cfg.retry.enabled {
@@ -1212,7 +1305,8 @@ impl System {
                     true
                 };
                 if counts {
-                    self.stats.on_resolved(now, issued_at, hops);
+                    self.stats
+                        .on_resolved(now, issued_at, hops, misrouted, detour_hops);
                     // Per-side availability numerator: results deliver at
                     // the origin, so `at` is the side the query was
                     // served to.
@@ -1238,6 +1332,8 @@ impl System {
                 }
             }
             ProtocolEvent::HostMarkedDead { .. } => self.stats.negative_evictions += 1,
+            ProtocolEvent::Misrouted { .. } => self.stats.misroutes += 1,
+            ProtocolEvent::LeaseExpired { count, .. } => self.stats.lease_evictions += count,
             ProtocolEvent::ReplicaCreated { node, .. } => {
                 let level = self.ns.depth(node);
                 self.stats.on_replica_created(now, level);
@@ -1507,5 +1603,49 @@ mod tests {
         sys.run_until(10.0);
         assert!(sys.stats().injected > early);
         assert!((sys.now() - 10.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn recovering_replication_initiator_aborts_session_cleanly() {
+        let mut sys = small_system(|_| {});
+        sys.run_until(2.0);
+        let id = ServerId(1);
+        let now = sys.now();
+        // Plant an in-flight session with this server as initiator, then
+        // crash and recover it: the session must die with the reset (no
+        // stranded probe can complete against the rebooted state) and the
+        // abort must enter the ledger.
+        sys.servers[id.index()].session =
+            Some(crate::replication::Session::new_for_tests(ServerId(2), now));
+        let before = sys.stats().sessions_aborted;
+        sys.fail_server(id);
+        sys.recover_server(id);
+        assert!(
+            sys.servers[id.index()].session.is_none(),
+            "session survived initiator recovery"
+        );
+        assert_eq!(sys.stats().sessions_aborted, before + 1);
+        sys.run_until(10.0);
+        assert!(sys.audit().is_empty(), "{:?}", sys.audit());
+    }
+
+    #[test]
+    fn warm_rejoin_pushes_advertisements_only_when_enabled() {
+        let run = |enabled: bool| {
+            let mut sys = small_system(|c| c.reconcile.enabled = enabled);
+            sys.run_until(2.0);
+            sys.fail_server(ServerId(1));
+            sys.recover_server(ServerId(1));
+            sys.run_until(4.0);
+            sys.stats().reconcile_pushes
+        };
+        let on = run(true);
+        let cfg = Config::paper_default(8);
+        assert!(on > 0, "enabled rejoin must push advertisements");
+        assert!(
+            on <= u64::from(cfg.reconcile.fanout) * u64::from(cfg.reconcile.batch),
+            "pushes {on} exceed fanout × batch bound"
+        );
+        assert_eq!(run(false), 0, "disabled reconcile must stay silent");
     }
 }

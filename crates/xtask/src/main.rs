@@ -74,6 +74,8 @@ fn lint() -> ExitCode {
                 "CutWindow",
                 "ScenarioConfig",
                 "ScenarioEvent",
+                "LeaseConfig",
+                "ReconcileConfig",
             ] {
                 violations.extend(checks::check_struct_docs(&config, &design, name));
             }

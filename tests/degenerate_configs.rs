@@ -70,6 +70,64 @@ fn r_map_of_one_stays_bounded() {
     assert!(v.is_empty(), "{v:?}");
 }
 
+/// `leases.ttl = 0`: every maintenance pass expires every unused piece of
+/// soft state on the spot. Routing must survive on owned records and
+/// freshly restamped context maps, and the freshness checker must agree.
+#[test]
+fn zero_ttl_leases_run_clean() {
+    let mut cfg = Config::paper_default(8).with_seed(13);
+    cfg.leases.enabled = true;
+    cfg.leases.ttl = 0.0;
+    let sys = run(cfg, 10.0, 50.0);
+    let st = sys.stats();
+    assert!(st.resolved > 0);
+    assert!(st.lease_evictions > 0, "zero ttl must expire soft state");
+    let v = sys.audit();
+    assert!(v.is_empty(), "{v:?}");
+}
+
+/// Use-refresh disabled with a short ttl: entries expire on the sweep
+/// cadence no matter how hot they are. The run must stay clean — eviction
+/// of a hot entry is a performance hazard, never a safety one.
+#[test]
+fn leases_without_use_refresh_run_clean() {
+    let mut cfg = Config::paper_default(8).with_seed(19);
+    cfg.leases.enabled = true;
+    cfg.leases.ttl = 2.0;
+    cfg.leases.refresh_on_use = false;
+    cfg.leases.misroute = true;
+    let sys = run(cfg, 10.0, 50.0);
+    assert!(sys.stats().resolved > 0);
+    let v = sys.audit();
+    assert!(v.is_empty(), "{v:?}");
+}
+
+/// Leases enabled on a fault-free run with the default ttl (which outlives
+/// the horizon): the sweep never fires, no fault randomness is drawn, and
+/// the run must be bitwise-identical to the leases-off baseline.
+#[test]
+fn leases_on_without_faults_match_leases_off_bitwise() {
+    let fp = |enabled: bool| {
+        let mut cfg = Config::paper_default(8).with_seed(17);
+        cfg.leases.enabled = enabled;
+        let sys = run(cfg, 10.0, 50.0);
+        let st = sys.stats();
+        (
+            st.injected,
+            st.resolved,
+            st.dropped_total(),
+            st.replicas_created,
+            st.control_messages,
+            st.latency.mean(),
+            st.hops.mean(),
+            st.misroutes,
+            st.detour_hops,
+            st.lease_evictions,
+        )
+    };
+    assert_eq!(fp(true), fp(false));
+}
+
 /// The three degenerations at once, under the replication-heavy BCR
 /// configuration with a skewed stream: the stress case for eviction,
 /// back-propagation, and map pruning with no slack anywhere.

@@ -67,7 +67,7 @@ proptest! {
             match op {
                 0 => {
                     // insert
-                    cache.insert(NodeId(node), NodeMap::singleton(ServerId(host)));
+                    cache.insert(NodeId(node), NodeMap::singleton(ServerId(host)), 0.0);
                     if let Some(pos) = model.iter().position(|&(n, _)| n == node) {
                         model.remove(pos);
                         model.push((node, host));
