@@ -23,7 +23,7 @@
 //! overflow drop split, and the resolved-query totals over the flash
 //! window showing that shedding resolves strictly more work than FIFO.
 
-use terradir::{ChaosAction, ScenarioEvent, System};
+use terradir::{ChaosAction, ScenarioEvent, Summary, System};
 use terradir_bench::{
     pct, tsv_header, tsv_row, write_bench_json, Args, JsonObj, Scale, ShapeChecks,
 };
@@ -64,6 +64,7 @@ impl Timeline {
 struct Run {
     label: String,
     stats_debug: String,
+    summary: Summary,
     minority_avail: Vec<f64>,
     majority_avail: Vec<f64>,
     flash_resolved: u64,
@@ -167,6 +168,7 @@ fn run_chaos(scale: &Scale, seed: u64, shed: bool, label: &str, tl: Timeline, ra
     Run {
         label: label.to_string(),
         stats_debug: format!("{st:?}"),
+        summary: st.summary(),
         minority_avail,
         majority_avail,
         flash_resolved,
@@ -261,7 +263,8 @@ fn main() {
                 .int("dropped_partition", r.dropped_partition)
                 .int("dropped_queue", r.dropped_queue)
                 .arr("minority_availability", &r.minority_avail)
-                .arr("majority_availability", &r.majority_avail),
+                .arr("majority_availability", &r.majority_avail)
+                .raw("summary", &r.summary.to_json()),
         );
     }
     write_bench_json("chaos", &json);

@@ -22,12 +22,13 @@
 //! variants, the availability over the churn window, and the
 //! time-to-recover after the window closes.
 
-use terradir::{ServerId, System};
+use terradir::{ServerId, Summary, System};
 use terradir_bench::{pct, tsv_header, tsv_row, write_bench_json, Args, JsonObj, ShapeChecks};
 use terradir_workload::StreamPlan;
 
 struct Outcome {
     label: String,
+    summary: Summary,
     avail: Vec<f64>,
     churn_availability: f64,
     time_to_recover: f64,
@@ -108,6 +109,7 @@ fn main() {
         let audit = sys.audit();
         outcomes.push(Outcome {
             label: label.to_string(),
+            summary: st.summary(),
             avail,
             churn_availability,
             time_to_recover,
@@ -154,7 +156,8 @@ fn main() {
                 .int("failures", o.failures)
                 .int("recoveries", o.recoveries)
                 .int("negative_evictions", o.negative_evictions)
-                .arr("availability", &o.avail),
+                .arr("availability", &o.avail)
+                .raw("summary", &o.summary.to_json()),
         );
     }
     json = json.num(

@@ -30,7 +30,7 @@
 //! reconverge strictly sooner after the heal *and* after the mass
 //! recovery.
 
-use terradir::{ChaosAction, ScenarioEvent, System};
+use terradir::{ChaosAction, ScenarioEvent, Summary, System};
 use terradir_bench::{tsv_header, tsv_row, write_bench_json, Args, JsonObj, Scale, ShapeChecks};
 use terradir_workload::StreamPlan;
 
@@ -119,6 +119,7 @@ fn time_to_reconverge(curve: &[f64], event_at: f64, limit: f64) -> f64 {
 struct Run {
     label: String,
     stats_debug: String,
+    summary: Summary,
     curve: Vec<f64>,
     ttr_heal: f64,
     ttr_recover: f64,
@@ -204,6 +205,7 @@ fn run_scenario(
     Run {
         label: label.to_string(),
         stats_debug: format!("{st:?}"),
+        summary: st.summary(),
         curve,
         ttr_heal,
         ttr_recover,
@@ -297,7 +299,8 @@ fn main() {
                 .int("lease_evictions", r.lease_evictions)
                 .int("reconcile_pushes", r.reconcile_pushes)
                 .int("resolved", r.resolved)
-                .arr("reconvergence", &r.curve),
+                .arr("reconvergence", &r.curve)
+                .raw("summary", &r.summary.to_json()),
         );
     }
     write_bench_json("reconverge", &json);

@@ -20,12 +20,13 @@
 //! each curve's availability dip and time back to the pre-failure
 //! baseline.
 
-use terradir::{Config, ServerId, System};
+use terradir::{Config, ServerId, Summary, System};
 use terradir_bench::{pct, tsv_header, tsv_row, write_bench_json, Args, JsonObj, ShapeChecks};
 use terradir_workload::StreamPlan;
 
 struct Curve {
     label: String,
+    summary: Summary,
     avail: Vec<f64>,
     dip: f64,
     time_to_baseline: f64,
@@ -107,6 +108,7 @@ fn main() {
         let st = sys.stats();
         curves.push(Curve {
             label: label.to_string(),
+            summary: st.summary(),
             avail,
             dip,
             time_to_baseline,
@@ -149,7 +151,8 @@ fn main() {
                 .num("time_to_baseline", c.time_to_baseline)
                 .int("post_drops", c.post_drops)
                 .int("post_replicas", c.post_replicas)
-                .arr("availability", &c.avail),
+                .arr("availability", &c.avail)
+                .raw("summary", &c.summary.to_json()),
         );
     }
     write_bench_json("resilience", &json);

@@ -16,6 +16,7 @@
 //! preserves per-server utilization — the quantity every experiment's
 //! shape depends on — while finishing in seconds.
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 use terradir::Config;
@@ -207,6 +208,16 @@ impl JsonObj {
         self.push(key, rendered)
     }
 
+    /// Adds a field whose value is already-rendered JSON, embedded
+    /// verbatim (the caller vouches for its validity). This is how the
+    /// bench bins splice the protocol's own `Summary::to_json()` into
+    /// `BENCH_*.json`, so every counter flows through the one emitter the
+    /// conservation pass audits (DESIGN.md §15).
+    #[must_use]
+    pub fn raw(self, key: &str, rendered: &str) -> JsonObj {
+        self.push(key, rendered.to_string())
+    }
+
     /// Renders the object as a single-line JSON document.
     pub fn render(&self) -> String {
         let cells: Vec<String> = self
@@ -360,6 +371,12 @@ mod tests {
     fn json_obj_is_order_stable() {
         let a = JsonObj::new().int("b", 2).int("a", 1).render();
         assert_eq!(a, "{\"b\":2,\"a\":1}");
+    }
+
+    #[test]
+    fn raw_embeds_prerendered_json_verbatim() {
+        let j = JsonObj::new().raw("summary", "{\"injected\":3}").render();
+        assert_eq!(j, "{\"summary\":{\"injected\":3}}");
     }
 
     #[test]

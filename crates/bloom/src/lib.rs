@@ -16,6 +16,7 @@
 //! - [`Digest`] — a versioned, immutable snapshot of a server's hosted-name
 //!   set, as shipped in messages.
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 

@@ -11,6 +11,7 @@
 //!              [--fail 0.1@60] [--tsv drops|replicas|load]
 //! ```
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 use std::fmt;

@@ -18,10 +18,12 @@
 //! handles; names are materialized only at API boundaries and when hashing
 //! into Bloom digests.
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 
 pub mod builder;
+pub mod det;
 pub mod distance;
 pub mod error;
 pub mod mapping;

@@ -1,7 +1,6 @@
 //! Arena-backed namespace tree with name interning.
 
-use std::collections::HashMap;
-
+use crate::det::DetHashMap;
 use crate::error::NameError;
 use crate::name::NodeName;
 
@@ -52,7 +51,7 @@ struct NodeInfo {
 #[derive(Debug, Clone)]
 pub struct Namespace {
     nodes: Vec<NodeInfo>,
-    by_name: HashMap<NodeName, NodeId>,
+    by_name: DetHashMap<NodeName, NodeId>,
 }
 
 impl Namespace {
@@ -72,7 +71,7 @@ impl Namespace {
     /// Creates a namespace containing only the root node `/`.
     pub fn new() -> Self {
         let root_name = NodeName::root();
-        let mut by_name = HashMap::new();
+        let mut by_name = DetHashMap::default();
         by_name.insert(root_name.clone(), NodeId(0));
         Namespace {
             nodes: vec![NodeInfo {

@@ -18,6 +18,7 @@
 //! `Engine<Event>` with its own event enum and runs its own dispatch loop
 //! (`while let Some(ev) = engine.pop() { … }`).
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 

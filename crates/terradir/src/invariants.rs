@@ -17,7 +17,7 @@
 //! [`check_incremental_progress`]: a server never forwards a query it
 //! could resolve, and no forwarded packet ever exceeds the TTL budget.
 
-use std::collections::HashSet;
+use crate::det::DetHashSet;
 
 use terradir_namespace::{Namespace, ServerId};
 
@@ -88,7 +88,7 @@ pub fn check_map_bounds(server: &ServerState) -> Vec<String> {
                 map.len()
             ));
         }
-        let distinct: HashSet<ServerId> = map.entries().iter().copied().collect();
+        let distinct: DetHashSet<ServerId> = map.entries().iter().copied().collect();
         if distinct.len() != map.len() {
             v.push(format!(
                 "server {}: {kind} map for node {node} lists a duplicate host",

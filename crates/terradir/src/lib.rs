@@ -49,6 +49,7 @@
 //! println!("{}", st.summary().to_json());
 //! ```
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 
@@ -80,7 +81,7 @@ pub use messages::{Message, QueryPacket};
 pub use meta::Meta;
 pub use records::NodeRecord;
 pub use server::{Outgoing, ProtocolEvent, ServerState};
-pub use stats::RunStats;
+pub use stats::{RunStats, Summary};
 pub use system::System;
 
 pub use terradir_namespace::{NodeId, ServerId};

@@ -15,8 +15,8 @@
 
 use crate::det::DetHashMap;
 
-use rand::rngs::StdRng;
 use rand::Rng;
+use rand::RngCore;
 
 use terradir_namespace::{NodeId, ServerId};
 
@@ -128,7 +128,12 @@ impl ServerState {
     /// processed query): "replication is triggered when a server's load
     /// exceeds the high-water threshold; a server checks its load after
     /// each processed query" (§3.3 step 1).
-    pub fn maybe_start_session(&mut self, now: f64, rng: &mut StdRng, out: &mut Vec<Outgoing>) {
+    pub fn maybe_start_session(
+        &mut self,
+        now: f64,
+        rng: &mut impl RngCore,
+        out: &mut Vec<Outgoing>,
+    ) {
         if !self.cfg.replication || self.session.is_some() || now < self.cooldown_until {
             return;
         }
@@ -181,7 +186,7 @@ impl ServerState {
         &self,
         now: f64,
         extra_exclude: &[ServerId],
-        rng: &mut StdRng,
+        rng: &mut impl RngCore,
     ) -> Option<ServerId> {
         let mut exclude: Vec<ServerId> = vec![self.id];
         exclude.extend_from_slice(extra_exclude);
@@ -224,7 +229,7 @@ impl ServerState {
         now: f64,
         from: ServerId,
         ld: f64,
-        rng: &mut StdRng,
+        rng: &mut impl RngCore,
         out: &mut Vec<Outgoing>,
     ) {
         self.known_loads.observe(from, ld, now);
@@ -257,7 +262,7 @@ impl ServerState {
     }
 
     /// §3.3 step 5: try another partner or give up.
-    fn retry_session(&mut self, now: f64, rng: &mut StdRng, out: &mut Vec<Outgoing>) {
+    fn retry_session(&mut self, now: f64, rng: &mut impl RngCore, out: &mut Vec<Outgoing>) {
         let Some(sess) = &self.session else { return };
         if sess.attempts >= self.cfg.max_session_attempts {
             self.abort_session(now, out);
@@ -343,7 +348,7 @@ impl ServerState {
         from: ServerId,
         sender_load: f64,
         payloads: Vec<ReplicaPayload>,
-        rng: &mut StdRng,
+        rng: &mut impl RngCore,
         out: &mut Vec<Outgoing>,
     ) {
         self.known_loads.observe(from, sender_load, now);
@@ -383,7 +388,7 @@ impl ServerState {
         &mut self,
         now: f64,
         payloads: Vec<ReplicaPayload>,
-        rng: &mut StdRng,
+        rng: &mut impl RngCore,
         out: &mut Vec<Outgoing>,
     ) -> Vec<NodeId> {
         let cap = self.cfg.replica_cap(self.owned.len());
@@ -511,7 +516,7 @@ impl ServerState {
         now: f64,
         from: ServerId,
         load: f64,
-        rng: &mut StdRng,
+        rng: &mut impl RngCore,
         out: &mut Vec<Outgoing>,
     ) {
         self.known_loads.observe(from, load, now);
@@ -536,6 +541,7 @@ impl ServerState {
 mod tests {
     use super::*;
     use crate::config::Config;
+    use rand::rngs::StdRng;
     use rand::SeedableRng;
     use std::sync::Arc;
     use terradir_namespace::{balanced_tree, Namespace, OwnerAssignment};

@@ -25,8 +25,8 @@
 //! `target` and its ancestors in increasing-distance order examines exactly
 //! the names that can improve on the classical candidate, in optimal order.
 
-use rand::rngs::StdRng;
 use rand::Rng;
+use rand::RngCore;
 
 use terradir_namespace::{distance, NodeId, ServerId};
 
@@ -74,7 +74,7 @@ impl ServerState {
         &mut self,
         target: NodeId,
         avoid: &[ServerId],
-        rng: &mut StdRng,
+        rng: &mut impl RngCore,
     ) -> RouteChoice {
         if self.hosts(target) {
             return RouteChoice::Resolve;
@@ -263,6 +263,7 @@ mod tests {
     use crate::config::Config;
     use crate::messages::{Message, QueryPacket};
     use crate::server::Outgoing;
+    use rand::rngs::StdRng;
     use rand::SeedableRng;
     use std::sync::Arc;
     use terradir_namespace::{balanced_tree, Namespace, OwnerAssignment};

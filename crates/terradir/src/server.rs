@@ -9,7 +9,7 @@
 use crate::det::DetHashMap;
 use std::sync::Arc;
 
-use rand::rngs::StdRng;
+use rand::RngCore;
 
 use terradir_bloom::Digest;
 use terradir_namespace::{Namespace, NodeId, OwnerAssignment, ServerId};
@@ -373,7 +373,7 @@ impl ServerState {
         &mut self,
         now: f64,
         msg: Message,
-        rng: &mut StdRng,
+        rng: &mut impl RngCore,
         out: &mut Vec<Outgoing>,
     ) {
         // Any message from a negatively cached host proves it alive again.
@@ -632,7 +632,7 @@ impl ServerState {
         &mut self,
         now: f64,
         mut p: QueryPacket,
-        rng: &mut StdRng,
+        rng: &mut impl RngCore,
         out: &mut Vec<Outgoing>,
     ) {
         self.absorb_piggyback(now, &mut p, rng);
@@ -787,7 +787,7 @@ impl ServerState {
         _resolved_by: ServerId,
         meta: Meta,
         children: Vec<(NodeId, NodeMap)>,
-        rng: &mut StdRng,
+        rng: &mut impl RngCore,
         out: &mut Vec<Outgoing>,
     ) {
         self.absorb_piggyback(now, &mut p, rng);
@@ -820,7 +820,7 @@ impl ServerState {
     /// Absorbs everything a packet carries: sender load, sender digest, and
     /// the propagated path (merged into hosted records / neighbor maps /
     /// the cache, whichever tracks the node).
-    fn absorb_piggyback(&mut self, now: f64, p: &mut QueryPacket, rng: &mut StdRng) {
+    fn absorb_piggyback(&mut self, now: f64, p: &mut QueryPacket, rng: &mut impl RngCore) {
         if let Some((s, l)) = p.sender_load {
             if s != self.id {
                 self.known_loads.observe(s, l, now);
@@ -869,7 +869,7 @@ impl ServerState {
         node: NodeId,
         incoming: &NodeMap,
         now: f64,
-        rng: &mut StdRng,
+        rng: &mut impl RngCore,
     ) {
         let r_map = self.cfg.r_map;
         let mut incoming = incoming.clone();
@@ -1173,7 +1173,7 @@ impl ServerState {
 
     /// Direct access to the rng-free route decision, exposed for the
     /// routing-accuracy oracle and property tests.
-    pub fn peek_route(&mut self, target: NodeId, rng: &mut StdRng) -> RouteChoice {
+    pub fn peek_route(&mut self, target: NodeId, rng: &mut impl RngCore) -> RouteChoice {
         self.decide_route(target, &[], rng)
     }
 
@@ -1332,6 +1332,7 @@ impl ServerState {
 #[allow(clippy::match_wildcard_for_single_variants)]
 mod tests {
     use super::*;
+    use rand::rngs::StdRng;
     use rand::SeedableRng;
     use terradir_namespace::balanced_tree;
 

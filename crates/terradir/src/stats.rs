@@ -133,6 +133,12 @@ pub struct RunStats {
     /// Per-second resolutions that never hit a stale pointer (numerator of
     /// the reconvergence curve; denominator is `resolved_per_sec`).
     pub clean_resolved_per_sec: BinnedCounter,
+    /// RNG draw ledger: total 64-bit draws per component tag, indexed by
+    /// `terradir_workload::seed::tags` (slot 0 unused). Synced by the
+    /// system after every `run_until`; equal ledgers across two replays of
+    /// one seed are the runtime half of the stream-discipline guarantee
+    /// (DESIGN.md §15).
+    pub rng_draws: Vec<u64>,
 }
 
 /// Per-second availability from an injected/resolved bin pair: each bin is
@@ -212,6 +218,7 @@ impl RunStats {
             lease_evictions: 0,
             reconcile_pushes: 0,
             clean_resolved_per_sec: BinnedCounter::new(1.0),
+            rng_draws: Vec::new(),
         }
     }
 
@@ -393,6 +400,32 @@ pub struct Summary {
     pub lease_evictions: u64,
     /// Anti-entropy advertisements pushed on warm rejoin / post-heal.
     pub reconcile_pushes: u64,
+    /// Query-path messages serviced.
+    pub query_messages: u64,
+    /// Replication sessions aborted.
+    pub sessions_aborted: u64,
+    /// Data retrievals that exhausted every mapped host.
+    pub data_fetches_failed: u64,
+    /// Messages addressed to a failed server.
+    pub messages_to_dead: u64,
+    /// Attempt-level losses: request queue overflow (retry mode).
+    pub attempts_lost_queue: u64,
+    /// Attempt-level losses: hop TTL exceeded (retry mode).
+    pub attempts_lost_ttl: u64,
+    /// Attempt-level losses: no routable candidate (retry mode).
+    pub attempts_lost_stuck: u64,
+    /// Attempt-level losses: delivery to a dead server (retry mode).
+    pub attempts_lost_dead: u64,
+    /// Attempt-level losses: transport loss injection (retry mode).
+    pub attempts_lost_transport: u64,
+    /// Attempt-level losses: shed by the admission policy (retry mode).
+    pub attempts_lost_shed: u64,
+    /// Attempt-level losses: delivery crossed an active cut (retry mode).
+    pub attempts_lost_partition: u64,
+    /// Servers crashed by `CorrelatedCrash` scenario actions.
+    pub scenario_crashes: u64,
+    /// Total RNG draws across every tagged stream (ledger sum).
+    pub rng_draws: u64,
 }
 
 impl Summary {
@@ -413,7 +446,13 @@ impl Summary {
                 "\"cuts_applied\":{},\"heals_applied\":{},",
                 "\"flash_injected\":{},\"misroutes\":{},",
                 "\"detour_hops\":{},\"lease_evictions\":{},",
-                "\"reconcile_pushes\":{}}}"
+                "\"reconcile_pushes\":{},\"query_messages\":{},",
+                "\"sessions_aborted\":{},\"data_fetches_failed\":{},",
+                "\"messages_to_dead\":{},\"attempts_lost_queue\":{},",
+                "\"attempts_lost_ttl\":{},\"attempts_lost_stuck\":{},",
+                "\"attempts_lost_dead\":{},\"attempts_lost_transport\":{},",
+                "\"attempts_lost_shed\":{},\"attempts_lost_partition\":{},",
+                "\"scenario_crashes\":{},\"rng_draws\":{}}}"
             ),
             self.injected,
             self.resolved,
@@ -441,6 +480,19 @@ impl Summary {
             self.detour_hops,
             self.lease_evictions,
             self.reconcile_pushes,
+            self.query_messages,
+            self.sessions_aborted,
+            self.data_fetches_failed,
+            self.messages_to_dead,
+            self.attempts_lost_queue,
+            self.attempts_lost_ttl,
+            self.attempts_lost_stuck,
+            self.attempts_lost_dead,
+            self.attempts_lost_transport,
+            self.attempts_lost_shed,
+            self.attempts_lost_partition,
+            self.scenario_crashes,
+            self.rng_draws,
         )
     }
 }
@@ -475,6 +527,19 @@ impl RunStats {
             detour_hops: self.detour_hops,
             lease_evictions: self.lease_evictions,
             reconcile_pushes: self.reconcile_pushes,
+            query_messages: self.query_messages,
+            sessions_aborted: self.sessions_aborted,
+            data_fetches_failed: self.data_fetches_failed,
+            messages_to_dead: self.messages_to_dead,
+            attempts_lost_queue: self.attempts_lost_queue,
+            attempts_lost_ttl: self.attempts_lost_ttl,
+            attempts_lost_stuck: self.attempts_lost_stuck,
+            attempts_lost_dead: self.attempts_lost_dead,
+            attempts_lost_transport: self.attempts_lost_transport,
+            attempts_lost_shed: self.attempts_lost_shed,
+            attempts_lost_partition: self.attempts_lost_partition,
+            scenario_crashes: self.scenario_crashes,
+            rng_draws: self.rng_draws.iter().sum(),
         }
     }
 }
@@ -675,6 +740,32 @@ mod tests {
         assert!(json.contains("\"dropped_shed\":1"));
         assert!(json.contains("\"dropped_partition\":0"));
         assert_eq!(json.matches('"').count() % 2, 0);
+    }
+
+    #[test]
+    fn attempt_decomposition_reaches_the_summary_json() {
+        let mut s = RunStats::new(2);
+        s.query_messages = 11;
+        s.messages_to_dead = 2;
+        s.scenario_crashes = 1;
+        s.on_attempt_lost(DropKind::Queue);
+        s.on_attempt_dead();
+        let json = s.summary().to_json();
+        assert!(json.contains("\"query_messages\":11"));
+        assert!(json.contains("\"messages_to_dead\":2"));
+        assert!(json.contains("\"scenario_crashes\":1"));
+        assert!(json.contains("\"attempts_lost_queue\":1"));
+        assert!(json.contains("\"attempts_lost_dead\":1"));
+        assert_eq!(json.matches('"').count() % 2, 0);
+    }
+
+    #[test]
+    fn draw_ledger_total_reaches_the_summary_json() {
+        let mut s = RunStats::new(2);
+        s.rng_draws = vec![0, 3, 4];
+        let sum = s.summary();
+        assert_eq!(sum.rng_draws, 7);
+        assert!(sum.to_json().contains("\"rng_draws\":7"));
     }
 
     #[test]

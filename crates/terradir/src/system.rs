@@ -9,30 +9,18 @@
 use std::collections::VecDeque;
 use std::sync::Arc;
 
-use rand::rngs::StdRng;
-
 use terradir_namespace::{Namespace, NodeId, OwnerAssignment, ServerId};
 use terradir_sim::Engine;
-use terradir_workload::{seeded_rng, ExpService, PoissonArrivals, QueryStream, StreamPlan};
+use terradir_workload::seed::tags;
+use terradir_workload::{
+    ledger_add, tagged_rng, ExpService, PoissonArrivals, QueryStream, StreamPlan, TaggedRng,
+};
 
 use crate::config::{ChaosAction, Config};
 use crate::map::NodeMap;
 use crate::messages::{Message, QueryPacket};
 use crate::server::{Outgoing, ProtocolEvent, ServerState};
 use crate::stats::{DropKind, RunStats};
-
-/// Workload seed tags local to the system (kept clear of the well-known
-/// tags in `terradir_workload::seed::tags`).
-mod tags {
-    pub const SERVICE: u64 = 4;
-    pub const PROTOCOL: u64 = 6;
-    pub const ARRIVALS: u64 = 2;
-    pub const MAPPING: u64 = 1;
-    pub const SPEEDS: u64 = 9;
-    pub const STATIC: u64 = 10;
-    /// Failure model: message loss, jitter, churn timers, failover picks.
-    pub const FAULTS: u64 = 11;
-}
 
 /// DES event alphabet.
 #[derive(Debug)]
@@ -86,7 +74,7 @@ struct Pending {
 
 /// An exponential holding-time draw with the given mean (inverse-CDF on a
 /// uniform; `1 - u` keeps the argument of `ln` in `(0, 1]`).
-fn exp_draw(rng: &mut StdRng, mean: f64) -> f64 {
+fn exp_draw<R: rand::RngCore>(rng: &mut R, mean: f64) -> f64 {
     use rand::Rng;
     let u: f64 = rng.gen();
     -mean * (1.0 - u).ln()
@@ -108,13 +96,17 @@ pub struct System {
     stream: QueryStream,
     arrivals: PoissonArrivals,
     service: ExpService,
-    rng_service: StdRng,
-    rng_protocol: StdRng,
-    rng_arrivals: StdRng,
+    rng_service: TaggedRng,
+    rng_protocol: TaggedRng,
+    rng_arrivals: TaggedRng,
     /// Failure-model randomness (loss, jitter, churn timers, failover
     /// picks). Never drawn from while the failure model is inert, so
     /// baseline runs stay bit-identical to pre-failure-model builds.
-    rng_faults: StdRng,
+    rng_faults: TaggedRng,
+    /// Construction-time draw counts by tag (mapping, speeds, static
+    /// bootstrap) — the baseline the live streams' counters are added to
+    /// when `stats.rng_draws` is synced (DESIGN.md §15).
+    setup_draws: Vec<u64>,
     stats: RunStats,
     next_query_id: u64,
     out_buf: Vec<Outgoing>,
@@ -155,9 +147,12 @@ impl System {
     pub fn new(ns: Namespace, cfg: Config, plan: StreamPlan, rate: f64) -> System {
         let valid = cfg.validate();
         assert!(valid.is_ok(), "invalid configuration: {valid:?}");
-        let mut map_rng = seeded_rng(cfg.seed, tags::MAPPING);
+        let mut map_rng = tagged_rng(cfg.seed, tags::MAPPING);
         let assignment = OwnerAssignment::uniform_random(&ns, cfg.n_servers, &mut map_rng);
-        Self::with_assignment(ns, cfg, assignment, plan, rate)
+        let mut sys = Self::with_assignment(ns, cfg, assignment, plan, rate);
+        ledger_add(&mut sys.setup_draws, tags::MAPPING, map_rng.draws());
+        sys.sync_draw_ledger();
+        sys
     }
 
     /// Builds a system with an explicit ownership assignment (tests and
@@ -179,20 +174,24 @@ impl System {
         let mut servers: Vec<ServerState> = (0..cfg.n_servers)
             .map(|i| ServerState::new(ServerId(i), Arc::clone(&ns), Arc::clone(&cfg), &assignment))
             .collect();
-        let speeds = Self::draw_speeds(&cfg);
+        let mut setup_draws = vec![0u64; tags::LEDGER_SLOTS];
+        let (speeds, speed_draws) = Self::draw_speeds(&cfg);
+        ledger_add(&mut setup_draws, tags::SPEEDS, speed_draws);
         if cfg.static_top_levels > 0 {
-            Self::bootstrap_static_replicas(&ns, &cfg, &assignment, &mut servers);
+            let static_draws =
+                Self::bootstrap_static_replicas(&ns, &cfg, &assignment, &mut servers);
+            ledger_add(&mut setup_draws, tags::STATIC, static_draws);
         }
         let stream = QueryStream::new(plan, ns.len(), cfg.n_servers, cfg.seed);
         let stats = RunStats::new(ns.max_depth());
         let mut engine = Engine::new();
         let arrivals = PoissonArrivals::new(rate);
-        let mut rng_arrivals = seeded_rng(cfg.seed, tags::ARRIVALS);
+        let mut rng_arrivals = tagged_rng(cfg.seed, tags::ARRIVALS);
         let first = arrivals.next_gap(&mut rng_arrivals);
         engine.schedule(first, Event::Inject);
         engine.schedule(cfg.load_window, Event::Maintain);
         engine.schedule(1.0, Event::Sample);
-        let mut rng_faults = seeded_rng(cfg.seed, tags::FAULTS);
+        let mut rng_faults = tagged_rng(cfg.seed, tags::FAULTS);
         if cfg.churn.enabled {
             for i in 0..cfg.n_servers {
                 let at = cfg.churn.start + exp_draw(&mut rng_faults, cfg.churn.mean_uptime);
@@ -216,7 +215,7 @@ impl System {
             engine.schedule(ev.at, Event::Chaos { idx: i });
         }
         let groups = cfg.partitions.n_groups.max(1);
-        System {
+        let mut sys = System {
             group_of: (0..cfg.n_servers).map(|i| i % groups).collect(),
             cut_side: None,
             minority: vec![false; n],
@@ -228,10 +227,11 @@ impl System {
                 .collect(),
             queues: (0..n).map(|_| VecDeque::new()).collect(),
             in_service: (0..n).map(|_| None).collect(),
-            rng_service: seeded_rng(cfg.seed, tags::SERVICE),
-            rng_protocol: seeded_rng(cfg.seed, tags::PROTOCOL),
+            rng_service: tagged_rng(cfg.seed, tags::SERVICE),
+            rng_protocol: tagged_rng(cfg.seed, tags::PROTOCOL),
             rng_arrivals,
             rng_faults,
+            setup_draws,
             ns,
             cfg,
             assignment,
@@ -247,19 +247,22 @@ impl System {
             epoch: vec![0; n],
             pending: crate::det::DetHashMap::default(),
             speeds,
-        }
+        };
+        sys.sync_draw_ledger();
+        sys
     }
 
     /// Draws normalized per-server speed factors (log-uniform in
     /// `[1/spread, spread]`, rescaled to mean exactly 1 so aggregate
-    /// capacity is invariant across spreads).
-    fn draw_speeds(cfg: &Config) -> Vec<f64> {
+    /// capacity is invariant across spreads). Returns the factors and the
+    /// number of RNG draws spent (the ledger's `speeds` slot).
+    fn draw_speeds(cfg: &Config) -> (Vec<f64>, u64) {
         use rand::Rng;
         let n = cfg.n_servers as usize;
         if cfg.speed_spread <= 1.0 {
-            return vec![1.0; n];
+            return (vec![1.0; n], 0);
         }
-        let mut rng = seeded_rng(cfg.seed, tags::SPEEDS);
+        let mut rng = tagged_rng(cfg.seed, tags::SPEEDS);
         let ln = cfg.speed_spread.ln();
         let mut speeds: Vec<f64> = (0..n)
             .map(|_| (rng.gen::<f64>() * 2.0 * ln - ln).exp())
@@ -268,21 +271,22 @@ impl System {
         for s in &mut speeds {
             *s /= mean;
         }
-        speeds
+        (speeds, rng.draws())
     }
 
     /// Installs the §2.3 static bootstrap replicas: every node at depth
     /// below `static_top_levels` gets `static_replicas_per_node` replicas
     /// on random non-owner servers, with owner maps advertising them.
+    /// Returns the RNG draws spent (the ledger's `static` slot).
     fn bootstrap_static_replicas(
         ns: &Arc<Namespace>,
         cfg: &Arc<Config>,
         assignment: &OwnerAssignment,
         servers: &mut [ServerState],
-    ) {
+    ) -> u64 {
         use rand::seq::SliceRandom;
         use rand::Rng;
-        let mut rng = seeded_rng(cfg.seed, tags::STATIC);
+        let mut rng = tagged_rng(cfg.seed, tags::STATIC);
         let mut scratch = Vec::new();
         for node in ns.ids() {
             if ns.depth(node) >= cfg.static_top_levels {
@@ -339,6 +343,7 @@ impl System {
         for s in servers.iter_mut() {
             s.rebuild_digest_if_dirty();
         }
+        rng.draws()
     }
 
     /// Fails a server: its queue is discarded and every message addressed
@@ -732,6 +737,29 @@ impl System {
         while let Some(ev) = self.engine.pop_before(t_end) {
             self.handle(ev);
         }
+        self.sync_draw_ledger();
+    }
+
+    /// Rebuilds `stats.rng_draws` from the construction baseline plus every
+    /// live stream's counter. Idempotent — it *sets* absolute totals — and
+    /// called after each [`System::run_until`], so the ledger in
+    /// [`RunStats`] always reflects the run's total per-tag consumption.
+    /// Two replays of one seed must produce equal ledgers; a mismatch means
+    /// some code path drew from the wrong stream (DESIGN.md §15).
+    fn sync_draw_ledger(&mut self) {
+        let mut ledger = self.setup_draws.clone();
+        for (tag, n) in [
+            (self.rng_service.tag(), self.rng_service.draws()),
+            (self.rng_protocol.tag(), self.rng_protocol.draws()),
+            (self.rng_arrivals.tag(), self.rng_arrivals.draws()),
+            (self.rng_faults.tag(), self.rng_faults.draws()),
+        ] {
+            ledger_add(&mut ledger, tag, n);
+        }
+        for (tag, n) in self.stream.rng_draws() {
+            ledger_add(&mut ledger, tag, n);
+        }
+        self.stats.rng_draws = ledger;
     }
 
     /// Current simulation time.

@@ -14,6 +14,7 @@
 //!
 //! Everything is deterministic given a master seed ([`seed`]).
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 
@@ -26,7 +27,7 @@ pub mod zipf;
 
 pub use poisson::PoissonArrivals;
 pub use ranking::PopularityRanking;
-pub use seed::{derive_seed, seeded_rng};
+pub use seed::{derive_seed, ledger_add, seeded_rng, tagged_rng, TaggedRng};
 pub use service::ExpService;
 pub use stream::{DestinationMode, QueryStream, Segment, StreamPlan};
 pub use zipf::ZipfSampler;

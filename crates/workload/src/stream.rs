@@ -9,13 +9,12 @@
 //! concrete namespace size, producing `(source server, destination node)`
 //! pairs as a function of simulation time.
 
-use rand::rngs::StdRng;
 use rand::Rng;
 
 use terradir_namespace::{NodeId, ServerId};
 
 use crate::ranking::PopularityRanking;
-use crate::seed::{seeded_rng, tags};
+use crate::seed::{tagged_rng, tags, TaggedRng};
 use crate::zipf::ZipfSampler;
 
 /// How a segment draws destination nodes.
@@ -128,9 +127,9 @@ pub struct QueryStream {
     samplers: Vec<(u64, ZipfSampler)>,
     seg_idx: usize,
     seg_end: f64,
-    dest_rng: StdRng,
-    src_rng: StdRng,
-    rank_rng: StdRng,
+    dest_rng: TaggedRng,
+    src_rng: TaggedRng,
+    rank_rng: TaggedRng,
     n_nodes: usize,
 }
 
@@ -140,7 +139,7 @@ impl QueryStream {
     pub fn new(plan: StreamPlan, n_nodes: usize, n_servers: u32, master_seed: u64) -> QueryStream {
         assert!(!plan.segments.is_empty(), "plan needs at least one segment");
         assert!(n_nodes >= 1 && n_servers >= 1);
-        let mut rank_rng = seeded_rng(master_seed, tags::RANKING);
+        let mut rank_rng = tagged_rng(master_seed, tags::RANKING);
         let ranking = PopularityRanking::random(n_nodes, &mut rank_rng);
         let seg_end = plan.segments.first().map_or(0.0, |s| s.duration);
         QueryStream {
@@ -150,11 +149,21 @@ impl QueryStream {
             samplers: Vec::new(),
             seg_idx: 0,
             seg_end,
-            dest_rng: seeded_rng(master_seed, tags::DESTINATIONS),
-            src_rng: seeded_rng(master_seed, tags::SOURCES),
+            dest_rng: tagged_rng(master_seed, tags::DESTINATIONS),
+            src_rng: tagged_rng(master_seed, tags::SOURCES),
             rank_rng,
             n_nodes,
         }
+    }
+
+    /// Per-tag draw counts of the stream's three RNGs (the `QueryStream`
+    /// slice of the run's draw ledger; DESIGN.md §15).
+    pub fn rng_draws(&self) -> [(u64, u64); 3] {
+        [
+            (self.dest_rng.tag(), self.dest_rng.draws()),
+            (self.src_rng.tag(), self.src_rng.draws()),
+            (self.rank_rng.tag(), self.rank_rng.draws()),
+        ]
     }
 
     fn sampler_for(&mut self, order: f64) -> usize {
@@ -307,6 +316,23 @@ mod tests {
         }
         let hot2 = *second.iter().max_by_key(|(_, c)| **c).unwrap().0;
         assert_ne!(hot1, hot2, "reshuffle should move the hot spot");
+    }
+
+    #[test]
+    fn draw_ledger_replays_identically() {
+        use crate::seed::tags;
+        let run = || {
+            let mut qs = QueryStream::new(StreamPlan::adaptation(1.2, 1.0, 2, 1.0), 100, 4, 9);
+            for i in 0..500 {
+                qs.next_query(i as f64 * 0.01);
+            }
+            qs.rng_draws()
+        };
+        let a = run();
+        assert_eq!(a, run());
+        for (tag, n) in a {
+            assert!(n > 0, "stream tag {} drew nothing", tags::name(tag));
+        }
     }
 
     #[test]

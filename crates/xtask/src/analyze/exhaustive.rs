@@ -1,0 +1,195 @@
+//! Exhaustiveness pass: every variant of every protocol enum is named at
+//! its consumption site.
+//!
+//! The compiler's match exhaustiveness dissolves the moment a handler
+//! grows a `_ =>` arm — from then on, a new `Message`, simulator `Event`,
+//! or `ChaosAction` variant can be added and silently swallowed. Soft
+//! state makes this failure mode invisible: the system still "works",
+//! just worse. This pass generalizes the original message-handler and
+//! drop-taxonomy checks into a data-driven table: for each audited enum,
+//! every variant must appear as `Enum::Variant` (token-bounded) in the
+//! designated consumer files.
+
+use crate::checks::{enum_variants, Violation};
+use crate::lexer::scrub;
+
+/// One enum audit rule: where the enum is defined, and which files must
+/// collectively name every variant.
+#[derive(Debug, Clone, Copy)]
+pub struct EnumRule {
+    /// Enum type name.
+    pub name: &'static str,
+    /// Workspace-relative path of the defining file.
+    pub def_file: &'static str,
+    /// Workspace-relative paths that must collectively name each variant.
+    pub use_files: &'static [&'static str],
+    /// Why the rule exists (printed with violations).
+    pub why: &'static str,
+}
+
+/// The audited protocol enums.
+pub const ENUM_RULES: &[EnumRule] = &[
+    EnumRule {
+        name: "Message",
+        def_file: "crates/terradir/src/messages.rs",
+        use_files: &["crates/terradir/src/server.rs"],
+        why: "an unhandled protocol message silently vanishes",
+    },
+    EnumRule {
+        name: "QueryKind",
+        def_file: "crates/terradir/src/messages.rs",
+        use_files: &["crates/terradir/src/server.rs"],
+        why: "an unhandled query kind cannot resolve",
+    },
+    EnumRule {
+        name: "DropKind",
+        def_file: "crates/terradir/src/stats.rs",
+        use_files: &["tests/partitions.rs"],
+        why: "a drop class absent from the taxonomy test can fall out of \
+              the accounting identity",
+    },
+    EnumRule {
+        name: "ChaosAction",
+        def_file: "crates/terradir/src/config.rs",
+        use_files: &["crates/terradir/src/system.rs"],
+        why: "an unapplied scenario action makes chaos scripts lie",
+    },
+    EnumRule {
+        name: "Event",
+        def_file: "crates/terradir/src/system.rs",
+        use_files: &["crates/terradir/src/system.rs"],
+        why: "an undispatched simulator event stalls the run",
+    },
+    EnumRule {
+        name: "Outgoing",
+        def_file: "crates/terradir/src/server.rs",
+        use_files: &["crates/terradir/src/system.rs"],
+        why: "a protocol effect the simulator never applies is a no-op",
+    },
+    EnumRule {
+        name: "ProtocolEvent",
+        def_file: "crates/terradir/src/server.rs",
+        use_files: &["crates/terradir/src/system.rs"],
+        why: "an uncounted protocol event breaks the stats contract",
+    },
+    EnumRule {
+        name: "RouteChoice",
+        def_file: "crates/terradir/src/routing.rs",
+        use_files: &["crates/terradir/src/server.rs"],
+        why: "an unacted routing decision drops the query on the floor",
+    },
+    EnumRule {
+        name: "HopKind",
+        def_file: "crates/terradir/src/routing.rs",
+        use_files: &["crates/terradir/src/routing.rs"],
+        why: "a hop class the router never produces is dead taxonomy",
+    },
+    EnumRule {
+        name: "DestinationMode",
+        def_file: "crates/workload/src/stream.rs",
+        use_files: &["crates/workload/src/stream.rs"],
+        why: "an unsampled destination mode yields no workload",
+    },
+];
+
+/// Checks one enum rule: `def_src` is the defining file, `consumers` the
+/// `(label, source)` pairs named by the rule. Matching is over scrubbed
+/// text (a variant named only in a comment does not count) with a token
+/// boundary after the variant, so `Enum::Ttl` is not satisfied by
+/// `Enum::TtlExceeded`.
+pub fn check_enum_rule(
+    rule: &EnumRule,
+    def_src: &str,
+    consumers: &[(String, String)],
+) -> Vec<Violation> {
+    let variants = enum_variants(def_src, rule.name);
+    let mut out = Vec::new();
+    if variants.is_empty() {
+        out.push(Violation {
+            file: rule.def_file.to_string(),
+            line: 1,
+            what: format!(
+                "auditor found no `enum {}` variants (parser drift?)",
+                rule.name
+            ),
+        });
+        return out;
+    }
+    let scrubbed: Vec<(String, String)> = consumers
+        .iter()
+        .map(|(label, src)| (label.clone(), scrub(src)))
+        .collect();
+    for v in &variants {
+        let pat = format!("{}::{v}", rule.name);
+        let named = scrubbed.iter().any(|(_, text)| {
+            text.match_indices(&pat).any(|(pos, _)| {
+                !text
+                    .as_bytes()
+                    .get(pos + pat.len())
+                    .is_some_and(|b| b.is_ascii_alphanumeric() || *b == b'_')
+            })
+        });
+        if !named {
+            let where_ = rule.use_files.join(", ");
+            out.push(Violation {
+                file: rule.def_file.to_string(),
+                line: 1,
+                what: format!(
+                    "{}::{v} is never named in {where_} ({})",
+                    rule.name, rule.why
+                ),
+            });
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const RULE: EnumRule = EnumRule {
+        name: "Event",
+        def_file: "sim.rs",
+        use_files: &["sim.rs"],
+        why: "test rule",
+    };
+
+    fn consumers(s: &str) -> Vec<(String, String)> {
+        vec![("sim.rs".to_string(), s.to_string())]
+    }
+
+    #[test]
+    fn private_enum_variants_are_audited() {
+        let def = "enum Event {\n    Inject,\n    Deliver { at: f64 },\n}\n";
+        let ok = consumers("match e { Event::Inject => {} Event::Deliver { .. } => {} }");
+        assert!(check_enum_rule(&RULE, def, &ok).is_empty());
+        let bad = consumers("match e { Event::Inject => {} _ => {} }");
+        let vs = check_enum_rule(&RULE, def, &bad);
+        assert_eq!(vs.len(), 1, "{vs:?}");
+        assert!(vs[0].what.contains("Event::Deliver"));
+        assert!(vs[0].what.contains("test rule"));
+    }
+
+    #[test]
+    fn variant_named_only_in_comment_does_not_count() {
+        let def = "enum Event { Inject }\n";
+        let vs = check_enum_rule(&RULE, def, &consumers("// handled: Event::Inject"));
+        assert_eq!(vs.len(), 1, "{vs:?}");
+    }
+
+    #[test]
+    fn prefix_variants_are_not_confused() {
+        let def = "enum Event { Cut, CutStop }\n";
+        let vs = check_enum_rule(&RULE, def, &consumers("Event::CutStop => {}"));
+        assert_eq!(vs.len(), 1, "{vs:?}");
+        assert!(vs[0].what.contains("Event::Cut is"));
+    }
+
+    #[test]
+    fn missing_enum_is_loud_not_vacuous() {
+        let vs = check_enum_rule(&RULE, "struct NotAnEnum;", &consumers(""));
+        assert_eq!(vs.len(), 1);
+        assert!(vs[0].what.contains("parser drift"));
+    }
+}

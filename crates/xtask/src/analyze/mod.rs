@@ -1,0 +1,191 @@
+//! The `cargo xtask analyze` driver: wires every pass to the workspace.
+//!
+//! Eight rule families run as one suite (`lint` and `analyze` are
+//! synonyms — CI gates on the union):
+//!
+//! 1. config docs ↔ DESIGN.md ([`crate::checks::check_struct_docs`]),
+//! 2. panic-free library code ([`crate::checks::check_no_panics`]),
+//! 3. determinism lint ([`determinism`]),
+//! 4. counter conservation ([`conservation`]),
+//! 5. dead config ([`dead_config`]),
+//! 6. enum exhaustiveness ([`exhaustive`]) — which generalizes and
+//!    subsumes the original message-handler and drop-taxonomy checks.
+
+pub mod conservation;
+pub mod dead_config;
+pub mod determinism;
+pub mod exhaustive;
+
+use std::path::Path;
+
+use crate::checks::{self, Violation};
+use crate::{load_sources, read, LIB_CRATES};
+
+/// Everything one suite run produced.
+#[derive(Debug, Default)]
+pub struct Report {
+    /// Rule violations, in pass order.
+    pub violations: Vec<Violation>,
+    /// Files the driver could not read.
+    pub io_errors: Vec<String>,
+    /// `(pass name, violations found)` per pass, for the summary line.
+    pub passes: Vec<(&'static str, usize)>,
+}
+
+impl Report {
+    /// Whether the workspace is clean.
+    pub fn is_clean(&self) -> bool {
+        self.violations.is_empty() && self.io_errors.is_empty()
+    }
+
+    fn record(&mut self, pass: &'static str, vs: Vec<Violation>) {
+        self.passes.push((pass, vs.len()));
+        self.violations.extend(vs);
+    }
+}
+
+/// Loads every non-test source file under the given crate `src/` trees:
+/// out-of-line `#[cfg(test)]` modules (e.g. `soft_state_tests.rs`) are
+/// dropped; inline test modules are left for `behavior_text` to blank.
+fn non_test_sources(
+    root: &Path,
+    crates: &[&str],
+    io_errors: &mut Vec<String>,
+) -> Vec<(String, String)> {
+    let mut out = Vec::new();
+    for krate in crates {
+        let dir = root.join("crates").join(krate).join("src");
+        let files = load_sources(root, &dir, io_errors);
+        let mut test_stems: Vec<String> = Vec::new();
+        for (_, src) in &files {
+            test_stems.extend(checks::test_module_files(src));
+        }
+        for (label, src) in files {
+            let stem = Path::new(&label)
+                .file_stem()
+                .and_then(|s| s.to_str())
+                .unwrap_or_default()
+                .to_string();
+            if test_stems.contains(&stem) {
+                continue;
+            }
+            out.push((label, src));
+        }
+    }
+    out
+}
+
+/// Runs the full suite against the workspace rooted at `root`.
+pub fn run(root: &Path) -> Report {
+    let mut report = Report::default();
+
+    // Pass 1: config docs ↔ DESIGN.md.
+    let mut vs = Vec::new();
+    match (
+        read(root, "crates/terradir/src/config.rs"),
+        read(root, "DESIGN.md"),
+    ) {
+        (Ok(config), Ok(design)) => {
+            for name in dead_config::CONFIG_STRUCTS {
+                vs.extend(checks::check_struct_docs(&config, &design, name));
+            }
+        }
+        (a, b) => {
+            report.io_errors.extend(a.err());
+            report.io_errors.extend(b.err());
+        }
+    }
+    report.record("config-docs", vs);
+
+    // Pass 2: panic-free library code.
+    let lib_sources = non_test_sources(root, LIB_CRATES, &mut report.io_errors);
+    let mut vs = Vec::new();
+    for (label, src) in &lib_sources {
+        vs.extend(checks::check_no_panics(label, src));
+    }
+    report.record("panic-free", vs);
+
+    // Pass 3: determinism lint over behavior crates.
+    let behavior = non_test_sources(root, determinism::BEHAVIOR_CRATES, &mut report.io_errors);
+    let mut vs = Vec::new();
+    for (label, src) in &behavior {
+        vs.extend(determinism::check_determinism(label, src));
+    }
+    report.record("determinism", vs);
+
+    // Pass 4: counter conservation.
+    let mut vs = Vec::new();
+    match (
+        read(root, "crates/terradir/src/stats.rs"),
+        read(root, "DESIGN.md"),
+    ) {
+        (Ok(stats), Ok(design)) => {
+            let stats_label = "crates/terradir/src/stats.rs";
+            let writer_crates = ["namespace", "bloom", "workload", "sim", "terradir", "net"];
+            let writers: Vec<(String, String)> =
+                non_test_sources(root, &writer_crates, &mut report.io_errors)
+                    .into_iter()
+                    .filter(|(label, _)| label != stats_label)
+                    .collect();
+            let emitters = non_test_sources(root, &["bench", "cli"], &mut report.io_errors);
+            vs.extend(conservation::check_conservation(
+                &stats, &design, &writers, &emitters,
+            ));
+        }
+        (a, b) => {
+            report.io_errors.extend(a.err());
+            report.io_errors.extend(b.err());
+        }
+    }
+    report.record("conservation", vs);
+
+    // Pass 5: dead config.
+    let mut vs = Vec::new();
+    match read(root, "crates/terradir/src/config.rs") {
+        Ok(config) => {
+            let config_label = "crates/terradir/src/config.rs";
+            let reader_crates = [
+                "namespace",
+                "bloom",
+                "workload",
+                "sim",
+                "terradir",
+                "net",
+                "bench",
+                "cli",
+            ];
+            let readers: Vec<(String, String)> =
+                non_test_sources(root, &reader_crates, &mut report.io_errors)
+                    .into_iter()
+                    .filter(|(label, _)| label != config_label)
+                    .collect();
+            for name in dead_config::CONFIG_STRUCTS {
+                vs.extend(dead_config::check_dead_config(&config, name, &readers));
+            }
+        }
+        Err(e) => report.io_errors.push(e),
+    }
+    report.record("dead-config", vs);
+
+    // Pass 6: enum exhaustiveness (subsumes the original message-handler
+    // and drop-taxonomy checks via the Message and DropKind rules).
+    let mut vs = Vec::new();
+    for rule in exhaustive::ENUM_RULES {
+        match read(root, rule.def_file) {
+            Ok(def) => {
+                let mut consumers = Vec::new();
+                for rel in rule.use_files {
+                    match read(root, rel) {
+                        Ok(src) => consumers.push(((*rel).to_string(), src)),
+                        Err(e) => report.io_errors.push(e),
+                    }
+                }
+                vs.extend(exhaustive::check_enum_rule(rule, &def, &consumers));
+            }
+            Err(e) => report.io_errors.push(e),
+        }
+    }
+    report.record("exhaustive", vs);
+
+    report
+}

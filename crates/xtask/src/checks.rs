@@ -205,12 +205,13 @@ pub fn message_variants(messages_src: &str) -> Vec<String> {
     enum_variants(messages_src, "Message")
 }
 
-/// Variant names of any `pub enum <name> { … }`. The match requires an
-/// identifier boundary after `name`, so `DropKind` does not land on a
-/// hypothetical `DropKindSet`.
+/// Variant names of any `enum <name> { … }`, public or private (the
+/// exhaustiveness pass audits the simulator's private `Event` enum too).
+/// The match requires an identifier boundary on both sides of `name`, so
+/// `DropKind` does not land on a hypothetical `DropKindSet`.
 pub fn enum_variants(src: &str, name: &str) -> Vec<String> {
     let scrubbed = scrub(src);
-    let pat = format!("pub enum {name}");
+    let pat = format!("enum {name}");
     let mut start_at = None;
     let mut search = 0;
     while let Some(rel) = scrubbed.get(search..).and_then(|s| s.find(&pat)) {

@@ -1,5 +1,5 @@
-// Developer tool binary: aborting on unexpected state is the correct failure
-// mode, and the lexer walks byte offsets it maintains itself.
+// Developer tool binary: aborting on unexpected state is the correct
+// failure mode.
 #![allow(
     clippy::unwrap_used,
     clippy::expect_used,
@@ -7,178 +7,43 @@
     clippy::panic
 )]
 
-//! Repository auditor, run as `cargo xtask lint`.
+//! Repository auditor CLI: `cargo xtask lint` / `cargo xtask analyze`.
 //!
-//! Four protocol-invariant checks the compiler cannot express:
-//!
-//! 1. every `Config` field is doc-commented *and* named in DESIGN.md,
-//! 2. no `unwrap`/`expect`/`panic!` in library code outside `#[cfg(test)]`
-//!    (a token-level backstop behind the clippy wall — it also catches
-//!    code hidden from clippy by `#[allow]`),
-//! 3. every `Message` variant is matched in `server.rs` handlers,
-//! 4. every `DropKind` variant is named in the drop-taxonomy test, so no
-//!    drop class can silently fall out of the accounting identity.
-//!
-//! Exit status is the number of violated rules capped at 1 — i.e. 0 when
-//! clean, 1 otherwise — so CI can gate on it.
+//! Both subcommands run the full static-analysis suite (the protocol-
+//! invariant checks plus the determinism & accounting passes — see
+//! `xtask::analyze` and DESIGN.md §15). Exit status is 0 when clean,
+//! 1 otherwise, so CI can gate on it.
 
-use std::path::{Path, PathBuf};
 use std::process::ExitCode;
-
-mod checks;
-mod lexer;
-
-use checks::Violation;
-
-/// Library crates under the panic wall. Binaries (`cli`, `bench`, `xtask`
-/// itself) opt out: aborting is their correct failure mode.
-const LIB_CRATES: &[&str] = &["namespace", "bloom", "workload", "sim", "terradir", "net"];
-
-fn workspace_root() -> PathBuf {
-    // crates/xtask → workspace root is two levels up.
-    Path::new(env!("CARGO_MANIFEST_DIR")).join("..").join("..")
-}
 
 fn main() -> ExitCode {
     let mode = std::env::args().nth(1).unwrap_or_default();
-    if mode == "lint" {
-        lint()
-    } else {
-        eprintln!("usage: cargo xtask lint");
-        ExitCode::from(2)
+    if mode != "lint" && mode != "analyze" {
+        eprintln!("usage: cargo xtask <lint|analyze>");
+        return ExitCode::from(2);
     }
-}
-
-fn read(root: &Path, rel: &str) -> Result<String, String> {
-    std::fs::read_to_string(root.join(rel)).map_err(|e| format!("{rel}: {e}"))
-}
-
-fn lint() -> ExitCode {
-    let root = workspace_root();
-    let mut violations: Vec<Violation> = Vec::new();
-    let mut io_errors: Vec<String> = Vec::new();
-
-    // Check 1: Config docs ↔ DESIGN.md — the top-level struct plus the
-    // failure-model sub-structs it embeds.
-    match (
-        read(&root, "crates/terradir/src/config.rs"),
-        read(&root, "DESIGN.md"),
-    ) {
-        (Ok(config), Ok(design)) => {
-            for name in [
-                "Config",
-                "FaultConfig",
-                "RetryConfig",
-                "ChurnConfig",
-                "PartitionConfig",
-                "CutWindow",
-                "ScenarioConfig",
-                "ScenarioEvent",
-                "LeaseConfig",
-                "ReconcileConfig",
-            ] {
-                violations.extend(checks::check_struct_docs(&config, &design, name));
-            }
-        }
-        (a, b) => {
-            io_errors.extend(a.err());
-            io_errors.extend(b.err());
-        }
-    }
-
-    // Check 2: panic-free library code.
-    for krate in LIB_CRATES {
-        let src_dir = root.join("crates").join(krate).join("src");
-        match collect_rs_files(&src_dir) {
-            Ok(files) => {
-                // First pass: learn which files are out-of-line test modules.
-                let mut test_files: Vec<String> = Vec::new();
-                for f in &files {
-                    if let Ok(src) = std::fs::read_to_string(f) {
-                        test_files.extend(checks::test_module_files(&src));
-                    }
-                }
-                for f in &files {
-                    let stem = f.file_stem().and_then(|s| s.to_str()).unwrap_or_default();
-                    if test_files.iter().any(|t| t == stem) {
-                        continue;
-                    }
-                    let label = f.strip_prefix(&root).unwrap_or(f).display().to_string();
-                    match std::fs::read_to_string(f) {
-                        Ok(src) => violations.extend(checks::check_no_panics(&label, &src)),
-                        Err(e) => io_errors.push(format!("{label}: {e}")),
-                    }
-                }
-            }
-            Err(e) => io_errors.push(e),
-        }
-    }
-
-    // Check 3: Message variants ↔ server handlers.
-    match (
-        read(&root, "crates/terradir/src/messages.rs"),
-        read(&root, "crates/terradir/src/server.rs"),
-    ) {
-        (Ok(messages), Ok(server)) => {
-            violations.extend(checks::check_message_handlers(&messages, &server));
-        }
-        (a, b) => {
-            io_errors.extend(a.err());
-            io_errors.extend(b.err());
-        }
-    }
-
-    // Check 4: DropKind variants ↔ the drop-taxonomy accounting test.
-    match (
-        read(&root, "crates/terradir/src/stats.rs"),
-        read(&root, "tests/partitions.rs"),
-    ) {
-        (Ok(stats), Ok(test)) => {
-            violations.extend(checks::check_drop_kind_accounting(&stats, &test));
-        }
-        (a, b) => {
-            io_errors.extend(a.err());
-            io_errors.extend(b.err());
-        }
-    }
-
-    for e in &io_errors {
+    let report = xtask::analyze::run(&xtask::workspace_root());
+    for e in &report.io_errors {
         eprintln!("xtask: io error: {e}");
     }
-    for v in &violations {
+    for v in &report.violations {
         eprintln!("{v}");
     }
-    if violations.is_empty() && io_errors.is_empty() {
-        println!(
-            "xtask lint: ok (config docs, panic-free libraries: {}, message handlers, drop taxonomy)",
-            LIB_CRATES.join(", ")
-        );
+    let passes: Vec<String> = report
+        .passes
+        .iter()
+        .map(|(name, n)| format!("{name}: {n}"))
+        .collect();
+    if report.is_clean() {
+        println!("xtask {mode}: ok ({})", passes.join(", "));
         ExitCode::SUCCESS
     } else {
         eprintln!(
-            "xtask lint: {} violation(s), {} io error(s)",
-            violations.len(),
-            io_errors.len()
+            "xtask {mode}: {} violation(s), {} io error(s) ({})",
+            report.violations.len(),
+            report.io_errors.len(),
+            passes.join(", ")
         );
         ExitCode::FAILURE
     }
-}
-
-fn collect_rs_files(dir: &Path) -> Result<Vec<PathBuf>, String> {
-    let mut out = Vec::new();
-    let mut stack = vec![dir.to_path_buf()];
-    while let Some(d) = stack.pop() {
-        let entries = std::fs::read_dir(&d).map_err(|e| format!("{}: {e}", d.display()))?;
-        for entry in entries {
-            let entry = entry.map_err(|e| format!("{}: {e}", d.display()))?;
-            let p = entry.path();
-            if p.is_dir() {
-                stack.push(p);
-            } else if p.extension().is_some_and(|x| x == "rs") {
-                out.push(p);
-            }
-        }
-    }
-    out.sort();
-    Ok(out)
 }

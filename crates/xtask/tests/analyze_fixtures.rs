@@ -1,0 +1,171 @@
+// Test code: panicking asserts are the point.
+#![allow(
+    clippy::unwrap_used,
+    clippy::expect_used,
+    clippy::indexing_slicing,
+    clippy::panic
+)]
+
+//! Fixture tests for the `cargo xtask analyze` passes: each known-bad
+//! fixture under `tests/fixtures/` seeds violations on annotated lines,
+//! and the passes must report exactly those `path:line` locations —
+//! while the known-clean fixture sails through every pass untouched.
+
+use std::path::Path;
+
+use xtask::analyze::{conservation, dead_config, determinism, exhaustive};
+use xtask::checks;
+
+fn fixture(name: &str) -> String {
+    let path = Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("tests")
+        .join("fixtures")
+        .join(name);
+    std::fs::read_to_string(&path).unwrap_or_else(|e| panic!("{}: {e}", path.display()))
+}
+
+fn srcs(label: &str, s: &str) -> Vec<(String, String)> {
+    vec![(label.to_string(), s.to_string())]
+}
+
+#[test]
+fn determinism_fixture_is_flagged_at_exact_lines() {
+    let src = fixture("determinism_bad.rs");
+    let label = "crates/terradir/src/determinism_bad.rs";
+    let vs = determinism::check_determinism(label, &src);
+    let got: Vec<(usize, &str)> = vs.iter().map(|v| (v.line, v.what.as_str())).collect();
+    assert_eq!(vs.len(), 3, "{got:?}");
+    assert_eq!(vs[0].line, 7);
+    assert!(vs[0].what.contains("Instant::now"));
+    assert_eq!(vs[1].line, 11);
+    assert!(vs[1].what.contains("thread_rng"));
+    assert_eq!(vs[2].line, 16);
+    assert!(vs[2].what.contains("HashMap::new"));
+    for v in &vs {
+        assert_eq!(v.file, label);
+        // The rendered diagnostic is a clickable path:line.
+        assert!(v.to_string().starts_with(&format!("{label}:{}", v.line)));
+    }
+}
+
+#[test]
+fn conservation_fixture_is_flagged_at_the_field_declaration() {
+    let stats = fixture("conservation_bad.rs");
+    let writers = srcs(
+        "crates/terradir/src/system.rs",
+        "fn f(st: &mut RunStats) { st.injected += 1; }",
+    );
+    let emitters = srcs(
+        "crates/bench/src/bin/fig.rs",
+        "fn g(st: &RunStats) { let _ = st.summary(); }",
+    );
+    let vs = conservation::check_conservation(&stats, "table: `injected`", &writers, &emitters);
+    let whats: Vec<String> = vs.iter().map(ToString::to_string).collect();
+    assert_eq!(vs.len(), 5, "{whats:#?}");
+    // ghost_counter: unfed, unemitted, undocumented — all at line 9.
+    assert!(whats
+        .iter()
+        .any(|w| w.contains(":9: ") && w.contains("`ghost_counter` is never fed")));
+    assert!(whats
+        .iter()
+        .any(|w| w.contains(":9: ") && w.contains("`ghost_counter` is never emitted")));
+    assert!(whats
+        .iter()
+        .any(|w| w.contains("`ghost_counter` is not documented")));
+    // Summary ↔ to_json drift, both directions.
+    assert!(whats
+        .iter()
+        .any(|w| w.contains("`injected` is missing from to_json")));
+    assert!(whats
+        .iter()
+        .any(|w| w.contains("to_json emits key `injectd`")));
+}
+
+#[test]
+fn dead_config_fixture_is_flagged_at_the_orphan_knob() {
+    let config = fixture("dead_config_bad.rs");
+    let readers = srcs(
+        "crates/terradir/src/system.rs",
+        "fn f(c: &Config) { let _ = c.live_knob && c.gated_active(); }",
+    );
+    let vs = dead_config::check_dead_config(&config, "Config", &readers);
+    assert_eq!(vs.len(), 1, "{vs:?}");
+    assert_eq!(vs[0].line, 9);
+    assert!(vs[0].what.contains("Config field `orphan_knob` is dead"));
+    // `gated` is consumed only through its accessor — still live.
+    assert!(!vs.iter().any(|v| v.what.contains("`gated`")));
+}
+
+#[test]
+fn exhaustive_fixture_flags_the_variant_behind_the_wildcard() {
+    let src = fixture("exhaustive_bad.rs");
+    let rule = exhaustive::EnumRule {
+        name: "Event",
+        def_file: "crates/terradir/src/exhaustive_bad.rs",
+        use_files: &["crates/terradir/src/exhaustive_bad.rs"],
+        why: "fixture rule",
+    };
+    let consumers = srcs("crates/terradir/src/exhaustive_bad.rs", &src);
+    let vs = exhaustive::check_enum_rule(&rule, &src, &consumers);
+    assert_eq!(vs.len(), 1, "{vs:?}");
+    assert!(vs[0].what.contains("Event::Heal is never named"));
+    // Event::Heal appears in a comment of the consumer — scrubbing must
+    // have kept that from satisfying the rule.
+}
+
+#[test]
+fn clean_fixture_passes_every_pass() {
+    let src = fixture("clean.rs");
+    let label = "crates/terradir/src/clean.rs";
+
+    let vs = determinism::check_determinism(label, &src);
+    assert!(vs.is_empty(), "determinism: {vs:?}");
+
+    let vs = checks::check_no_panics(label, &src);
+    assert!(vs.is_empty(), "panic-free: {vs:?}");
+
+    let writers = srcs(label, &src);
+    let emitters = srcs(
+        "crates/bench/src/bin/fig.rs",
+        "fn g(st: &RunStats) { let _ = st.summary(); }",
+    );
+    let vs = conservation::check_conservation(&src, "table: `injected`", &writers, &emitters);
+    assert!(vs.is_empty(), "conservation: {vs:?}");
+
+    let vs = dead_config::check_dead_config(&src, "Config", &writers);
+    assert!(vs.is_empty(), "dead-config: {vs:?}");
+
+    let rule = exhaustive::EnumRule {
+        name: "Event",
+        def_file: label,
+        use_files: &[],
+        why: "fixture rule",
+    };
+    let vs = exhaustive::check_enum_rule(&rule, &src, &writers);
+    assert!(vs.is_empty(), "exhaustive: {vs:?}");
+}
+
+#[test]
+fn full_suite_is_clean_on_this_workspace() {
+    // The acceptance gate, as a test: the real tree has no violations.
+    let report = xtask::analyze::run(&xtask::workspace_root());
+    assert!(
+        report.is_clean(),
+        "violations: {:#?}\nio errors: {:#?}",
+        report.violations,
+        report.io_errors
+    );
+    // All six passes actually ran.
+    let names: Vec<&str> = report.passes.iter().map(|(n, _)| *n).collect();
+    assert_eq!(
+        names,
+        vec![
+            "config-docs",
+            "panic-free",
+            "determinism",
+            "conservation",
+            "dead-config",
+            "exhaustive"
+        ]
+    );
+}

@@ -1,0 +1,29 @@
+// Fixture: a miniature stats.rs with seeded conservation violations.
+// `ghost_counter` (line 9) is fed by nothing, emitted nowhere, and
+// documented nowhere; `to_json` emits a key (`injectd`, line 27) that
+// drifted from the Summary struct.
+pub struct RunStats {
+    /// Queries injected.
+    pub injected: u64,
+    /// A counter nothing feeds, nothing emits, nothing documents.
+    pub ghost_counter: u64,
+}
+
+impl RunStats {
+    pub fn summary(&self) -> Summary {
+        Summary {
+            injected: self.injected,
+        }
+    }
+}
+
+pub struct Summary {
+    /// Queries injected.
+    pub injected: u64,
+}
+
+impl Summary {
+    pub fn to_json(&self) -> String {
+        format!("{{\"injectd\":{}}}", self.injected)
+    }
+}

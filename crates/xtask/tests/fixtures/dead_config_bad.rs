@@ -1,0 +1,18 @@
+// Fixture: a config struct with one live knob and one dead one.
+// `orphan_knob` (line 9) is read by nothing outside this file — not
+// even through an accessor — so the dead-config pass must flag it.
+pub struct Config {
+    /// Read by the fixture "system" below the struct.
+    pub live_knob: bool,
+    /// Swept by studies, consumed by nothing: the worst reproduction
+    /// bug, because the mechanism it names silently has no effect.
+    pub orphan_knob: bool,
+    /// Consumed only through `gated_active()` — live, one level deep.
+    pub gated: bool,
+}
+
+impl Config {
+    pub fn gated_active(&self) -> bool {
+        self.gated
+    }
+}

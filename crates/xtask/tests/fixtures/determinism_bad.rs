@@ -1,0 +1,26 @@
+// Fixture: deliberately nondeterministic behavior code. Each seeded
+// violation sits on a known line; the integration test asserts the
+// analyzer reports exactly these path:line locations.
+use std::collections::HashMap;
+
+pub fn wall_clock() -> std::time::Instant {
+    std::time::Instant::now() // line 7: wall-clock read
+}
+
+pub fn ambient_entropy() -> u64 {
+    let mut rng = rand::thread_rng(); // line 11: OS entropy
+    rng.gen()
+}
+
+pub fn randomized_hashing() -> HashMap<u32, u32> {
+    HashMap::new() // line 16: per-process hash seed
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn tests_may_do_what_they_like() {
+        let _ = std::time::SystemTime::now(); // exempt: cfg(test)
+        let _ = std::collections::HashSet::<u8>::new();
+    }
+}

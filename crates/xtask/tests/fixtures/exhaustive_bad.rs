@@ -1,0 +1,16 @@
+// Fixture: a protocol enum whose consumer grew a wildcard arm. The
+// `Heal` variant is never named below — naming it in this comment as
+// Event::Heal must NOT satisfy the pass (comments are scrubbed).
+enum Event {
+    Inject,
+    Deliver { at: f64 },
+    Heal,
+}
+
+pub fn dispatch(e: Event) {
+    match e {
+        Event::Inject => {}
+        Event::Deliver { .. } => {}
+        _ => {} // the wildcard that swallows Heal
+    }
+}

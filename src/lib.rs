@@ -17,6 +17,7 @@
 //! inventory; `EXPERIMENTS.md` records paper-vs-measured results for every
 //! figure of the paper.
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub use terradir as protocol;

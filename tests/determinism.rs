@@ -14,7 +14,12 @@ use terradir_repro::namespace::{balanced_tree, coda_like, CodaParams, ServerId};
 use terradir_repro::protocol::{Config, System};
 use terradir_repro::workload::{seeded_rng, StreamPlan};
 
-fn fingerprint(sys: &System) -> (u64, u64, u64, u64, u64, Option<f64>, Option<f64>) {
+/// Fingerprint of a run: headline counters plus the full per-tag RNG draw
+/// ledger, so the replay arms of every test below also assert that each
+/// tagged stream was consumed *exactly* as often — the runtime cross-check
+/// behind `cargo xtask analyze`'s static stream discipline (DESIGN.md §15).
+#[allow(clippy::type_complexity)]
+fn fingerprint(sys: &System) -> (u64, u64, u64, u64, u64, Option<f64>, Option<f64>, Vec<u64>) {
     let st = sys.stats();
     (
         st.injected,
@@ -24,6 +29,7 @@ fn fingerprint(sys: &System) -> (u64, u64, u64, u64, u64, Option<f64>, Option<f6
         st.control_messages,
         st.latency.mean(),
         st.hops.mean(),
+        st.rng_draws.clone(),
     )
 }
 
@@ -131,6 +137,68 @@ fn lease_sweep_and_misroute_repair_replay_bitwise() {
     // the sweep fires (ttl 6 < horizon) and the heal/recover pushes flow.
     assert!(a.3 > 0, "lease sweep never evicted: {a:?}");
     assert!(a.4 > 0, "reconciliation never pushed: {a:?}");
+}
+
+#[test]
+fn draw_ledger_is_equal_across_replay_and_accounts_every_stream() {
+    use terradir_repro::workload::seed::tags;
+    let run = || {
+        let ns = balanced_tree(2, 6);
+        let mut cfg = Config::paper_default(16).with_seed(42);
+        cfg.speed_spread = 2.0;
+        cfg.static_top_levels = 1;
+        let mut sys = System::new(ns, cfg, StreamPlan::adaptation(1.2, 3.0, 2, 5.0), 120.0);
+        sys.run_until(14.0);
+        sys.stats().rng_draws.clone()
+    };
+    let ledger = run();
+    assert_eq!(ledger, run(), "per-tag draw counts must replay identically");
+    assert_eq!(ledger.len(), tags::LEDGER_SLOTS);
+    // Every stream this configuration exercises must actually be drawn
+    // from — a silently idle stream means the ledger is not wired up.
+    for tag in [
+        tags::MAPPING,
+        tags::ARRIVALS,
+        tags::DESTINATIONS,
+        tags::SERVICE,
+        tags::RANKING,
+        tags::PROTOCOL,
+        tags::SOURCES,
+        tags::SPEEDS,
+        tags::STATIC,
+    ] {
+        let n = ledger.get(tag as usize).copied().unwrap_or(0);
+        assert!(
+            n > 0,
+            "stream `{}` drew nothing: {ledger:?}",
+            tags::name(tag)
+        );
+    }
+    // The fault stream must stay silent on a fault-free run: drawing from
+    // it would perturb replay of every chaos scenario sharing the seed.
+    assert_eq!(
+        ledger.get(tags::FAULTS as usize).copied(),
+        Some(0),
+        "fault stream consumed on a fault-free run: {ledger:?}"
+    );
+}
+
+#[test]
+fn faulty_runs_spend_fault_randomness_reproducibly() {
+    use terradir_repro::workload::seed::tags;
+    let run = || {
+        let ns = balanced_tree(2, 5);
+        let mut cfg = Config::paper_default(8).with_seed(13);
+        cfg.faults.loss_prob = 0.05;
+        cfg.retry.enabled = true;
+        let mut sys = System::new(ns, cfg, StreamPlan::unif(20.0), 60.0);
+        sys.run_until(12.0);
+        sys.stats().rng_draws.clone()
+    };
+    let ledger = run();
+    assert_eq!(ledger, run());
+    let faults = ledger.get(tags::FAULTS as usize).copied().unwrap_or(0);
+    assert!(faults > 0, "loss injection must draw from the fault stream");
 }
 
 #[test]
