@@ -1,0 +1,100 @@
+// Benchmark harness: panicking on setup failure is the correct failure mode.
+#![allow(
+    clippy::unwrap_used,
+    clippy::expect_used,
+    clippy::indexing_slicing,
+    clippy::panic
+)]
+
+//! Hot-path microbenchmarks (DESIGN.md §16): the three operations the
+//! steady-state event loop performs per forwarded query — a route-step
+//! decision, a route-cache lookup, and a digest membership check. The
+//! `hotpath` analyze pass keeps allocations out of these paths statically;
+//! these benches price what remains.
+
+use std::sync::Arc;
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughput};
+
+use terradir::routing::RouteChoice;
+use terradir::server::ServerState;
+use terradir::{Config, NodeMap, RouteCache};
+use terradir_bloom::{BloomParams, DigestBuilder};
+use terradir_namespace::{balanced_tree, NodeId, OwnerAssignment, ServerId};
+use terradir_workload::{seed::tags, seeded_rng};
+
+/// One bootstrapped server over a 511-node tree shared by 64 peers, plus
+/// the namespace size for target cycling.
+fn bootstrapped_server() -> (ServerState, usize) {
+    let ns = Arc::new(balanced_tree(2, 8));
+    let cfg = Arc::new(Config::paper_default(64).with_seed(7));
+    let mut rng = seeded_rng(7, tags::MAPPING);
+    let assignment = OwnerAssignment::uniform_random(&ns, 64, &mut rng);
+    let n = ns.len();
+    (ServerState::new(ServerId(0), ns, cfg, &assignment), n)
+}
+
+fn bench_route_step(c: &mut Criterion) {
+    let mut g = c.benchmark_group("route_step");
+    g.throughput(Throughput::Elements(1));
+    g.bench_function("decide_511_nodes_64_servers", |b| {
+        let (mut server, n) = bootstrapped_server();
+        let mut rng = seeded_rng(7, tags::PROTOCOL);
+        let mut target = 0u32;
+        b.iter(|| {
+            target = (target + 1) % n as u32;
+            let choice = server.peek_route(NodeId(black_box(target)), &mut rng);
+            black_box(matches!(choice, RouteChoice::Resolve))
+        });
+    });
+    g.finish();
+}
+
+fn bench_cache_lookup(c: &mut Criterion) {
+    let mut g = c.benchmark_group("cache_lookup");
+    g.throughput(Throughput::Elements(1));
+    // A full cache (every slot live) probed with a mix of hits and misses,
+    // like a warm origin server resolving a Zipf stream.
+    g.bench_function("get_128_slots", |b| {
+        let mut cache = RouteCache::new(128);
+        for i in 0..128u32 {
+            cache.insert(NodeId(i), NodeMap::singleton(ServerId(i % 64)), 0.0);
+        }
+        let mut probe = 0u32;
+        b.iter(|| {
+            probe = (probe + 1) % 256; // half hit, half miss
+            black_box(cache.get(NodeId(black_box(probe))).is_some())
+        });
+    });
+    g.finish();
+}
+
+fn bench_digest_check(c: &mut Criterion) {
+    let mut g = c.benchmark_group("digest_check");
+    g.throughput(Throughput::Elements(1));
+    // A sealed digest over 512 hosted names tested with present and absent
+    // names — the per-candidate cost of digest-pruned forwarding.
+    g.bench_function("test_512_items", |b| {
+        let ns = balanced_tree(2, 8);
+        let mut builder = DigestBuilder::new(BloomParams::for_capacity(512, 0.01, 7));
+        for id in ns.ids().take(512) {
+            builder.add(ns.name(id).as_str());
+        }
+        let digest = builder.seal(1);
+        let names: Vec<&str> = ns.ids().map(|id| ns.name(id).as_str()).collect();
+        let mut i = 0usize;
+        b.iter(|| {
+            i = (i + 1) % names.len();
+            black_box(digest.test(black_box(names[i])))
+        });
+    });
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_route_step,
+    bench_cache_lookup,
+    bench_digest_check
+);
+criterion_main!(benches);

@@ -72,8 +72,10 @@ impl Namespace {
     pub fn new() -> Self {
         let root_name = NodeName::root();
         let mut by_name = DetHashMap::default();
+        // xtask: allow(alloc): NodeName is Arc-backed — a refcount bump
         by_name.insert(root_name.clone(), NodeId(0));
         Namespace {
+            // xtask: allow(alloc): construction, runs once per namespace
             nodes: vec![NodeInfo {
                 name: root_name,
                 parent: None,
@@ -113,13 +115,16 @@ impl Namespace {
         let name = parent_info.name.child(segment)?;
         if self.by_name.contains_key(&name) {
             return Err(NameError::DuplicateChild {
+                // xtask: allow(alloc): cold error path, diagnostic payload
                 parent: parent_info.name.as_str().to_string(),
+                // xtask: allow(alloc): cold error path, diagnostic payload
                 segment: segment.to_string(),
             });
         }
         let id = NodeId(self.nodes.len() as u32);
         let depth = parent_info.depth + 1;
         self.nodes.push(NodeInfo {
+            // xtask: allow(alloc): NodeName is Arc-backed — a refcount bump
             name: name.clone(),
             parent: Some(parent),
             children: Vec::new(),
@@ -168,6 +173,7 @@ impl Namespace {
     pub fn lookup_str(&self, path: &str) -> Result<NodeId, NameError> {
         let name = NodeName::parse(path)?;
         self.lookup(&name)
+            // xtask: allow(alloc): cold error path, diagnostic payload
             .ok_or_else(|| NameError::UnknownName(path.to_string()))
     }
 
@@ -227,6 +233,7 @@ impl Namespace {
 
     /// Number of nodes at each depth, indexed by level (level 0 is the root).
     pub fn level_sizes(&self) -> Vec<usize> {
+        // xtask: allow(alloc): topology diagnostic, not on the event path
         let mut out = vec![0usize; self.max_depth() as usize + 1];
         for n in &self.nodes {
             if let Some(slot) = out.get_mut(n.depth as usize) {

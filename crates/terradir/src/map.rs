@@ -18,9 +18,24 @@ use rand::Rng;
 use terradir_namespace::ServerId;
 
 /// A bounded, recency-ordered list of hosts for one node.
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, PartialEq, Eq)]
 pub struct NodeMap {
     entries: Vec<ServerId>,
+}
+
+impl Clone for NodeMap {
+    fn clone(&self) -> NodeMap {
+        NodeMap {
+            entries: self.entries.clone(),
+        }
+    }
+
+    /// Reuses the destination's buffer — the routing hot path writes
+    /// pruned maps back with `clone_from` so steady-state forwarding does
+    /// not reallocate (`cargo xtask analyze`'s hotpath pass polices this).
+    fn clone_from(&mut self, source: &NodeMap) {
+        self.entries.clone_from(&source.entries);
+    }
 }
 
 impl NodeMap {

@@ -135,15 +135,21 @@ impl ServerState {
                     }
                 }
                 if !hits.is_empty() {
-                    hits.sort_unstable(); // store iteration order is not deterministic
-                    let fresh: Vec<ServerId> = hits
-                        .iter()
-                        .copied()
-                        .filter(|h| !avoid.contains(h))
-                        .collect();
-                    let pool = if fresh.is_empty() { &hits } else { &fresh };
-                    let pick = rng.gen_range(0..pool.len());
-                    let Some(&srv) = pool.get(pick) else {
+                    // Store iteration order is not deterministic, so sort.
+                    hits.sort_unstable();
+                    // Prefer hits outside `avoid`, counting instead of
+                    // collecting the filtered pool into a second Vec.
+                    let fresh = hits.iter().filter(|h| !avoid.contains(h)).count();
+                    let pick = rng.gen_range(0..if fresh == 0 { hits.len() } else { fresh });
+                    let chosen = if fresh == 0 {
+                        hits.get(pick).copied()
+                    } else {
+                        hits.iter()
+                            .copied()
+                            .filter(|h| !avoid.contains(h))
+                            .nth(pick)
+                    };
+                    let Some(srv) = chosen else {
                         break 'outer; // gen_range keeps pick in bounds
                     };
                     digest_hit = Some((dist, node, srv));
@@ -174,8 +180,12 @@ impl ServerState {
             // Candidates were enumerated from these same tables, so the
             // lookups can only miss on concurrent mutation (impossible
             // here); skipping is the safe degradation.
+            // The working copy detaches the borrow so filter_map may mutate
+            // server state; the packet takes ownership of the survivor below.
             let map = match kind {
+                // xtask: allow(alloc): detached working copy, see above
                 HopKind::Neighbor => self.neighbor_maps.get(&via).cloned(),
+                // xtask: allow(alloc): detached working copy, cache side
                 HopKind::Cache => self.cache.peek(via).cloned(),
                 HopKind::Digest => None, // digest hits return early
             };
@@ -205,7 +215,8 @@ impl ServerState {
             let used_context_of = match kind {
                 HopKind::Neighbor => {
                     if let Some(stored) = self.neighbor_maps.get_mut(&via) {
-                        *stored = map.clone();
+                        // clone_from reuses the stored map's buffer.
+                        stored.clone_from(&map);
                     }
                     // Attribute the demand to a hosted node whose context
                     // gave us this neighbor (deterministic: smallest id).
@@ -219,7 +230,8 @@ impl ServerState {
                 }
                 HopKind::Cache => {
                     if let Some(m) = self.cache.get_mut(via) {
-                        *m = map.clone();
+                        // clone_from reuses the cached map's buffer.
+                        m.clone_from(&map);
                     }
                     None
                 }

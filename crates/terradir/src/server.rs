@@ -390,6 +390,7 @@ impl ServerState {
             } => self.on_result(now, packet, resolved_by, meta, children, rng, out),
             Message::GetData { id, node, from } => {
                 let data = if self.owned.contains_key(&node) {
+                    // xtask: allow(alloc): DataReply owns its payload bytes
                     self.data_store.get(&node).cloned()
                 } else {
                     None
@@ -485,7 +486,7 @@ impl ServerState {
             .iter()
             .filter(|(_, m)| m.contains(host))
             .map(|(n, _)| n)
-            .collect();
+            .collect(); // xtask: allow(alloc): negative-caching sweep, runs only on host death
         for n in emptied {
             let mut drop_entry = false;
             if let Some(m) = self.cache.get_mut(n) {
@@ -591,7 +592,7 @@ impl ServerState {
             .iter()
             .filter(|&(n, m)| m.contains(from) && !digest.test(ns.name(n).as_str()))
             .map(|(n, _)| n)
-            .collect();
+            .collect(); // xtask: allow(alloc): misroute repair sweep, a handful per repair
         for n in stale_cached {
             let mut drop_entry = false;
             if let Some(m) = self.cache.get_mut(n) {
@@ -620,6 +621,7 @@ impl ServerState {
             return;
         }
         rec.backprop_at = now;
+        // xtask: allow(alloc): rate-limited backprop; the MapUpdate message owns its map
         let map = rec.map.clone();
         out.push(Outgoing::Send {
             to: prev,
@@ -663,6 +665,7 @@ impl ServerState {
                                 msg: Message::Misroute {
                                     node: via,
                                     from: self.id,
+                                    // xtask: allow(alloc): Digest is Arc-backed — a refcount bump
                                     digest: self.digest.clone(),
                                 },
                             });
@@ -680,8 +683,7 @@ impl ServerState {
                 }
             }
         }
-        let avoid = p.recent.clone();
-        match self.decide_route(p.target, &avoid, rng) {
+        match self.decide_route(p.target, &p.recent, rng) {
             RouteChoice::Resolve => {
                 self.weights.bump(p.target, now, 1.0);
                 if self.cfg.leases.enabled && self.cfg.leases.refresh_on_use {
@@ -693,6 +695,7 @@ impl ServerState {
                 // a missing record is a protocol bug; answer with an empty
                 // map rather than dying mid-query.
                 let (map, meta) = if let Some(rec) = self.host_record(p.target) {
+                    // xtask: allow(alloc): QueryResult owns its map and meta payloads
                     (rec.map.clone(), rec.meta.clone())
                 } else {
                     debug_assert!(false, "decide said hosted but no record");
@@ -705,7 +708,7 @@ impl ServerState {
                     self.ns
                         .children(p.target)
                         .iter()
-                        .filter_map(|&c| self.neighbor_maps.get(&c).map(|m| (c, m.clone())))
+                        .filter_map(|&c| self.neighbor_maps.get(&c).map(|m| (c, m.clone()))) // xtask: allow(alloc): List result owns its child maps
                         .collect()
                 } else {
                     Vec::new()
@@ -750,7 +753,7 @@ impl ServerState {
                             p.recent,
                             p.path
                                 .iter()
-                                .map(|(n, m)| (n.0, m.entries().to_vec()))
+                                .map(|(n, m)| (n.0, m.entries().to_vec())) // xtask: allow(alloc): env-gated debug trace, off by default
                                 .collect::<Vec<_>>()
                         );
                     }
@@ -762,6 +765,7 @@ impl ServerState {
                 p.push_recent(self.id);
                 p.sender_load = Some((self.id, self.load.effective(now)));
                 p.sender_digest = if self.cfg.digests {
+                    // xtask: allow(alloc): Digest is Arc-backed — a refcount bump
                     Some((self.id, self.digest.clone()))
                 } else {
                     None
@@ -801,7 +805,7 @@ impl ServerState {
         // Child maps returned by a List query feed the local soft state:
         // the follow-up per-child lookups of a decomposed search start
         // with direct pointers.
-        let child_ids: Vec<NodeId> = children.iter().map(|(c, _)| *c).collect();
+        let child_ids: Vec<NodeId> = children.iter().map(|(c, _)| *c).collect(); // xtask: allow(alloc): Resolved event owns its child list
         for (c, m) in &children {
             self.absorb_mapping(*c, m, now, rng);
         }
@@ -872,6 +876,7 @@ impl ServerState {
         rng: &mut impl RngCore,
     ) {
         let r_map = self.cfg.r_map;
+        // xtask: allow(alloc): detached working copy — filtered and merged in place
         let mut incoming = incoming.clone();
         self.filter_map(node, &mut incoming);
         self.strip_negative(&mut incoming);
@@ -1009,7 +1014,7 @@ impl ServerState {
             .values()
             .filter(|r| now - r.lease_at > ttl)
             .map(|r| r.node)
-            .collect();
+            .collect(); // xtask: allow(alloc): periodic maintenance sweep, not per event
         victims.sort_unstable();
         for v in victims {
             self.remove_replica(v, out);
@@ -1020,7 +1025,7 @@ impl ServerState {
             .iter()
             .filter(|&(_, &at)| now - at > ttl)
             .map(|(&n, _)| n)
-            .collect();
+            .collect(); // xtask: allow(alloc): periodic maintenance sweep, not per event
         stale_ctx.sort_unstable();
         for n in stale_ctx {
             let still_needed = self.ns.neighbors(n).iter().any(|&h| self.hosts(h));
@@ -1053,7 +1058,7 @@ impl ServerState {
                     && self.weights.value(r.node, now) < cfg.evict_weight_threshold
             })
             .map(|r| r.node)
-            .collect();
+            .collect(); // xtask: allow(alloc): periodic maintenance sweep, not per event
         victims.sort_unstable();
         for v in victims {
             self.remove_replica(v, out);
@@ -1119,7 +1124,7 @@ impl ServerState {
             rec.installed_at = now;
             rec.lease_at = now;
         }
-        let owned: Vec<NodeId> = self.owned.keys().copied().collect();
+        let owned: Vec<NodeId> = self.owned.keys().copied().collect(); // xtask: allow(alloc): rejoin-only soft-state rebuild
         for node in owned {
             for nb in self.ns.neighbors(node) {
                 self.neighbor_maps
@@ -1127,7 +1132,7 @@ impl ServerState {
                     .or_insert_with(|| NodeMap::singleton(assignment.owner(nb)));
             }
         }
-        let ctx: Vec<NodeId> = self.neighbor_maps.keys().copied().collect();
+        let ctx: Vec<NodeId> = self.neighbor_maps.keys().copied().collect(); // xtask: allow(alloc): rejoin-only soft-state rebuild
         for nb in ctx {
             self.context_lease.insert(nb, now);
         }
@@ -1155,7 +1160,7 @@ impl ServerState {
 
     /// For tests/oracle: a deterministic snapshot of all hosted node ids.
     pub fn hosted_snapshot(&self) -> Vec<NodeId> {
-        let mut v: Vec<NodeId> = self.hosted_ids().collect();
+        let mut v: Vec<NodeId> = self.hosted_ids().collect(); // xtask: allow(alloc): test accessor, not on the event path
         v.sort_unstable();
         v
     }
@@ -1232,8 +1237,8 @@ impl ServerState {
         // Candidate hosts from any map we keep for the node.
         let mut candidates: Vec<ServerId> = self
             .host_record(node)
-            .map(|r| r.map.entries().to_vec())
-            .or_else(|| self.neighbor_maps.get(&node).map(|m| m.entries().to_vec()))
+            .map(|r| r.map.entries().to_vec()) // xtask: allow(alloc): fetch candidate list, owned for retry iteration
+            .or_else(|| self.neighbor_maps.get(&node).map(|m| m.entries().to_vec())) // xtask: allow(alloc): fetch candidate list, owned for retry iteration
             .or_else(|| self.cache.peek(node).map(|m| m.entries().to_vec()))
             .unwrap_or_default();
         candidates.retain(|&h| h != self.id);

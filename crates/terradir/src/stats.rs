@@ -139,6 +139,13 @@ pub struct RunStats {
     /// one seed are the runtime half of the stream-discipline guarantee
     /// (DESIGN.md §15).
     pub rng_draws: Vec<u64>,
+    /// Allocator events (alloc/realloc calls) charged to the simulation
+    /// thread while `run_until` executed, from the counting global
+    /// allocator (DESIGN.md §16). Zero unless the `alloc-ledger` feature
+    /// installed the allocator.
+    pub alloc_events: u64,
+    /// Bytes requested across those allocator events.
+    pub alloc_bytes: u64,
 }
 
 /// Per-second availability from an injected/resolved bin pair: each bin is
@@ -219,6 +226,8 @@ impl RunStats {
             reconcile_pushes: 0,
             clean_resolved_per_sec: BinnedCounter::new(1.0),
             rng_draws: Vec::new(),
+            alloc_events: 0,
+            alloc_bytes: 0,
         }
     }
 
@@ -426,6 +435,10 @@ pub struct Summary {
     pub scenario_crashes: u64,
     /// Total RNG draws across every tagged stream (ledger sum).
     pub rng_draws: u64,
+    /// Allocator events charged to the run (0 without the alloc ledger).
+    pub alloc_events: u64,
+    /// Bytes requested across those allocator events.
+    pub alloc_bytes: u64,
 }
 
 impl Summary {
@@ -452,7 +465,8 @@ impl Summary {
                 "\"attempts_lost_ttl\":{},\"attempts_lost_stuck\":{},",
                 "\"attempts_lost_dead\":{},\"attempts_lost_transport\":{},",
                 "\"attempts_lost_shed\":{},\"attempts_lost_partition\":{},",
-                "\"scenario_crashes\":{},\"rng_draws\":{}}}"
+                "\"scenario_crashes\":{},\"rng_draws\":{},",
+                "\"alloc_events\":{},\"alloc_bytes\":{}}}"
             ),
             self.injected,
             self.resolved,
@@ -493,6 +507,8 @@ impl Summary {
             self.attempts_lost_partition,
             self.scenario_crashes,
             self.rng_draws,
+            self.alloc_events,
+            self.alloc_bytes,
         )
     }
 }
@@ -540,6 +556,8 @@ impl RunStats {
             attempts_lost_partition: self.attempts_lost_partition,
             scenario_crashes: self.scenario_crashes,
             rng_draws: self.rng_draws.iter().sum(),
+            alloc_events: self.alloc_events,
+            alloc_bytes: self.alloc_bytes,
         }
     }
 }
@@ -766,6 +784,20 @@ mod tests {
         let sum = s.summary();
         assert_eq!(sum.rng_draws, 7);
         assert!(sum.to_json().contains("\"rng_draws\":7"));
+    }
+
+    #[test]
+    fn alloc_ledger_reaches_the_summary_json() {
+        let mut s = RunStats::new(2);
+        s.alloc_events = 12;
+        s.alloc_bytes = 4096;
+        let sum = s.summary();
+        assert_eq!(sum.alloc_events, 12);
+        assert_eq!(sum.alloc_bytes, 4096);
+        let json = sum.to_json();
+        assert!(json.contains("\"alloc_events\":12"));
+        assert!(json.contains("\"alloc_bytes\":4096"));
+        assert_eq!(json.matches('"').count() % 2, 0);
     }
 
     #[test]

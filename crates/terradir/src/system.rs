@@ -173,7 +173,7 @@ impl System {
         let n = cfg.n_servers as usize;
         let mut servers: Vec<ServerState> = (0..cfg.n_servers)
             .map(|i| ServerState::new(ServerId(i), Arc::clone(&ns), Arc::clone(&cfg), &assignment))
-            .collect();
+            .collect(); // xtask: allow(alloc): construction, runs once per run
         let mut setup_draws = vec![0u64; tags::LEDGER_SLOTS];
         let (speeds, speed_draws) = Self::draw_speeds(&cfg);
         ledger_add(&mut setup_draws, tags::SPEEDS, speed_draws);
@@ -216,16 +216,20 @@ impl System {
         }
         let groups = cfg.partitions.n_groups.max(1);
         let mut sys = System {
+            // xtask: allow(alloc): construction, runs once per run
             group_of: (0..cfg.n_servers).map(|i| i % groups).collect(),
             cut_side: None,
+            // xtask: allow(alloc): construction, runs once per run
             minority: vec![false; n],
             flash: None,
             flash_epoch: 0,
             service: ExpService::new(cfg.mean_service),
             util: (0..n)
                 .map(|_| crate::load::LoadMeter::new(1.0, 1.0))
-                .collect(),
+                .collect(), // xtask: allow(alloc): construction, runs once
+            // xtask: allow(alloc): construction, runs once per run
             queues: (0..n).map(|_| VecDeque::new()).collect(),
+            // xtask: allow(alloc): construction, runs once per run
             in_service: (0..n).map(|_| None).collect(),
             rng_service: tagged_rng(cfg.seed, tags::SERVICE),
             rng_protocol: tagged_rng(cfg.seed, tags::PROTOCOL),
@@ -243,7 +247,9 @@ impl System {
             next_query_id: 0,
             out_buf: Vec::new(),
             injecting: true,
+            // xtask: allow(alloc): construction, runs once per run
             failed: vec![false; n],
+            // xtask: allow(alloc): construction, runs once per run
             epoch: vec![0; n],
             pending: crate::det::DetHashMap::default(),
             speeds,
@@ -260,13 +266,14 @@ impl System {
         use rand::Rng;
         let n = cfg.n_servers as usize;
         if cfg.speed_spread <= 1.0 {
+            // xtask: allow(alloc): construction, runs once per run
             return (vec![1.0; n], 0);
         }
         let mut rng = tagged_rng(cfg.seed, tags::SPEEDS);
         let ln = cfg.speed_spread.ln();
         let mut speeds: Vec<f64> = (0..n)
             .map(|_| (rng.gen::<f64>() * 2.0 * ln - ln).exp())
-            .collect();
+            .collect(); // xtask: allow(alloc): construction, runs once
         let mean = speeds.iter().sum::<f64>() / n as f64;
         for s in &mut speeds {
             *s /= mean;
@@ -293,6 +300,7 @@ impl System {
                 continue;
             }
             let owner = assignment.owner(node);
+            // xtask: allow(alloc): static bootstrap, runs once per run
             let mut hosts = vec![owner];
             for _ in 0..cfg.static_replicas_per_node.min(cfg.n_servers as usize - 1) {
                 loop {
@@ -312,30 +320,36 @@ impl System {
                 .get_mut(owner.index())
                 .and_then(|s| s.host_record_mut(node))
             {
-                rec.map = map.clone();
+                // xtask: allow(alloc): static bootstrap, runs once per run
+                rec.map.clone_from(&map);
             }
             // Install at each replica host through the normal install path
             // (capacity caps and digest dirtying apply as usual).
             let meta = servers
                 .get(owner.index())
                 .and_then(|s| s.host_record(node))
+                // xtask: allow(alloc): static bootstrap, runs once per run
                 .map(|r| r.meta.clone())
                 .unwrap_or_default();
             let neighbors: Vec<(NodeId, crate::map::NodeMap)> = ns
                 .neighbors(node)
                 .into_iter()
                 .map(|nb| (nb, crate::map::NodeMap::singleton(assignment.owner(nb))))
-                .collect();
+                .collect(); // xtask: allow(alloc): static bootstrap, once
             for &h in hosts.iter().skip(1) {
                 let payload = crate::messages::ReplicaPayload {
                     node,
+                    // xtask: allow(alloc): static bootstrap, runs once per run
                     map: map.clone(),
+                    // xtask: allow(alloc): static bootstrap, runs once per run
                     meta: meta.clone(),
+                    // xtask: allow(alloc): static bootstrap, runs once per run
                     neighbors: neighbors.clone(),
                     weight: 0.0,
                 };
                 scratch.clear();
                 if let Some(host) = servers.get_mut(h.index()) {
+                    // xtask: allow(alloc): static bootstrap, runs once per run
                     host.install_replicas(0.0, vec![payload], &mut rng, &mut scratch);
                 }
             }
@@ -433,20 +447,24 @@ impl System {
     /// would be exceeded — recoveries always fire, so the fleet heals.
     fn churn_fail(&mut self, s: ServerId) {
         let now = self.engine.now();
-        let churn = self.cfg.churn.clone();
-        if now >= churn.stop {
+        // ChurnConfig is all scalars: copy the fields this step needs
+        // instead of cloning the struct, detaching the cfg borrow.
+        let (stop, max_down_fraction, mean_uptime, mean_downtime) = {
+            let c = &self.cfg.churn;
+            (c.stop, c.max_down_fraction, c.mean_uptime, c.mean_downtime)
+        };
+        if now >= stop {
             return;
         }
         let n = self.cfg.n_servers as usize;
-        let over_budget =
-            (self.failed_count() + 1) as f64 / n.max(1) as f64 > churn.max_down_fraction;
+        let over_budget = (self.failed_count() + 1) as f64 / n.max(1) as f64 > max_down_fraction;
         if self.is_failed(s) || over_budget {
-            let gap = exp_draw(&mut self.rng_faults, churn.mean_uptime);
+            let gap = exp_draw(&mut self.rng_faults, mean_uptime);
             self.engine.schedule_in(gap, Event::ChurnFail { server: s });
             return;
         }
         self.fail_server(s);
-        let down = exp_draw(&mut self.rng_faults, churn.mean_downtime);
+        let down = exp_draw(&mut self.rng_faults, mean_downtime);
         self.engine
             .schedule_in(down, Event::ChurnRecover { server: s });
     }
@@ -466,6 +484,7 @@ impl System {
     /// (crash victims, flash origins and gaps) comes from the fault RNG,
     /// so a scenario replays bit-identically from the seed.
     fn apply_chaos(&mut self, idx: usize) {
+        // xtask: allow(alloc): scripted chaos action, a handful per run; the clone detaches the cfg borrow so the handlers may mutate self
         let Some(action) = self.cfg.scenario.events.get(idx).map(|e| e.action.clone()) else {
             return;
         };
@@ -493,6 +512,7 @@ impl System {
     /// (nothing to sever), though the cut still counts as applied.
     fn apply_cut(&mut self, groups: &[u32]) {
         self.stats.cuts_applied += 1;
+        // xtask: allow(alloc): cut application, a scripted handful per run
         let side: Vec<bool> = self.group_of.iter().map(|g| groups.contains(g)).collect();
         let cut_count = side.iter().filter(|&&s| s).count();
         if cut_count == 0 || cut_count == side.len() {
@@ -504,6 +524,7 @@ impl System {
         // heal, until the next cut — that is what makes post-heal
         // reconciliation of the formerly isolated side measurable.
         let cut_is_minority = cut_count * 2 <= side.len();
+        // xtask: allow(alloc): cut application, a scripted handful per run
         self.minority = side.iter().map(|&s| s == cut_is_minority).collect();
         self.cut_side = Some(side);
     }
@@ -553,6 +574,7 @@ impl System {
         peers.dedup();
         peers.shuffle(&mut self.rng_faults);
         peers.truncate(self.cfg.reconcile.fanout as usize);
+        // xtask: allow(alloc): reconcile push, fires only on heal/rejoin
         let mut nodes: Vec<NodeId> = server.owned_ids().collect();
         nodes.sort_unstable();
         nodes.truncate(self.cfg.reconcile.batch as usize);
@@ -564,10 +586,11 @@ impl System {
             .iter()
             .filter(|&&n| server.hosts(n))
             .map(|&n| (n, NodeMap::singleton(id)))
-            .collect();
+            .collect(); // xtask: allow(alloc): reconcile push, heal/rejoin only
         let mut sends: Vec<(ServerId, NodeId, NodeMap)> = Vec::new();
         for &peer in &peers {
             for (node, map) in &records {
+                // xtask: allow(alloc): each push message owns its map payload
                 sends.push((peer, *node, map.clone()));
             }
         }
@@ -628,10 +651,12 @@ impl System {
         if epoch != self.flash_epoch {
             return;
         }
-        let Some((node, arrivals)) = self.flash.clone() else {
-            return;
+        // Field borrow instead of cloning: `flash` and `rng_faults` are
+        // disjoint fields, and `next_gap` only reads the arrival process.
+        let (node, gap) = match &self.flash {
+            Some((n, arrivals)) => (*n, arrivals.next_gap(&mut self.rng_faults)),
+            None => return,
         };
-        let gap = arrivals.next_gap(&mut self.rng_faults);
         self.engine.schedule_in(gap, Event::FlashInject { epoch });
         let Some(src) = self.random_live_origin() else {
             return;
@@ -733,10 +758,21 @@ impl System {
 
     /// Runs the simulation until the clock reaches `t_end` (absolute
     /// simulation seconds); can be called repeatedly to continue a run.
+    ///
+    /// While the event loop runs, the thread's allocation counters (the
+    /// counting global allocator, DESIGN.md §16) are snapshotted at entry
+    /// and exit and the delta accumulated into `stats.alloc_events` /
+    /// `stats.alloc_bytes` — so the ledger charges exactly the allocations
+    /// the simulation performed, not harness setup or reporting. Without
+    /// the `alloc-ledger` feature both deltas are zero.
     pub fn run_until(&mut self, t_end: f64) {
+        let alloc_at_entry = terradir_allocledger::snapshot();
         while let Some(ev) = self.engine.pop_before(t_end) {
             self.handle(ev);
         }
+        let alloc = terradir_allocledger::snapshot().since(alloc_at_entry);
+        self.stats.alloc_events = self.stats.alloc_events.wrapping_add(alloc.events);
+        self.stats.alloc_bytes = self.stats.alloc_bytes.wrapping_add(alloc.bytes);
         self.sync_draw_ledger();
     }
 
@@ -747,24 +783,33 @@ impl System {
     /// Two replays of one seed must produce equal ledgers; a mismatch means
     /// some code path drew from the wrong stream (DESIGN.md §15).
     fn sync_draw_ledger(&mut self) {
-        let mut ledger = self.setup_draws.clone();
+        // Rebuilt in place (clear + copy) so the per-`run_until` resync
+        // reuses the ledger vec's buffer instead of reallocating.
+        let ledger = &mut self.stats.rng_draws;
+        ledger.clear();
+        ledger.extend_from_slice(&self.setup_draws);
         for (tag, n) in [
             (self.rng_service.tag(), self.rng_service.draws()),
             (self.rng_protocol.tag(), self.rng_protocol.draws()),
             (self.rng_arrivals.tag(), self.rng_arrivals.draws()),
             (self.rng_faults.tag(), self.rng_faults.draws()),
         ] {
-            ledger_add(&mut ledger, tag, n);
+            ledger_add(ledger, tag, n);
         }
         for (tag, n) in self.stream.rng_draws() {
-            ledger_add(&mut ledger, tag, n);
+            ledger_add(ledger, tag, n);
         }
-        self.stats.rng_draws = ledger;
     }
 
     /// Current simulation time.
     pub fn now(&self) -> f64 {
         self.engine.now()
+    }
+
+    /// Total simulation events processed by the engine so far (the speed
+    /// baseline's events/sec numerator).
+    pub fn events_processed(&self) -> u64 {
+        self.engine.processed()
     }
 
     /// Collected statistics.
@@ -814,6 +859,7 @@ impl System {
 
     /// Replicas currently hosted per namespace level.
     pub fn replicas_per_level(&self) -> Vec<usize> {
+        // xtask: allow(alloc): harness diagnostic, not on the event path
         let mut out = vec![0usize; self.ns.max_depth() as usize + 1];
         for s in &self.servers {
             for n in s.replica_ids() {
@@ -881,6 +927,7 @@ impl System {
             Event::ChurnRecover { server } => self.churn_recover(server),
             Event::Chaos { idx } => self.apply_chaos(idx),
             Event::CutStart { cut } => {
+                // xtask: allow(alloc): scheduled cut, a handful per run; the clone detaches the cfg borrow so apply_cut may mutate self
                 let groups = self.cfg.partitions.cuts.get(cut).map(|w| w.groups.clone());
                 if let Some(g) = groups {
                     self.apply_cut(&g);
@@ -1393,7 +1440,7 @@ impl System {
             .enumerate()
             .filter(|&(_, &m)| m)
             .map(|(i, _)| ServerId(i as u32))
-            .collect()
+            .collect() // xtask: allow(alloc): test accessor, not on the event path
     }
 
     /// For tests: outstanding queries in the retry layer's pending table.

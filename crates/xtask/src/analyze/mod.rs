@@ -1,6 +1,6 @@
 //! The `cargo xtask analyze` driver: wires every pass to the workspace.
 //!
-//! Eight rule families run as one suite (`lint` and `analyze` are
+//! Nine rule families run as one suite (`lint` and `analyze` are
 //! synonyms — CI gates on the union):
 //!
 //! 1. config docs ↔ DESIGN.md ([`crate::checks::check_struct_docs`]),
@@ -9,14 +9,21 @@
 //! 4. counter conservation ([`conservation`]),
 //! 5. dead config ([`dead_config`]),
 //! 6. enum exhaustiveness ([`exhaustive`]) — which generalizes and
-//!    subsumes the original message-handler and drop-taxonomy checks.
+//!    subsumes the original message-handler and drop-taxonomy checks,
+//! 7. hot-path allocation discipline ([`hotpath`]).
+//!
+//! Every pass is timed; `cargo xtask analyze --timings` prints the
+//! per-pass wall clock so CI output shows which pass is slow as the
+//! suite grows.
 
 pub mod conservation;
 pub mod dead_config;
 pub mod determinism;
 pub mod exhaustive;
+pub mod hotpath;
 
 use std::path::Path;
+use std::time::{Duration, Instant};
 
 use crate::checks::{self, Violation};
 use crate::{load_sources, read, LIB_CRATES};
@@ -30,6 +37,8 @@ pub struct Report {
     pub io_errors: Vec<String>,
     /// `(pass name, violations found)` per pass, for the summary line.
     pub passes: Vec<(&'static str, usize)>,
+    /// `(pass name, wall time)` per pass, for `--timings`.
+    pub timings: Vec<(&'static str, Duration)>,
 }
 
 impl Report {
@@ -38,8 +47,9 @@ impl Report {
         self.violations.is_empty() && self.io_errors.is_empty()
     }
 
-    fn record(&mut self, pass: &'static str, vs: Vec<Violation>) {
+    fn record(&mut self, pass: &'static str, vs: Vec<Violation>, started: Instant) {
         self.passes.push((pass, vs.len()));
+        self.timings.push((pass, started.elapsed()));
         self.violations.extend(vs);
     }
 }
@@ -80,6 +90,7 @@ pub fn run(root: &Path) -> Report {
     let mut report = Report::default();
 
     // Pass 1: config docs ↔ DESIGN.md.
+    let t = Instant::now();
     let mut vs = Vec::new();
     match (
         read(root, "crates/terradir/src/config.rs"),
@@ -95,25 +106,28 @@ pub fn run(root: &Path) -> Report {
             report.io_errors.extend(b.err());
         }
     }
-    report.record("config-docs", vs);
+    report.record("config-docs", vs, t);
 
     // Pass 2: panic-free library code.
+    let t = Instant::now();
     let lib_sources = non_test_sources(root, LIB_CRATES, &mut report.io_errors);
     let mut vs = Vec::new();
     for (label, src) in &lib_sources {
         vs.extend(checks::check_no_panics(label, src));
     }
-    report.record("panic-free", vs);
+    report.record("panic-free", vs, t);
 
     // Pass 3: determinism lint over behavior crates.
+    let t = Instant::now();
     let behavior = non_test_sources(root, determinism::BEHAVIOR_CRATES, &mut report.io_errors);
     let mut vs = Vec::new();
     for (label, src) in &behavior {
         vs.extend(determinism::check_determinism(label, src));
     }
-    report.record("determinism", vs);
+    report.record("determinism", vs, t);
 
     // Pass 4: counter conservation.
+    let t = Instant::now();
     let mut vs = Vec::new();
     match (
         read(root, "crates/terradir/src/stats.rs"),
@@ -137,9 +151,10 @@ pub fn run(root: &Path) -> Report {
             report.io_errors.extend(b.err());
         }
     }
-    report.record("conservation", vs);
+    report.record("conservation", vs, t);
 
     // Pass 5: dead config.
+    let t = Instant::now();
     let mut vs = Vec::new();
     match read(root, "crates/terradir/src/config.rs") {
         Ok(config) => {
@@ -165,10 +180,11 @@ pub fn run(root: &Path) -> Report {
         }
         Err(e) => report.io_errors.push(e),
     }
-    report.record("dead-config", vs);
+    report.record("dead-config", vs, t);
 
     // Pass 6: enum exhaustiveness (subsumes the original message-handler
     // and drop-taxonomy checks via the Message and DropKind rules).
+    let t = Instant::now();
     let mut vs = Vec::new();
     for rule in exhaustive::ENUM_RULES {
         match read(root, rule.def_file) {
@@ -185,7 +201,18 @@ pub fn run(root: &Path) -> Report {
             Err(e) => report.io_errors.push(e),
         }
     }
-    report.record("exhaustive", vs);
+    report.record("exhaustive", vs, t);
+
+    // Pass 7: hot-path allocation discipline.
+    let t = Instant::now();
+    let mut vs = Vec::new();
+    for rel in hotpath::HOT_PATH_FILES {
+        match read(root, rel) {
+            Ok(src) => vs.extend(hotpath::check_hotpath(rel, &src)),
+            Err(e) => report.io_errors.push(e),
+        }
+    }
+    report.record("hotpath", vs, t);
 
     report
 }

@@ -13,7 +13,7 @@
 
 use std::path::Path;
 
-use xtask::analyze::{conservation, dead_config, determinism, exhaustive};
+use xtask::analyze::{conservation, dead_config, determinism, exhaustive, hotpath};
 use xtask::checks;
 
 fn fixture(name: &str) -> String {
@@ -114,6 +114,43 @@ fn exhaustive_fixture_flags_the_variant_behind_the_wildcard() {
 }
 
 #[test]
+fn hotpath_fixture_is_flagged_at_exact_lines() {
+    let src = fixture("hotpath_bad.rs");
+    let label = "crates/terradir/src/hotpath_bad.rs";
+    let vs = hotpath::check_hotpath(label, &src);
+    let got: Vec<(usize, &str)> = vs.iter().map(|v| (v.line, v.what.as_str())).collect();
+    assert_eq!(vs.len(), 9, "{got:#?}");
+    let expect: &[(usize, &str)] = &[
+        (6, ".clone"),
+        (10, ".to_string"),
+        (11, "format!"),
+        (15, "Box::new"),
+        (15, "vec!"),
+        (19, ".collect"),
+        (23, "String::from"),
+        (27, "without a justification"),
+        (28, ".clone"),
+    ];
+    for (v, (line, needle)) in vs.iter().zip(expect) {
+        assert_eq!(v.line, *line, "{got:#?}");
+        assert!(v.what.contains(needle), "line {line}: {}", v.what);
+        assert_eq!(v.file, label);
+        // The rendered diagnostic is a clickable path:line.
+        assert!(v.to_string().starts_with(&format!("{label}:{}", v.line)));
+    }
+    // The justified marker at line 32 suppressed the clone at line 33,
+    // and the cfg(test) module at the bottom never reported.
+    assert!(!vs.iter().any(|v| v.line >= 31), "{got:#?}");
+}
+
+#[test]
+fn hotpath_clean_fixture_passes() {
+    let src = fixture("hotpath_clean.rs");
+    let vs = hotpath::check_hotpath("crates/sim/src/calendar.rs", &src);
+    assert!(vs.is_empty(), "hotpath: {vs:?}");
+}
+
+#[test]
 fn clean_fixture_passes_every_pass() {
     let src = fixture("clean.rs");
     let label = "crates/terradir/src/clean.rs";
@@ -155,7 +192,7 @@ fn full_suite_is_clean_on_this_workspace() {
         report.violations,
         report.io_errors
     );
-    // All six passes actually ran.
+    // All seven passes actually ran, and each was timed.
     let names: Vec<&str> = report.passes.iter().map(|(n, _)| *n).collect();
     assert_eq!(
         names,
@@ -165,7 +202,10 @@ fn full_suite_is_clean_on_this_workspace() {
             "determinism",
             "conservation",
             "dead-config",
-            "exhaustive"
+            "exhaustive",
+            "hotpath"
         ]
     );
+    let timed: Vec<&str> = report.timings.iter().map(|(n, _)| *n).collect();
+    assert_eq!(timed, names);
 }

@@ -1,0 +1,42 @@
+// Fixture: deliberately allocation-heavy hot-path code. Each seeded
+// violation sits on a known line; the integration test asserts the
+// analyzer reports exactly these path:line locations.
+
+pub fn clones(v: &Vec<u32>) -> Vec<u32> {
+    v.clone() // line 6: owned copy per call
+}
+
+pub fn strings(n: u32) -> String {
+    let s = n.to_string(); // line 10: heap string per call
+    format!("{s}!") // line 11: formatting allocates
+}
+
+pub fn boxes_and_vecs() -> Box<Vec<u32>> {
+    Box::new(vec![1, 2, 3]) // line 15: two allocations on one line
+}
+
+pub fn collects(v: &[u32]) -> Vec<u32> {
+    v.iter().copied().collect::<Vec<u32>>() // line 19: owned container
+}
+
+pub fn from_str() -> String {
+    String::from("x") // line 23: heap copy of a literal
+}
+
+pub fn bare_marker(v: &Vec<u32>) -> Vec<u32> {
+    // xtask: allow(alloc)
+    v.clone()
+}
+
+pub fn justified(v: &Vec<u32>) -> Vec<u32> {
+    // xtask: allow(alloc): snapshot must outlive the borrow
+    v.clone()
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn tests_allocate_freely() {
+        let _ = vec![1u32].clone();
+    }
+}

@@ -1,0 +1,34 @@
+// Fixture: hot-path code the allocation pass must accept — borrows,
+// buffer reuse, `clone_from`, counting instead of collecting — plus
+// in-comment/in-string mentions of the banned idioms, which scrubbing
+// blanks: .clone(), format!, vec![], Box::new, .collect().
+
+pub fn reuse(dst: &mut Vec<u32>, src: &Vec<u32>) {
+    dst.clone_from(src);
+}
+
+pub fn borrow(v: &[u32]) -> Option<&u32> {
+    v.first()
+}
+
+pub fn in_place(buf: &mut String) {
+    buf.clear();
+    buf.push_str("String::from in a string is fine");
+}
+
+pub fn count(v: &[u32]) -> usize {
+    v.iter().filter(|&&x| x > 0).count()
+}
+
+pub fn parse(buf: &[u8]) -> std::borrow::Cow<'_, str> {
+    String::from_utf8_lossy(buf)
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn tests_allocate_freely() {
+        let big: Vec<String> = vec!["a".to_string()];
+        let _ = big.clone();
+    }
+}

@@ -2,8 +2,13 @@
 # Regenerates every figure/table at quick scale (256 servers); pass --full for paper scale.
 set -u
 cd "$(dirname "$0")/.."
-for bin in fig3 fig4 fig5 fig6 fig7 fig8 fig9 tab1 rfact resilience ablate_static heterogeneity ablate_cache ablate_digests ablate_hysteresis; do
+for bin in fig3 fig4 fig5 fig6 fig7 fig8 fig9 tab1 rfact resilience ablate_static heterogeneity ablate_cache ablate_digests ablate_hysteresis speed; do
   echo "=== $bin ==="
   ./target/release/$bin "$@" > results/$bin.tsv 2> results/$bin.log
   echo "exit=$? ($(grep -c 'shape\[PASS\]' results/$bin.tsv 2>/dev/null || true) passes, $(grep -c 'shape\[FAIL\]' results/$bin.tsv 2>/dev/null || true) fails)"
+done
+# Bins that emit machine-readable BENCH_<name>.json drop it in the repo
+# root; collect everything into results/ so one directory holds the run.
+for f in BENCH_*.json; do
+  [ -e "$f" ] && mv "$f" results/
 done
