@@ -6,23 +6,42 @@
     clippy::panic
 )]
 
-//! Scratch diagnostics (not part of the published harness).
+//! Interactive diagnostics probe (not part of the published harness —
+//! no TSV contract, no shape checks, no `BENCH_*.json`).
+//!
+//! Runs the paper-default adaptation workload twice — load digests on,
+//! then off — printing a coarse timeline of the headline counters at
+//! t = 10/25/50/100 s for each arm. After the digests-on arm it digs
+//! into *where the load went*: the five most-loaded servers with the
+//! depths of what they own and replicate, replica counts per level,
+//! root/level-1 hosting fan-out, and the oracle's routing-accuracy and
+//! map-staleness scores. Use it to eyeball a configuration before
+//! promoting a hypothesis into a real bench with shape checks.
 use terradir::System;
 use terradir_bench::Args;
 use terradir_workload::StreamPlan;
 
-fn main() {
-    let args = Args::parse();
+/// Runs one arm to t = 100 s, printing the counter timeline as it goes,
+/// and returns the finished system for deeper inspection.
+fn run_arm(args: &Args, digests: bool) -> System {
     let scale = args.scale();
     let rate = scale.rate(20_000.0);
     let ns = scale.ts_namespace();
-    eprintln!("servers {} nodes {} rate {}", scale.servers, ns.len(), rate);
-    let mut sys = System::new(ns, scale.config(args.seed), StreamPlan::unif(250.0), rate);
+    let mut cfg = scale.config(args.seed);
+    cfg.digests = digests;
+    eprintln!(
+        "--- digests {}: servers {} nodes {} rate {}",
+        if digests { "on" } else { "off" },
+        scale.servers,
+        ns.len(),
+        rate
+    );
+    let mut sys = System::new(ns, cfg, StreamPlan::unif(250.0), rate);
     for t in [10.0, 25.0, 50.0, 100.0] {
         sys.run_until(t);
         let st = sys.stats();
         eprintln!(
-            "t={t}: inj {} res {} dropQ {} ttl {} hops {:.2} load {:.3}/{:.3} repl {} sess {}/{}",
+            "t={t}: inj {} res {} dropQ {} ttl {} hops {:.2} load {:.3}/{:.3} repl {} del {} sess {}/{}",
             st.injected,
             st.resolved,
             st.dropped_queue,
@@ -31,10 +50,18 @@ fn main() {
             st.load_mean_per_sec.last().copied().unwrap_or(0.0),
             st.load_max_per_sec.last().copied().unwrap_or(0.0),
             st.replicas_created,
+            st.replicas_deleted,
             st.sessions_completed,
             st.sessions_started
         );
     }
+    sys
+}
+
+fn main() {
+    let args = Args::parse();
+    let sys = run_arm(&args, true);
+
     // Who is overloaded, and what do they host?
     let mut loads: Vec<(f64, u32)> = sys
         .servers()
@@ -72,5 +99,7 @@ fn main() {
         rep.entries,
         rep.fraction()
     );
+
+    // The digests-off baseline arm: timeline only, for eyeball A/B.
+    run_arm(&args, false);
 }
-// appended: nothing

@@ -118,6 +118,15 @@ pub struct Config {
     /// servers re-advertise owned records to namespace neighbors
     /// (DESIGN.md §14).
     pub reconcile: ReconcileConfig,
+    /// Replicated object storage on the routing substrate: versioned
+    /// payloads with last-writer-wins merge, quorum or any-replica
+    /// reads, placed on a deterministic replica set (DESIGN.md §17).
+    pub storage: StorageConfig,
+    /// Background storage repair: a calendar-driven sweep that detects
+    /// under-replicated objects after crash/churn/partition and pushes
+    /// the freshest surviving copy back onto the replica set
+    /// (DESIGN.md §17).
+    pub repair: RepairConfig,
     /// Graceful degradation: when a request queue is full, shed the
     /// deepest-TTL queued query in favor of the arrival instead of
     /// FIFO-dropping the arrival (DESIGN.md §13). Control traffic is
@@ -328,6 +337,85 @@ impl Default for ReconcileConfig {
     }
 }
 
+/// Replicated object storage (DESIGN.md §17): every object is a
+/// versioned payload owned by one namespace node and replicated onto a
+/// deterministic replica set of `replication_factor` servers derived
+/// from the node→server assignment (optionally subtree-affine, placing
+/// copies on the owners of namespace neighbors first, à la DistHash).
+/// Writes bump a monotonic version and propagate to every replica;
+/// reads probe either a single replica or a majority quorum. The
+/// default is inert: `enabled = false` stores nothing, schedules
+/// nothing, and consumes zero RNG draws, so a disabled run is
+/// bitwise-identical to a build without the subsystem.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StorageConfig {
+    /// Master switch for the storage subsystem.
+    pub enabled: bool,
+    /// Objects stored (keyed by the first `n_objects` namespace nodes,
+    /// capped at the namespace size).
+    pub n_objects: u32,
+    /// Copies kept per object (capped at the fleet size).
+    pub replication_factor: u32,
+    /// Read policy: `true` probes every replica and accepts the
+    /// freshest of a majority; `false` probes one uniformly random
+    /// replica (any-replica reads — cheaper, staler).
+    pub quorum_reads: bool,
+    /// Place copies on owners of namespace-neighbor nodes first
+    /// (subtree-affine placement) instead of consecutive server ids.
+    pub subtree_affinity: bool,
+    /// Mean object writes per simulated second (Poisson, exponential
+    /// gaps from the fault RNG stream).
+    pub write_rate: f64,
+    /// Mean object reads per simulated second.
+    pub read_rate: f64,
+    /// Seconds a read session waits for replica replies before
+    /// finalizing with whatever arrived.
+    pub read_timeout: f64,
+}
+
+impl Default for StorageConfig {
+    fn default() -> StorageConfig {
+        StorageConfig {
+            enabled: false,
+            n_objects: 64,
+            replication_factor: 2,
+            quorum_reads: true,
+            subtree_affinity: true,
+            write_rate: 20.0,
+            read_rate: 20.0,
+            read_timeout: 2.0,
+        }
+    }
+}
+
+/// Background storage repair (DESIGN.md §17): a calendar-driven sweep
+/// that walks the object space with a rotating cursor every `interval`
+/// seconds, finds objects with fewer live copies than the replication
+/// factor (crashes wipe stores; cuts and dead targets eat write
+/// propagation), and pushes the freshest surviving copy to every live
+/// replica-set member missing it — bounded by `batch` pushes per
+/// sweep. The default is inert and requires `storage.enabled`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RepairConfig {
+    /// Master switch for the repair sweep.
+    pub enabled: bool,
+    /// Seconds between repair sweeps.
+    pub interval: f64,
+    /// Maximum repair pushes per sweep (the cursor resumes where the
+    /// budget ran out, so coverage is fair across objects).
+    pub batch: u32,
+}
+
+impl Default for RepairConfig {
+    fn default() -> RepairConfig {
+        RepairConfig {
+            enabled: false,
+            interval: 5.0,
+            batch: 64,
+        }
+    }
+}
+
 /// A timed chaos script (DESIGN.md §13): actions fire from the event
 /// calendar at their scheduled times, under the run's single fault-RNG
 /// stream, so every scenario replays bit-identically from a seed. The
@@ -433,6 +521,8 @@ impl Config {
             scenario: ScenarioConfig::default(),
             leases: LeaseConfig::default(),
             reconcile: ReconcileConfig::default(),
+            storage: StorageConfig::default(),
+            repair: RepairConfig::default(),
             shedding: false,
             seed: 0,
         }
@@ -582,6 +672,34 @@ impl Config {
             }
             if self.reconcile.batch == 0 {
                 return Err("reconcile.batch must be at least 1".into());
+            }
+        }
+        if self.storage.enabled {
+            if self.storage.n_objects == 0 {
+                return Err("storage.n_objects must be at least 1".into());
+            }
+            if self.storage.replication_factor == 0 {
+                return Err("storage.replication_factor must be at least 1".into());
+            }
+            if !self.storage.write_rate.is_finite() || self.storage.write_rate < 0.0 {
+                return Err("storage.write_rate must be finite and non-negative".into());
+            }
+            if !self.storage.read_rate.is_finite() || self.storage.read_rate < 0.0 {
+                return Err("storage.read_rate must be finite and non-negative".into());
+            }
+            if !self.storage.read_timeout.is_finite() || self.storage.read_timeout <= 0.0 {
+                return Err("storage.read_timeout must be positive".into());
+            }
+        }
+        if self.repair.enabled {
+            if !self.storage.enabled {
+                return Err("repair.enabled requires storage.enabled".into());
+            }
+            if !self.repair.interval.is_finite() || self.repair.interval <= 0.0 {
+                return Err("repair.interval must be positive".into());
+            }
+            if self.repair.batch == 0 {
+                return Err("repair.batch must be at least 1".into());
             }
         }
         for ev in &self.scenario.events {
@@ -871,6 +989,62 @@ mod tests {
         assert!(!c.misroute_active());
         c.leases.enabled = true;
         assert!(c.misroute_active());
+        assert_eq!(c.validate(), Ok(()));
+    }
+
+    #[test]
+    fn storage_and_repair_defaults_are_inert_and_valid() {
+        let c = Config::paper_default(4);
+        assert_eq!(c.storage, StorageConfig::default());
+        assert!(!c.storage.enabled);
+        assert_eq!(c.repair, RepairConfig::default());
+        assert!(!c.repair.enabled);
+        assert_eq!(c.validate(), Ok(()));
+    }
+
+    #[test]
+    fn validate_catches_bad_storage_and_repair_values() {
+        let mut c = Config::paper_default(4);
+        c.storage.enabled = true;
+        c.storage.n_objects = 0;
+        assert!(c.validate().is_err());
+        let mut c = Config::paper_default(4);
+        c.storage.enabled = true;
+        c.storage.replication_factor = 0;
+        assert!(c.validate().is_err());
+        let mut c = Config::paper_default(4);
+        c.storage.enabled = true;
+        c.storage.write_rate = f64::NAN;
+        assert!(c.validate().is_err());
+        let mut c = Config::paper_default(4);
+        c.storage.enabled = true;
+        c.storage.read_rate = -1.0;
+        assert!(c.validate().is_err());
+        let mut c = Config::paper_default(4);
+        c.storage.enabled = true;
+        c.storage.read_timeout = 0.0;
+        assert!(c.validate().is_err());
+        // Repair rides on storage: enabling it alone is an error.
+        let mut c = Config::paper_default(4);
+        c.repair.enabled = true;
+        assert!(c.validate().is_err());
+        c.storage.enabled = true;
+        assert_eq!(c.validate(), Ok(()));
+        c.repair.interval = 0.0;
+        assert!(c.validate().is_err());
+        c.repair.interval = 5.0;
+        c.repair.batch = 0;
+        assert!(c.validate().is_err());
+        // Bounds are only enforced when the subsystem is enabled.
+        let mut c = Config::paper_default(4);
+        c.storage.n_objects = 0;
+        c.repair.batch = 0;
+        assert_eq!(c.validate(), Ok(()));
+        // Zero write/read rates are legal: a static, read-only store.
+        let mut c = Config::paper_default(4);
+        c.storage.enabled = true;
+        c.storage.write_rate = 0.0;
+        c.storage.read_rate = 0.0;
         assert_eq!(c.validate(), Ok(()));
     }
 

@@ -348,6 +348,83 @@ pub fn check_pending_hygiene(
     Vec::new()
 }
 
+/// Storage placement and version soundness (DESIGN.md §17): every
+/// object replica a server holds must (1) sit at a member of the
+/// object's replica set — placement is a pure function of the
+/// assignment, so a copy anywhere else means a write or repair push
+/// went astray; (2) carry a version in `1..=committed[o]` — versions
+/// are assigned from the global per-object counter, so a copy above it
+/// was fabricated and one at 0 was never written. `committed` is the
+/// substrate's per-object version vector (index = object id); nodes
+/// outside it must hold no copies at all.
+pub fn check_storage_soundness(
+    ns: &Namespace,
+    assignment: &terradir_namespace::OwnerAssignment,
+    storage: &crate::config::StorageConfig,
+    committed: &[u64],
+    server: &ServerState,
+) -> Vec<String> {
+    let mut v = Vec::new();
+    let mut targets = Vec::new();
+    for (node, obj) in server.stored_objects() {
+        let Some(&cap) = committed.get(node.0 as usize) else {
+            v.push(format!(
+                "server {}: holds a copy for node {} outside the object range ({})",
+                server.id.0,
+                node.0,
+                committed.len()
+            ));
+            continue;
+        };
+        crate::storage::replica_targets(node, ns, assignment, storage, &mut targets);
+        if !targets.contains(&server.id) {
+            v.push(format!(
+                "server {}: holds a copy for node {} but is not in its replica set {targets:?}",
+                server.id.0, node.0
+            ));
+        }
+        if obj.version == 0 || obj.version > cap {
+            v.push(format!(
+                "server {}: copy for node {} has version {} outside 1..={cap}",
+                server.id.0, node.0, obj.version
+            ));
+        }
+    }
+    v
+}
+
+/// Storage replica-count bound (DESIGN.md §17): across the whole fleet
+/// an object never has more copies than its replica set has members
+/// (at most `replication_factor`, capped at the fleet size). Placement
+/// soundness per server almost implies this — the count bound
+/// additionally catches a replica set computed inconsistently between
+/// writers.
+pub fn check_storage_replica_counts(
+    ns: &Namespace,
+    assignment: &terradir_namespace::OwnerAssignment,
+    storage: &crate::config::StorageConfig,
+    n_objects: usize,
+    servers: &[ServerState],
+) -> Vec<String> {
+    let mut v = Vec::new();
+    let mut targets = Vec::new();
+    for o in 0..n_objects {
+        let node = terradir_namespace::NodeId(o as u32);
+        crate::storage::replica_targets(node, ns, assignment, storage, &mut targets);
+        let copies = servers
+            .iter()
+            .filter(|s| s.stored_object(node).is_some())
+            .count();
+        if copies > targets.len() {
+            v.push(format!(
+                "object {o}: {copies} copies exceed the replica set size {}",
+                targets.len()
+            ));
+        }
+    }
+    v
+}
+
 /// Runs every per-server structural checker and returns the combined
 /// violation list.
 pub fn audit_server(ns: &Namespace, server: &ServerState) -> Vec<String> {

@@ -69,12 +69,13 @@ pub mod replication;
 pub mod routing;
 pub mod server;
 pub mod stats;
+pub mod storage;
 pub mod system;
 
 pub use cache::RouteCache;
 pub use config::{
     ChaosAction, ChurnConfig, Config, CutWindow, FaultConfig, LeaseConfig, PartitionConfig,
-    ReconcileConfig, RetryConfig, ScenarioConfig, ScenarioEvent,
+    ReconcileConfig, RepairConfig, RetryConfig, ScenarioConfig, ScenarioEvent, StorageConfig,
 };
 pub use map::NodeMap;
 pub use messages::{Message, QueryPacket};
@@ -82,6 +83,7 @@ pub use meta::Meta;
 pub use records::NodeRecord;
 pub use server::{Outgoing, ProtocolEvent, ServerState};
 pub use stats::{RunStats, Summary};
+pub use storage::{lww_merge, replica_targets, StoredObject};
 pub use system::System;
 
 pub use terradir_namespace::{NodeId, ServerId};

@@ -268,6 +268,48 @@ pub enum Message {
         /// The unreachable server.
         host: ServerId,
     },
+    /// Storage write propagation (DESIGN.md §17): install `obj` for
+    /// `node` unless a fresher copy is already held (last-writer-wins
+    /// merge). Sent by the write driver to every replica-set member.
+    PutObject {
+        /// The namespace node the object is keyed by.
+        node: NodeId,
+        /// The versioned payload being written.
+        obj: crate::storage::StoredObject,
+    },
+    /// Storage read probe (DESIGN.md §17): ask a replica-set member for
+    /// its current copy of `node`'s object.
+    GetObject {
+        /// Read-session id (echoed in the reply).
+        id: u64,
+        /// The node whose object is wanted.
+        node: NodeId,
+        /// The server coordinating the read (reply target).
+        reply_to: ServerId,
+    },
+    /// Reply to [`Message::GetObject`]: the replica's copy, or `None`
+    /// when it holds nothing for the node (crashed since the write, or
+    /// the write never reached it).
+    ObjectReply {
+        /// The read-session id.
+        id: u64,
+        /// The node.
+        node: NodeId,
+        /// The replying replica's copy, if any.
+        obj: Option<crate::storage::StoredObject>,
+        /// The replying server.
+        from: ServerId,
+    },
+    /// Background repair push (DESIGN.md §17): the repair sweep found
+    /// this replica missing `node`'s object (or holding an older
+    /// version) and re-replicates the freshest surviving copy. Merged
+    /// exactly like [`Message::PutObject`].
+    RepairPush {
+        /// The namespace node the object is keyed by.
+        node: NodeId,
+        /// The freshest surviving copy.
+        obj: crate::storage::StoredObject,
+    },
 }
 
 impl Message {
@@ -302,10 +344,17 @@ impl Message {
             | Message::ReplicateDeny { from, .. }
             | Message::GetData { from, .. }
             | Message::DataReply { from, .. }
+            | Message::ObjectReply { from, .. }
             | Message::Misroute { from, .. } => Some(*from),
-            Message::MapUpdate { .. } | Message::NotHosting { .. } | Message::HostDown { .. } => {
-                None
-            }
+            // Storage writes/probes/repairs are scheduled by the
+            // substrate on the origin's behalf (like `MapUpdate`), so
+            // they carry no proof-of-life sender field.
+            Message::MapUpdate { .. }
+            | Message::NotHosting { .. }
+            | Message::HostDown { .. }
+            | Message::PutObject { .. }
+            | Message::GetObject { .. }
+            | Message::RepairPush { .. } => None,
         }
     }
 }
@@ -371,6 +420,37 @@ mod tests {
         };
         assert!(res.is_query_traffic());
         assert!(Message::HostDown { host: ServerId(2) }.is_control());
+        // Storage messages are control traffic: they bypass the bounded
+        // request queue and are eligible for loss-under-failure
+        // semantics without inflating query accounting.
+        let obj = crate::storage::StoredObject {
+            version: 1,
+            writer: ServerId(0),
+            payload: 7,
+        };
+        assert!(Message::PutObject {
+            node: NodeId(1),
+            obj
+        }
+        .is_control());
+        assert!(Message::GetObject {
+            id: 9,
+            node: NodeId(1),
+            reply_to: ServerId(0)
+        }
+        .is_control());
+        assert!(Message::ObjectReply {
+            id: 9,
+            node: NodeId(1),
+            obj: Some(obj),
+            from: ServerId(2)
+        }
+        .is_control());
+        assert!(Message::RepairPush {
+            node: NodeId(1),
+            obj
+        }
+        .is_control());
     }
 
     #[test]
@@ -406,6 +486,48 @@ mod tests {
         };
         assert_eq!(mr.sender(), Some(ServerId(5)));
         assert!(mr.is_control());
+        // Storage writes/probes/repairs are substrate-scheduled, so
+        // none of them is proof-of-life; only the replica's reply is.
+        let obj = crate::storage::StoredObject {
+            version: 2,
+            writer: ServerId(1),
+            payload: 3,
+        };
+        assert_eq!(
+            Message::PutObject {
+                node: NodeId(1),
+                obj
+            }
+            .sender(),
+            None
+        );
+        assert_eq!(
+            Message::GetObject {
+                id: 1,
+                node: NodeId(1),
+                reply_to: ServerId(0)
+            }
+            .sender(),
+            None
+        );
+        assert_eq!(
+            Message::RepairPush {
+                node: NodeId(1),
+                obj
+            }
+            .sender(),
+            None
+        );
+        assert_eq!(
+            Message::ObjectReply {
+                id: 1,
+                node: NodeId(1),
+                obj: None,
+                from: ServerId(7)
+            }
+            .sender(),
+            Some(ServerId(7))
+        );
     }
 
     #[test]

@@ -137,6 +137,15 @@ pub enum ProtocolEvent {
         /// Size of the data in bytes (0 on failure).
         bytes: usize,
     },
+    /// A storage read probe was answered (DESIGN.md §17): one replica's
+    /// reply reached the coordinating server. The system folds it into
+    /// the read session's freshest-copy accumulator.
+    StorageReadReply {
+        /// The read-session id.
+        id: u64,
+        /// The replying replica's copy, if it held one.
+        obj: Option<crate::storage::StoredObject>,
+    },
 }
 
 /// One peer's complete protocol state.
@@ -184,6 +193,12 @@ pub struct ServerState {
     pub(crate) hop_accurate: u64,
     /// Node data exported by this server (owners only; never replicated).
     pub(crate) data_store: DetHashMap<NodeId, std::sync::Arc<[u8]>>,
+    /// Replicated object store (DESIGN.md §17): this server's copy of
+    /// every stored object whose replica set includes it. Soft state —
+    /// a crash wipes it (`reset_soft_state`), which is exactly what
+    /// makes durability under churn non-trivial; the repair sweep
+    /// re-replicates from surviving copies.
+    pub(crate) store: DetHashMap<NodeId, crate::storage::StoredObject>,
     /// In-progress data fetches initiated at this server.
     pub(crate) pending_fetches: DetHashMap<u64, FetchState>,
     /// Negative cache (DESIGN.md §12): hosts observed dead via transport
@@ -260,6 +275,7 @@ impl ServerState {
             hop_checks: 0,
             hop_accurate: 0,
             data_store: DetHashMap::default(),
+            store: DetHashMap::default(),
             pending_fetches: DetHashMap::default(),
             negative: DetHashMap::default(),
             ns,
@@ -454,7 +470,37 @@ impl ServerState {
             Message::HostDown { host } => {
                 self.mark_host_dead(now, host, out);
             }
+            Message::PutObject { node, obj } | Message::RepairPush { node, obj } => {
+                self.merge_object(node, obj);
+            }
+            Message::GetObject { id, node, reply_to } => {
+                out.push(Outgoing::Send {
+                    to: reply_to,
+                    msg: Message::ObjectReply {
+                        id,
+                        node,
+                        obj: self.store.get(&node).copied(),
+                        from: self.id,
+                    },
+                });
+            }
+            Message::ObjectReply { id, obj, .. } => {
+                out.push(Outgoing::Event(ProtocolEvent::StorageReadReply { id, obj }));
+            }
         }
+    }
+
+    /// Installs `obj` for `node` under the last-writer-wins merge
+    /// (DESIGN.md §17): a fresher local copy survives, an older or
+    /// missing one is replaced. Write propagation and repair pushes are
+    /// deliberately indistinguishable here — both are just evidence of
+    /// the object's latest version.
+    pub(crate) fn merge_object(&mut self, node: NodeId, obj: crate::storage::StoredObject) {
+        let merged = match self.store.get(&node) {
+            Some(&held) => crate::storage::lww_merge(held, obj),
+            None => obj,
+        };
+        self.store.insert(node, merged);
     }
 
     /// Negative caching (DESIGN.md §12): a send to `host` failed at the
@@ -1155,6 +1201,11 @@ impl ServerState {
         self.cooldown_until = now;
         self.pending_fetches.clear();
         self.negative.clear();
+        // The object store is soft state too: a crash loses this
+        // server's copies (DESIGN.md §17). Durability comes from the
+        // surviving replicas plus the repair sweep, not from any
+        // per-server persistence.
+        self.store.clear();
         self.rebuild_digest();
     }
 
@@ -1214,6 +1265,25 @@ impl ServerState {
     /// The data this server exports for a node, if any.
     pub fn data_of(&self, node: NodeId) -> Option<&std::sync::Arc<[u8]>> {
         self.data_store.get(&node)
+    }
+
+    /// This server's replica of a stored object, if it holds one
+    /// (DESIGN.md §17).
+    pub fn stored_object(&self, node: NodeId) -> Option<crate::storage::StoredObject> {
+        self.store.get(&node).copied()
+    }
+
+    /// Number of object replicas currently held.
+    pub fn stored_object_count(&self) -> usize {
+        self.store.len()
+    }
+
+    /// Every stored-object replica this server holds (audits and the
+    /// durability accounting iterate these).
+    pub fn stored_objects(
+        &self,
+    ) -> impl Iterator<Item = (NodeId, crate::storage::StoredObject)> + '_ {
+        self.store.iter().map(|(&n, &o)| (n, o))
     }
 
     /// Starts the second step of the two-step access: fetch `node`'s data

@@ -133,6 +133,31 @@ pub struct RunStats {
     /// Per-second resolutions that never hit a stale pointer (numerator of
     /// the reconvergence curve; denominator is `resolved_per_sec`).
     pub clean_resolved_per_sec: BinnedCounter,
+    /// Stored objects ever written (pre-seeded + durability-scan
+    /// universe size; DESIGN.md §17). With storage enabled this is the
+    /// constant object count, so `objects_alive + objects_lost`
+    /// partitions it exactly at every scan.
+    pub objects_written: u64,
+    /// Objects with at least one copy on a live replica at the latest
+    /// durability scan (absolute gauge, not a running total).
+    pub objects_alive: u64,
+    /// Objects with no live copy at the latest durability scan —
+    /// every replica-set member either dead or wiped since the write.
+    pub objects_lost: u64,
+    /// Object writes issued by the storage write driver (each fans out
+    /// to the whole replica set).
+    pub object_puts: u64,
+    /// Object reads that finalized with *some* copy (fresh or stale).
+    pub object_reads: u64,
+    /// Object reads that finalized with no copy at all (probed replicas
+    /// all empty, dead, or cut off).
+    pub reads_failed: u64,
+    /// Object reads that returned a copy older than the latest version
+    /// committed when the read was issued (the staleness cost of
+    /// any-replica reads; quorum reads shrink it).
+    pub stale_reads: u64,
+    /// Copies re-replicated by the background repair sweep.
+    pub repair_pushes: u64,
     /// RNG draw ledger: total 64-bit draws per component tag, indexed by
     /// `terradir_workload::seed::tags` (slot 0 unused). Synced by the
     /// system after every `run_until`; equal ledgers across two replays of
@@ -225,6 +250,14 @@ impl RunStats {
             lease_evictions: 0,
             reconcile_pushes: 0,
             clean_resolved_per_sec: BinnedCounter::new(1.0),
+            objects_written: 0,
+            objects_alive: 0,
+            objects_lost: 0,
+            object_puts: 0,
+            object_reads: 0,
+            reads_failed: 0,
+            stale_reads: 0,
+            repair_pushes: 0,
             rng_draws: Vec::new(),
             alloc_events: 0,
             alloc_bytes: 0,
@@ -409,6 +442,22 @@ pub struct Summary {
     pub lease_evictions: u64,
     /// Anti-entropy advertisements pushed on warm rejoin / post-heal.
     pub reconcile_pushes: u64,
+    /// Stored objects ever written (the durability universe).
+    pub objects_written: u64,
+    /// Objects with a live copy at the latest durability scan.
+    pub objects_alive: u64,
+    /// Objects with no live copy at the latest durability scan.
+    pub objects_lost: u64,
+    /// Object writes issued by the storage write driver.
+    pub object_puts: u64,
+    /// Object reads that finalized with some copy.
+    pub object_reads: u64,
+    /// Object reads that finalized with no copy at all.
+    pub reads_failed: u64,
+    /// Object reads that returned a stale version.
+    pub stale_reads: u64,
+    /// Copies re-replicated by the background repair sweep.
+    pub repair_pushes: u64,
     /// Query-path messages serviced.
     pub query_messages: u64,
     /// Replication sessions aborted.
@@ -459,7 +508,11 @@ impl Summary {
                 "\"cuts_applied\":{},\"heals_applied\":{},",
                 "\"flash_injected\":{},\"misroutes\":{},",
                 "\"detour_hops\":{},\"lease_evictions\":{},",
-                "\"reconcile_pushes\":{},\"query_messages\":{},",
+                "\"reconcile_pushes\":{},\"objects_written\":{},",
+                "\"objects_alive\":{},\"objects_lost\":{},",
+                "\"object_puts\":{},\"object_reads\":{},",
+                "\"reads_failed\":{},\"stale_reads\":{},",
+                "\"repair_pushes\":{},\"query_messages\":{},",
                 "\"sessions_aborted\":{},\"data_fetches_failed\":{},",
                 "\"messages_to_dead\":{},\"attempts_lost_queue\":{},",
                 "\"attempts_lost_ttl\":{},\"attempts_lost_stuck\":{},",
@@ -494,6 +547,14 @@ impl Summary {
             self.detour_hops,
             self.lease_evictions,
             self.reconcile_pushes,
+            self.objects_written,
+            self.objects_alive,
+            self.objects_lost,
+            self.object_puts,
+            self.object_reads,
+            self.reads_failed,
+            self.stale_reads,
+            self.repair_pushes,
             self.query_messages,
             self.sessions_aborted,
             self.data_fetches_failed,
@@ -543,6 +604,14 @@ impl RunStats {
             detour_hops: self.detour_hops,
             lease_evictions: self.lease_evictions,
             reconcile_pushes: self.reconcile_pushes,
+            objects_written: self.objects_written,
+            objects_alive: self.objects_alive,
+            objects_lost: self.objects_lost,
+            object_puts: self.object_puts,
+            object_reads: self.object_reads,
+            reads_failed: self.reads_failed,
+            stale_reads: self.stale_reads,
+            repair_pushes: self.repair_pushes,
             query_messages: self.query_messages,
             sessions_aborted: self.sessions_aborted,
             data_fetches_failed: self.data_fetches_failed,
@@ -757,6 +826,29 @@ mod tests {
         assert!(json.contains("\"flash_injected\":9"));
         assert!(json.contains("\"dropped_shed\":1"));
         assert!(json.contains("\"dropped_partition\":0"));
+        assert_eq!(json.matches('"').count() % 2, 0);
+    }
+
+    #[test]
+    fn storage_counters_reach_the_summary_json() {
+        let mut s = RunStats::new(2);
+        s.objects_written = 64;
+        s.objects_alive = 60;
+        s.objects_lost = 4;
+        s.object_puts = 31;
+        s.object_reads = 29;
+        s.reads_failed = 2;
+        s.stale_reads = 3;
+        s.repair_pushes = 17;
+        let json = s.summary().to_json();
+        assert!(json.contains("\"objects_written\":64"));
+        assert!(json.contains("\"objects_alive\":60"));
+        assert!(json.contains("\"objects_lost\":4"));
+        assert!(json.contains("\"object_puts\":31"));
+        assert!(json.contains("\"object_reads\":29"));
+        assert!(json.contains("\"reads_failed\":2"));
+        assert!(json.contains("\"stale_reads\":3"));
+        assert!(json.contains("\"repair_pushes\":17"));
         assert_eq!(json.matches('"').count() % 2, 0);
     }
 

@@ -34,6 +34,8 @@ pub const CONFIG_STRUCTS: &[&str] = &[
     "ScenarioEvent",
     "LeaseConfig",
     "ReconcileConfig",
+    "StorageConfig",
+    "RepairConfig",
 ];
 
 /// Runs the dead-config pass over one struct.

@@ -38,6 +38,7 @@ pub const HOT_PATH_FILES: &[&str] = &[
     "crates/sim/src/calendar.rs",
     "crates/terradir/src/routing.rs",
     "crates/terradir/src/server.rs",
+    "crates/terradir/src/storage.rs",
     "crates/terradir/src/system.rs",
 ];
 
