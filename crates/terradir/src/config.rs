@@ -127,6 +127,10 @@ pub struct Config {
     /// the freshest surviving copy back onto the replica set
     /// (DESIGN.md §17).
     pub repair: RepairConfig,
+    /// Generalized anti-entropy gossip: periodic digest exchanges with
+    /// namespace-neighbor peers that repair both routing soft state and
+    /// stored objects between the event-driven triggers (DESIGN.md §18).
+    pub gossip: GossipConfig,
     /// Graceful degradation: when a request queue is full, shed the
     /// deepest-TTL queued query in favor of the arrival instead of
     /// FIFO-dropping the arrival (DESIGN.md §13). Control traffic is
@@ -416,6 +420,67 @@ impl Default for RepairConfig {
     }
 }
 
+/// How a server spends its per-round gossip budget (DESIGN.md §18).
+/// The names follow Cordelia's chatty/taciturn distinction between
+/// eager state push and digest-driven anti-entropy pull.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum GossipCulture {
+    /// Eager push: every round a server pushes fresh advertisements for
+    /// every owned record plus its stored-object copies to each chosen
+    /// peer. Fast propagation, O(state) bytes per round, and no
+    /// stale-entry purging (pushes only add evidence).
+    Chatty,
+    /// Digest-driven pull: every round a server ships its windowed
+    /// digest; receivers purge entries the digest disclaims and push
+    /// back only object versions the digest shows missing or older.
+    /// O(changed) bytes in steady state.
+    Taciturn,
+    /// Taciturn plus an eager push of the keys changed since the last
+    /// round (bounded by `window`): digest economy at steady state,
+    /// chatty-grade propagation for fresh changes.
+    Hybrid,
+}
+
+/// Generalized anti-entropy gossip (DESIGN.md §18): every `interval`
+/// seconds each live server picks `fanout` namespace-neighbor owners
+/// (peer shuffle drawn from the `tags::FAULTS` stream) and exchanges
+/// state per its [`GossipCulture`]. The subsystem subsumes PR-style
+/// event-driven repair: routing soft state is purged against the
+/// shipped digest (`purge_disclaimed`), and stored objects are pulled
+/// via last-writer-wins merge, so staleness accruing *between*
+/// recover/heal triggers and repair-sweep cursor visits is bounded by
+/// the gossip interval. The default is inert: `enabled = false`
+/// schedules nothing and consumes zero RNG draws, so a disabled run is
+/// bitwise-identical to a build without the subsystem.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GossipConfig {
+    /// Master switch for the anti-entropy gossip subsystem.
+    pub enabled: bool,
+    /// How rounds spend bytes: eager push, digest pull, or both.
+    pub culture: GossipCulture,
+    /// Seconds between gossip rounds (each round every live server
+    /// gossips once).
+    pub interval: f64,
+    /// Distinct namespace-neighbor peers contacted per server per round.
+    pub fanout: u32,
+    /// Bounds both the digest's recent-change window (delta entries
+    /// kept before falling back to a full digest) and the entries
+    /// exchanged per pull reply or hybrid push.
+    pub window: u32,
+}
+
+impl Default for GossipConfig {
+    fn default() -> GossipConfig {
+        GossipConfig {
+            enabled: false,
+            culture: GossipCulture::Taciturn,
+            interval: 1.0,
+            fanout: 3,
+            window: 32,
+        }
+    }
+}
+
 /// A timed chaos script (DESIGN.md §13): actions fire from the event
 /// calendar at their scheduled times, under the run's single fault-RNG
 /// stream, so every scenario replays bit-identically from a seed. The
@@ -523,6 +588,7 @@ impl Config {
             reconcile: ReconcileConfig::default(),
             storage: StorageConfig::default(),
             repair: RepairConfig::default(),
+            gossip: GossipConfig::default(),
             shedding: false,
             seed: 0,
         }
@@ -700,6 +766,17 @@ impl Config {
             }
             if self.repair.batch == 0 {
                 return Err("repair.batch must be at least 1".into());
+            }
+        }
+        if self.gossip.enabled {
+            if !self.gossip.interval.is_finite() || self.gossip.interval <= 0.0 {
+                return Err("gossip.interval must be positive".into());
+            }
+            if self.gossip.fanout == 0 {
+                return Err("gossip.fanout must be at least 1".into());
+            }
+            if self.gossip.window == 0 {
+                return Err("gossip.window must be at least 1".into());
             }
         }
         for ev in &self.scenario.events {
@@ -1046,6 +1123,49 @@ mod tests {
         c.storage.write_rate = 0.0;
         c.storage.read_rate = 0.0;
         assert_eq!(c.validate(), Ok(()));
+    }
+
+    #[test]
+    fn gossip_defaults_are_inert_and_valid() {
+        let c = Config::paper_default(4);
+        assert_eq!(c.gossip, GossipConfig::default());
+        assert!(!c.gossip.enabled);
+        assert_eq!(c.validate(), Ok(()));
+    }
+
+    #[test]
+    fn validate_catches_bad_gossip_values() {
+        let mut c = Config::paper_default(4);
+        c.gossip.enabled = true;
+        assert_eq!(c.validate(), Ok(()));
+        c.gossip.interval = 0.0;
+        assert!(c.validate().is_err());
+        c.gossip.interval = f64::NAN;
+        assert!(c.validate().is_err());
+        c.gossip.interval = 1.0;
+        c.gossip.fanout = 0;
+        assert!(c.validate().is_err());
+        c.gossip.fanout = 3;
+        c.gossip.window = 0;
+        assert!(c.validate().is_err());
+        c.gossip.window = 32;
+        assert_eq!(c.validate(), Ok(()));
+        // Bounds are only enforced when the subsystem is enabled, and
+        // every culture validates.
+        let mut c = Config::paper_default(4);
+        c.gossip.interval = 0.0;
+        c.gossip.window = 0;
+        assert_eq!(c.validate(), Ok(()));
+        for culture in [
+            GossipCulture::Chatty,
+            GossipCulture::Taciturn,
+            GossipCulture::Hybrid,
+        ] {
+            let mut c = Config::paper_default(4);
+            c.gossip.enabled = true;
+            c.gossip.culture = culture;
+            assert_eq!(c.validate(), Ok(()));
+        }
     }
 
     #[test]

@@ -193,6 +193,43 @@ pub fn check_digest_no_false_negative(ns: &Namespace, server: &ServerState) -> V
     v
 }
 
+/// Gossip-digest soundness (DESIGN.md §18): like the routing digest, the
+/// windowed anti-entropy digest may return false positives but never
+/// false negatives — once sealed, it must claim every name the server
+/// hosts *and* every `name#v<version>` key for an object it stores. A
+/// false negative would make a peer purge live soft state or pull-reply
+/// a copy the server already holds, defeating idempotence. Skipped while
+/// the digest is stale (`gossip.dirty`) or not yet built: the seal is
+/// lazy, fired at the server's next gossip round.
+pub fn check_gossip_digest_no_false_negative(ns: &Namespace, server: &ServerState) -> Vec<String> {
+    let mut v = Vec::new();
+    let digest = match &server.gossip.digest {
+        Some(d) if !server.gossip.dirty => d,
+        _ => return v,
+    };
+    for n in server.hosted_ids() {
+        if !digest.test(ns.name(n).as_str()) {
+            v.push(format!(
+                "server {}: gossip digest false negative for hosted node {} ({})",
+                server.id.0,
+                n.0,
+                ns.name(n).as_str()
+            ));
+        }
+    }
+    let mut buf = String::new();
+    for (n, obj) in server.stored_objects() {
+        crate::gossip::object_key(&mut buf, ns.name(n).as_str(), obj.version);
+        if !digest.test(&buf) {
+            v.push(format!(
+                "server {}: gossip digest false negative for object key {buf}",
+                server.id.0
+            ));
+        }
+    }
+    v
+}
+
 /// Negative-cache consistency (DESIGN.md §12): while a host sits in a
 /// server's negative cache, no stored structure may keep steering traffic
 /// at it. Hosted (owned and replica) record maps and route-cache entries
@@ -432,6 +469,7 @@ pub fn audit_server(ns: &Namespace, server: &ServerState) -> Vec<String> {
     v.extend(check_replica_budget(server));
     v.extend(check_cache_capacity(server));
     v.extend(check_digest_no_false_negative(ns, server));
+    v.extend(check_gossip_digest_no_false_negative(ns, server));
     v.extend(check_negative_cache(server));
     v
 }
@@ -542,6 +580,29 @@ mod tests {
         let v = check_digest_no_false_negative(&ns, &s);
         assert_eq!(v.len(), 1);
         assert!(v[0].contains("false negative"), "{v:?}");
+    }
+
+    #[test]
+    fn gossip_digest_false_negative_caught_only_when_sealed() {
+        let (ns, mut s) = fixture();
+        // No digest yet (gossip never ran): the check is silent.
+        assert!(check_gossip_digest_no_false_negative(&ns, &s).is_empty());
+        let _ = s.gossip_digest();
+        assert!(check_gossip_digest_no_false_negative(&ns, &s).is_empty());
+        // Sneak in an object after the seal. With gossip disabled in the
+        // fixture config, `merge_object` does not mark the digest dirty,
+        // so the unclaimed `#v` key is a genuine false negative.
+        s.merge_object(
+            NodeId(0),
+            crate::storage::StoredObject {
+                version: 3,
+                writer: ServerId(0),
+                payload: 7,
+            },
+        );
+        let v = check_gossip_digest_no_false_negative(&ns, &s);
+        assert_eq!(v.len(), 1);
+        assert!(v[0].contains("#v3"), "{v:?}");
     }
 
     #[test]

@@ -57,6 +57,7 @@ pub mod cache;
 pub mod config;
 pub mod det;
 pub mod digests;
+pub(crate) mod gossip;
 pub mod invariants;
 pub mod load;
 pub mod map;
@@ -74,8 +75,9 @@ pub mod system;
 
 pub use cache::RouteCache;
 pub use config::{
-    ChaosAction, ChurnConfig, Config, CutWindow, FaultConfig, LeaseConfig, PartitionConfig,
-    ReconcileConfig, RepairConfig, RetryConfig, ScenarioConfig, ScenarioEvent, StorageConfig,
+    ChaosAction, ChurnConfig, Config, CutWindow, FaultConfig, GossipConfig, GossipCulture,
+    LeaseConfig, PartitionConfig, ReconcileConfig, RepairConfig, RetryConfig, ScenarioConfig,
+    ScenarioEvent, StorageConfig,
 };
 pub use map::NodeMap;
 pub use messages::{Message, QueryPacket};

@@ -310,6 +310,105 @@ pub enum Message {
         /// The freshest surviving copy.
         obj: crate::storage::StoredObject,
     },
+    /// Anti-entropy round opener (DESIGN.md §18; taciturn and hybrid
+    /// cultures): the gossiping server ships its windowed digest over
+    /// hosted names and stored-object versions to a namespace-neighbor
+    /// peer. The receiver purges soft-state entries the digest disclaims
+    /// (`purge_disclaimed`) and pulls back — via [`Message::GossipReply`]
+    /// — object versions the digest shows missing or older.
+    GossipDigest {
+        /// The gossiping server.
+        from: ServerId,
+        /// Its current windowed digest (hosted names + object keys).
+        digest: terradir_bloom::WindowedDigest,
+        /// The digest generation the sender last shipped to this peer
+        /// (`None` on first contact). Determines the modeled wire cost:
+        /// a delta when the window still covers that generation, the
+        /// full snapshot otherwise.
+        since: Option<u64>,
+    },
+    /// Eager anti-entropy push (chatty and hybrid cultures): fresh
+    /// singleton advertisements for records the sender hosts, plus
+    /// stored-object copies pre-filtered by the substrate to the
+    /// receiver's replica sets. Records merge like [`Message::MapUpdate`],
+    /// objects like [`Message::PutObject`].
+    GossipPush {
+        /// The gossiping server.
+        from: ServerId,
+        /// Fresh `(node, map)` advertisements for hosted records.
+        records: Vec<(NodeId, NodeMap)>,
+        /// Object copies the receiver is a replica-set member for.
+        objects: Vec<(NodeId, crate::storage::StoredObject)>,
+    },
+    /// Anti-entropy pull reply (DESIGN.md §18): the object versions a
+    /// [`Message::GossipDigest`] solicitor was missing (or held older),
+    /// merged last-writer-wins exactly like [`Message::PutObject`].
+    GossipReply {
+        /// The replying peer.
+        from: ServerId,
+        /// Copies the solicitor's digest disclaimed.
+        objects: Vec<(NodeId, crate::storage::StoredObject)>,
+    },
+}
+
+/// Modeled bytes of a message envelope: type tag, addressing, and ids
+/// (DESIGN.md §18's wire-size model).
+const HEADER_BYTES: u64 = 16;
+/// Modeled fixed bytes of a query packet beyond the envelope: id, kind,
+/// origin, target, issue time, hop/detour counters, flags, piggybacked
+/// load, and the via/prev-hop fields.
+const PACKET_FIXED_BYTES: u64 = 48;
+/// Modeled bytes of one stored object: version, writer, payload.
+const OBJECT_BYTES: u64 = 16;
+/// Modeled bytes of a node id (or server id) on the wire.
+const ID_BYTES: u64 = 4;
+/// Modeled cost of one repair-sweep status probe round-trip: a
+/// header-plus-id request and a header-plus-object reply. The rotating
+/// repair sweep charges this per (object, live replica) inspection — the
+/// simulation reads the copies directly, but a real sweep would have to
+/// ask, and the anti-entropy frontier (DESIGN.md §18) compares the
+/// sweep's wire cost against digest-driven repair honestly only if that
+/// traffic is on the books.
+pub const PROBE_BYTES: u64 = 2 * HEADER_BYTES + ID_BYTES + OBJECT_BYTES;
+
+/// Modeled bytes of a node map: a length prefix plus one id per entry.
+fn map_bytes(map: &NodeMap) -> u64 {
+    ID_BYTES + ID_BYTES * map.len() as u64
+}
+
+/// Modeled bytes of a `(node, map)` pair.
+fn node_map_bytes(pair: &(NodeId, NodeMap)) -> u64 {
+    ID_BYTES + map_bytes(&pair.1)
+}
+
+/// Modeled bytes of a meta snapshot: version plus each attribute's
+/// key/value bytes with length prefixes.
+fn meta_bytes(meta: &Meta) -> u64 {
+    8 + meta
+        .iter()
+        .map(|(k, v)| 4 + k.len() as u64 + v.len() as u64)
+        .sum::<u64>()
+}
+
+/// Modeled bytes of a query packet: the fixed fields plus the propagated
+/// path, the piggybacked digest, and the recent-hop ring.
+fn packet_bytes(p: &QueryPacket) -> u64 {
+    PACKET_FIXED_BYTES
+        + p.path.iter().map(node_map_bytes).sum::<u64>()
+        + p.sender_digest
+            .as_ref()
+            .map_or(0, |(_, d)| ID_BYTES + d.byte_size() as u64)
+        + ID_BYTES * p.recent.len() as u64
+}
+
+/// Modeled bytes of one replica payload: node, map, meta, routing
+/// context, and the demand-weight hint.
+fn replica_payload_bytes(r: &ReplicaPayload) -> u64 {
+    ID_BYTES
+        + map_bytes(&r.map)
+        + meta_bytes(&r.meta)
+        + r.neighbors.iter().map(node_map_bytes).sum::<u64>()
+        + 8
 }
 
 impl Message {
@@ -323,6 +422,66 @@ impl Message {
     /// paper's "load balancing messages" budget).
     pub fn is_control(&self) -> bool {
         !self.is_query_traffic()
+    }
+
+    /// Deterministic modeled wire size of this message in bytes
+    /// (DESIGN.md §18). The model charges a fixed envelope per message
+    /// plus the variant's payload: 4 bytes per id/map entry, 16 per
+    /// stored object, actual string bytes for meta attributes, and the
+    /// Bloom filter's real backing size for digests. Windowed gossip
+    /// digests are charged at delta cost when the receiver's last-seen
+    /// generation is still inside the window — that asymmetry is the
+    /// entire point of the windowed digest.
+    pub fn wire_bytes(&self) -> u64 {
+        let payload = match self {
+            Message::Query(p) => packet_bytes(p),
+            Message::QueryResult {
+                packet,
+                meta,
+                children,
+                ..
+            } => {
+                packet_bytes(packet)
+                    + ID_BYTES
+                    + meta_bytes(meta)
+                    + children.iter().map(node_map_bytes).sum::<u64>()
+            }
+            Message::LoadProbe { .. }
+            | Message::LoadProbeReply { .. }
+            | Message::ReplicateDeny { .. } => ID_BYTES + 8,
+            Message::ReplicateRequest { replicas, .. } => {
+                ID_BYTES + 8 + replicas.iter().map(replica_payload_bytes).sum::<u64>()
+            }
+            Message::ReplicateAck { installed, .. } => {
+                ID_BYTES + 8 + ID_BYTES * installed.len() as u64
+            }
+            Message::MapUpdate { map, .. } => ID_BYTES + map_bytes(map),
+            Message::GetData { .. } => ID_BYTES + ID_BYTES + 8,
+            Message::DataReply { data, .. } => {
+                ID_BYTES + ID_BYTES + 8 + data.as_ref().map_or(0, |d| d.len() as u64)
+            }
+            Message::NotHosting { .. } | Message::HostDown { .. } => ID_BYTES + ID_BYTES,
+            Message::Misroute { digest, .. } => ID_BYTES + ID_BYTES + digest.byte_size() as u64,
+            Message::PutObject { .. } | Message::RepairPush { .. } => ID_BYTES + OBJECT_BYTES,
+            Message::GetObject { .. } => 8 + ID_BYTES + ID_BYTES,
+            Message::ObjectReply { obj, .. } => {
+                8 + ID_BYTES + ID_BYTES + obj.map_or(0, |_| OBJECT_BYTES)
+            }
+            Message::GossipDigest { digest, since, .. } => {
+                ID_BYTES + digest.wire_bytes_since(*since) as u64
+            }
+            Message::GossipPush {
+                records, objects, ..
+            } => {
+                ID_BYTES
+                    + records.iter().map(node_map_bytes).sum::<u64>()
+                    + (ID_BYTES + OBJECT_BYTES) * objects.len() as u64
+            }
+            Message::GossipReply { objects, .. } => {
+                ID_BYTES + (ID_BYTES + OBJECT_BYTES) * objects.len() as u64
+            }
+        };
+        HEADER_BYTES + payload
     }
 
     /// The server that sent this message, where the message itself proves
@@ -345,7 +504,13 @@ impl Message {
             | Message::GetData { from, .. }
             | Message::DataReply { from, .. }
             | Message::ObjectReply { from, .. }
-            | Message::Misroute { from, .. } => Some(*from),
+            | Message::Misroute { from, .. }
+            // Gossip traffic is only ever generated for (or by) a live
+            // server at round time, and a digest/push is its sender's own
+            // fresh state — proof-of-life like `Misroute`.
+            | Message::GossipDigest { from, .. }
+            | Message::GossipPush { from, .. }
+            | Message::GossipReply { from, .. } => Some(*from),
             // Storage writes/probes/repairs are scheduled by the
             // substrate on the origin's behalf (like `MapUpdate`), so
             // they carry no proof-of-life sender field.
@@ -535,5 +700,99 @@ mod tests {
         let p = pkt();
         assert!(!p.misrouted);
         assert_eq!(p.detour_hops, 0);
+    }
+
+    fn windowed() -> terradir_bloom::WindowedDigest {
+        let params = terradir_bloom::BloomParams::for_capacity(8, 0.01, 0);
+        let g0 = terradir_bloom::WindowedDigest::empty(params);
+        terradir_bloom::WindowedDigest::next(&g0, params, ["/a"], ["/a"], 8)
+    }
+
+    #[test]
+    fn gossip_messages_are_control_and_proof_of_life() {
+        let obj = crate::storage::StoredObject {
+            version: 1,
+            writer: ServerId(0),
+            payload: 7,
+        };
+        let dig = Message::GossipDigest {
+            from: ServerId(3),
+            digest: windowed(),
+            since: None,
+        };
+        assert!(dig.is_control());
+        assert_eq!(dig.sender(), Some(ServerId(3)));
+        let push = Message::GossipPush {
+            from: ServerId(4),
+            records: vec![(NodeId(1), NodeMap::singleton(ServerId(4)))],
+            objects: vec![(NodeId(1), obj)],
+        };
+        assert!(push.is_control());
+        assert_eq!(push.sender(), Some(ServerId(4)));
+        let reply = Message::GossipReply {
+            from: ServerId(5),
+            objects: vec![(NodeId(1), obj)],
+        };
+        assert!(reply.is_control());
+        assert_eq!(reply.sender(), Some(ServerId(5)));
+    }
+
+    #[test]
+    fn wire_bytes_scale_with_payload() {
+        let obj = crate::storage::StoredObject {
+            version: 1,
+            writer: ServerId(0),
+            payload: 7,
+        };
+        // Every message costs at least the envelope.
+        assert!(Message::HostDown { host: ServerId(1) }.wire_bytes() >= 16);
+        // More path entries cost more bytes.
+        let mut p = pkt();
+        let small = Message::Query(p.clone()).wire_bytes();
+        p.push_path(NodeId(1), NodeMap::singleton(ServerId(1)), 8);
+        p.push_path(NodeId(2), NodeMap::singleton(ServerId(2)), 8);
+        assert!(Message::Query(p).wire_bytes() > small);
+        // More objects cost more bytes.
+        let one = Message::GossipReply {
+            from: ServerId(0),
+            objects: vec![(NodeId(1), obj)],
+        }
+        .wire_bytes();
+        let two = Message::GossipReply {
+            from: ServerId(0),
+            objects: vec![(NodeId(1), obj), (NodeId(2), obj)],
+        }
+        .wire_bytes();
+        assert_eq!(two - one, 20, "each object entry is id + object bytes");
+        // An empty object reply is cheaper than a full one.
+        let empty = Message::ObjectReply {
+            id: 1,
+            node: NodeId(1),
+            obj: None,
+            from: ServerId(0),
+        };
+        let full = Message::ObjectReply {
+            id: 1,
+            node: NodeId(1),
+            obj: Some(obj),
+            from: ServerId(0),
+        };
+        assert!(full.wire_bytes() > empty.wire_bytes());
+    }
+
+    #[test]
+    fn windowed_digest_delta_undercuts_full_on_wire() {
+        let d = windowed();
+        let delta = Message::GossipDigest {
+            from: ServerId(0),
+            digest: d.clone(),
+            since: Some(d.generation().wrapping_sub(1)),
+        };
+        let full = Message::GossipDigest {
+            from: ServerId(0),
+            digest: d,
+            since: None,
+        };
+        assert!(delta.wire_bytes() < full.wire_bytes());
     }
 }

@@ -470,6 +470,9 @@ impl ServerState {
                 }
             }
             self.digest_dirty = true;
+            if self.cfg.gossip.enabled {
+                self.gossip.mark(p.node);
+            }
             installed.push(p.node);
             out.push(Outgoing::Event(ProtocolEvent::ReplicaCreated {
                 node: p.node,

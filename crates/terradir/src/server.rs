@@ -146,6 +146,19 @@ pub enum ProtocolEvent {
         /// The replying replica's copy, if it held one.
         obj: Option<crate::storage::StoredObject>,
     },
+    /// A gossip digest arrived (DESIGN.md §18): the receiving server
+    /// already purged the soft state the digest disclaims; the substrate
+    /// — which owns the replica-set membership math — now selects the
+    /// object versions the gossiper is missing and replies with a
+    /// [`Message::GossipReply`].
+    GossipSolicited {
+        /// The server the digest arrived at (the replying peer).
+        at: ServerId,
+        /// The gossiping (soliciting) server.
+        from: ServerId,
+        /// The solicitor's windowed digest.
+        digest: terradir_bloom::WindowedDigest,
+    },
 }
 
 /// One peer's complete protocol state.
@@ -206,6 +219,10 @@ pub struct ServerState {
     /// kept out of every stored map; entries expire after
     /// `Config::faults.dead_ttl` or on any message proving the host alive.
     pub(crate) negative: DetHashMap<ServerId, f64>,
+    /// Anti-entropy gossip bookkeeping (DESIGN.md §18): the windowed
+    /// digest over hosted names and object-version keys, its change
+    /// tracking, and per-peer delta bases. Inert while gossip is off.
+    pub(crate) gossip: crate::gossip::GossipState,
 }
 
 /// Client-side state of one in-progress data fetch.
@@ -278,6 +295,7 @@ impl ServerState {
             store: DetHashMap::default(),
             pending_fetches: DetHashMap::default(),
             negative: DetHashMap::default(),
+            gossip: crate::gossip::GossipState::default(),
             ns,
             cfg,
         }
@@ -487,6 +505,47 @@ impl ServerState {
             Message::ObjectReply { id, obj, .. } => {
                 out.push(Outgoing::Event(ProtocolEvent::StorageReadReply { id, obj }));
             }
+            Message::GossipDigest {
+                from,
+                digest,
+                since: _,
+            } => {
+                // Routing arm (DESIGN.md §18): the digest's plain-name
+                // class is a hosted-set snapshot, so prune every stale
+                // entry naming the gossiper — the PR-4 `purge_disclaimed`
+                // machinery — and feed the shortcut store.
+                if self.cfg.digests {
+                    self.digest_store.observe(from, digest.full());
+                }
+                self.purge_disclaimed(from, digest.full());
+                // Object arm: the substrate owns the replica-set
+                // membership math, so hand the digest up for pull
+                // selection (it replies with a `GossipReply`).
+                out.push(Outgoing::Event(ProtocolEvent::GossipSolicited {
+                    at: self.id,
+                    from,
+                    digest,
+                }));
+            }
+            Message::GossipPush {
+                from: _,
+                records,
+                objects,
+            } => {
+                // Chatty/hybrid eager push: records merge exactly like
+                // MapUpdates, objects exactly like write propagation.
+                for (node, map) in &records {
+                    self.absorb_mapping(*node, map, now, rng);
+                }
+                for (node, obj) in objects {
+                    self.merge_object(node, obj);
+                }
+            }
+            Message::GossipReply { from: _, objects } => {
+                for (node, obj) in objects {
+                    self.merge_object(node, obj);
+                }
+            }
         }
     }
 
@@ -496,11 +555,18 @@ impl ServerState {
     /// deliberately indistinguishable here — both are just evidence of
     /// the object's latest version.
     pub(crate) fn merge_object(&mut self, node: NodeId, obj: crate::storage::StoredObject) {
-        let merged = match self.store.get(&node) {
-            Some(&held) => crate::storage::lww_merge(held, obj),
+        let prev = self.store.get(&node).copied();
+        let merged = match prev {
+            Some(held) => crate::storage::lww_merge(held, obj),
             None => obj,
         };
         self.store.insert(node, merged);
+        // A genuinely new version changes this server's object key, so
+        // the gossip digest must be resealed (no-op churn stays silent —
+        // that is what keeps digest rounds idempotent).
+        if self.cfg.gossip.enabled && prev != Some(merged) {
+            self.gossip.mark(node);
+        }
     }
 
     /// Negative caching (DESIGN.md §12): a send to `host` failed at the
@@ -1119,6 +1185,9 @@ impl ServerState {
         }
         self.weights.remove(node);
         self.digest_dirty = true;
+        if self.cfg.gossip.enabled {
+            self.gossip.mark(node);
+        }
         for nb in self.ns.neighbors(node) {
             let still_needed = self.ns.neighbors(nb).iter().any(|&h| self.hosts(h));
             if !still_needed {
@@ -1150,6 +1219,99 @@ impl ServerState {
             self.digest_gen,
         );
         self.digest_dirty = false;
+    }
+
+    /// The server's current windowed gossip digest (DESIGN.md §18),
+    /// resealed first if the hosted set or object store changed since the
+    /// last round. The returned value is a cheap `Arc`-backed clone, fit
+    /// for shipping to every peer of the round.
+    pub(crate) fn gossip_digest(&mut self) -> terradir_bloom::WindowedDigest {
+        if self.gossip.dirty || self.gossip.digest.is_none() {
+            self.reseal_gossip_digest();
+        }
+        match &self.gossip.digest {
+            // xtask: allow(alloc): Arc-backed clone, O(1) — no filter copy
+            Some(d) => d.clone(),
+            // Unreachable (reseal always installs a digest); an empty
+            // digest keeps the accessor total without panicking.
+            None => terradir_bloom::WindowedDigest::empty(self.gossip_params(8)),
+        }
+    }
+
+    /// Filter parameters for the gossip digest: hosted capacity plus the
+    /// object store, under the configured false-positive rate, seeded
+    /// per-server (a different constant than the routing digest so the
+    /// two filters' false positives are uncorrelated).
+    fn gossip_params(&self, capacity: usize) -> terradir_bloom::BloomParams {
+        terradir_bloom::BloomParams::for_capacity(
+            capacity.max(8),
+            self.cfg.digest_fpr,
+            0x6055_1bed ^ self.id.0 as u64,
+        )
+    }
+
+    /// Seals the next gossip-digest generation: every hosted name plus an
+    /// `name#v<version>` key per stored object. Per-node changes recorded
+    /// since the last seal become the delta window; a reset (`mark_all`)
+    /// seals a fresh snapshot with a broken window instead, forcing
+    /// behind peers onto the full filter.
+    fn reseal_gossip_digest(&mut self) {
+        use terradir_bloom::{DigestBuilder, WindowedDigest};
+        let capacity = Self::digest_capacity(&self.cfg, self.owned.len()) + self.store.len();
+        let mut filter = DigestBuilder::new(self.gossip_params(capacity));
+        let mut key_buf = std::mem::take(&mut self.gossip.key_buf);
+        for &n in self.owned.keys().chain(self.replicas.keys()) {
+            filter.add(self.ns.name(n).as_str());
+        }
+        for (&node, obj) in &self.store {
+            crate::gossip::object_key(&mut key_buf, self.ns.name(node).as_str(), obj.version);
+            filter.add(&key_buf);
+        }
+        let prev_gen = self
+            .gossip
+            .digest
+            .as_ref()
+            .map_or(0, WindowedDigest::generation);
+        let next = if let (Some(prev), false) = (&self.gossip.digest, self.gossip.all_changed) {
+            // Render the changed nodes' *current* keys for the delta
+            // window. Removals have no current key and cannot be
+            // expressed — the full filter already disclaims them,
+            // which is the authoritative signal peers act on.
+            let mut changed = std::mem::take(&mut self.gossip.changed);
+            changed.sort_unstable();
+            changed.dedup();
+            let mut changed_keys = std::mem::take(&mut self.gossip.changed_keys);
+            changed_keys.clear();
+            for &node in &changed {
+                let name = self.ns.name(node).as_str();
+                if self.hosts(node) {
+                    // xtask: allow(alloc): bounded by the per-round change set
+                    changed_keys.push(name.to_string());
+                }
+                if let Some(obj) = self.store.get(&node) {
+                    crate::gossip::object_key(&mut key_buf, name, obj.version);
+                    // xtask: allow(alloc): bounded by the per-round change set
+                    changed_keys.push(key_buf.clone());
+                }
+            }
+            let next = WindowedDigest::seal_next(
+                prev,
+                filter,
+                changed_keys.iter().map(String::as_str),
+                self.cfg.gossip.window as usize,
+            );
+            changed.clear();
+            self.gossip.changed = changed;
+            self.gossip.changed_keys = changed_keys;
+            next
+        } else {
+            self.gossip.changed.clear();
+            WindowedDigest::seal_snapshot(filter, prev_gen.wrapping_add(1))
+        };
+        self.gossip.key_buf = key_buf;
+        self.gossip.digest = Some(next);
+        self.gossip.dirty = false;
+        self.gossip.all_changed = false;
     }
 
     /// Rejoin after a failure (DESIGN.md §12): owned records survive with
@@ -1206,6 +1368,13 @@ impl ServerState {
         // surviving replicas plus the repair sweep, not from any
         // per-server persistence.
         self.store.clear();
+        // A reset is a change the gossip window cannot express: break
+        // the window so behind peers take the next full snapshot, and
+        // forget what was shipped where (DESIGN.md §18).
+        if self.cfg.gossip.enabled {
+            self.gossip.mark_all();
+            self.gossip.sent_gen.clear();
+        }
         self.rebuild_digest();
     }
 

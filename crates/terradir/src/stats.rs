@@ -158,6 +158,14 @@ pub struct RunStats {
     pub stale_reads: u64,
     /// Copies re-replicated by the background repair sweep.
     pub repair_pushes: u64,
+    /// Modeled bytes of every remote message send, from the
+    /// per-`Message` byte-cost model (DESIGN.md §18): queries, control
+    /// traffic, storage propagation, repair-sweep probes, and gossip.
+    /// Local hand-offs and substrate-synthesized feedback cost nothing.
+    pub bytes_on_wire: u64,
+    /// The subset of `bytes_on_wire` spent by the anti-entropy gossip
+    /// subsystem (digests at delta or full cost, pushes, pull replies).
+    pub gossip_bytes: u64,
     /// RNG draw ledger: total 64-bit draws per component tag, indexed by
     /// `terradir_workload::seed::tags` (slot 0 unused). Synced by the
     /// system after every `run_until`; equal ledgers across two replays of
@@ -258,6 +266,8 @@ impl RunStats {
             reads_failed: 0,
             stale_reads: 0,
             repair_pushes: 0,
+            bytes_on_wire: 0,
+            gossip_bytes: 0,
             rng_draws: Vec::new(),
             alloc_events: 0,
             alloc_bytes: 0,
@@ -458,6 +468,10 @@ pub struct Summary {
     pub stale_reads: u64,
     /// Copies re-replicated by the background repair sweep.
     pub repair_pushes: u64,
+    /// Modeled bytes of every remote message send (DESIGN.md §18).
+    pub bytes_on_wire: u64,
+    /// The gossip subsystem's share of `bytes_on_wire`.
+    pub gossip_bytes: u64,
     /// Query-path messages serviced.
     pub query_messages: u64,
     /// Replication sessions aborted.
@@ -512,7 +526,8 @@ impl Summary {
                 "\"objects_alive\":{},\"objects_lost\":{},",
                 "\"object_puts\":{},\"object_reads\":{},",
                 "\"reads_failed\":{},\"stale_reads\":{},",
-                "\"repair_pushes\":{},\"query_messages\":{},",
+                "\"repair_pushes\":{},\"bytes_on_wire\":{},",
+                "\"gossip_bytes\":{},\"query_messages\":{},",
                 "\"sessions_aborted\":{},\"data_fetches_failed\":{},",
                 "\"messages_to_dead\":{},\"attempts_lost_queue\":{},",
                 "\"attempts_lost_ttl\":{},\"attempts_lost_stuck\":{},",
@@ -555,6 +570,8 @@ impl Summary {
             self.reads_failed,
             self.stale_reads,
             self.repair_pushes,
+            self.bytes_on_wire,
+            self.gossip_bytes,
             self.query_messages,
             self.sessions_aborted,
             self.data_fetches_failed,
@@ -612,6 +629,8 @@ impl RunStats {
             reads_failed: self.reads_failed,
             stale_reads: self.stale_reads,
             repair_pushes: self.repair_pushes,
+            bytes_on_wire: self.bytes_on_wire,
+            gossip_bytes: self.gossip_bytes,
             query_messages: self.query_messages,
             sessions_aborted: self.sessions_aborted,
             data_fetches_failed: self.data_fetches_failed,
@@ -849,6 +868,17 @@ mod tests {
         assert!(json.contains("\"reads_failed\":2"));
         assert!(json.contains("\"stale_reads\":3"));
         assert!(json.contains("\"repair_pushes\":17"));
+        assert_eq!(json.matches('"').count() % 2, 0);
+    }
+
+    #[test]
+    fn wire_counters_reach_the_summary_json() {
+        let mut s = RunStats::new(2);
+        s.bytes_on_wire = 123_456;
+        s.gossip_bytes = 7_890;
+        let json = s.summary().to_json();
+        assert!(json.contains("\"bytes_on_wire\":123456"));
+        assert!(json.contains("\"gossip_bytes\":7890"));
         assert_eq!(json.matches('"').count() % 2, 0);
     }
 

@@ -16,7 +16,7 @@ use terradir_workload::{
     ledger_add, tagged_rng, ExpService, PoissonArrivals, QueryStream, StreamPlan, TaggedRng,
 };
 
-use crate::config::{ChaosAction, Config};
+use crate::config::{ChaosAction, Config, GossipCulture};
 use crate::map::NodeMap;
 use crate::messages::{Message, QueryPacket};
 use crate::server::{Outgoing, ProtocolEvent, ServerState};
@@ -73,6 +73,11 @@ enum Event {
     /// Read-timeout for an outstanding replicated read: finalize with
     /// whatever replies arrived. A no-op if the quorum already closed it.
     StoreReadDone { id: u64 },
+    /// Periodic anti-entropy round (DESIGN.md §18): every live server
+    /// contacts `gossip.fanout` namespace-neighbor owners and exchanges
+    /// state per the configured gossip culture. Never armed while gossip
+    /// is disabled.
+    GossipRound,
 }
 
 /// Source-side record of one outstanding query under the retry layer.
@@ -178,6 +183,15 @@ pub struct System {
     store_targets: Vec<ServerId>,
     /// Rotating cursor for the bounded background repair sweep.
     repair_cursor: u32,
+    /// Reusable peer-set scratch for the gossip round driver.
+    gossip_peers: Vec<ServerId>,
+    /// Reusable object-payload scratch for gossip pushes and pull replies.
+    gossip_objects: Vec<(NodeId, crate::storage::StoredObject)>,
+    /// Reusable changed-node snapshot for the hybrid culture's eager push
+    /// (taken before the digest reseal clears per-node change tracking).
+    gossip_changed: Vec<NodeId>,
+    /// Reusable key-rendering buffer for pull selection.
+    gossip_key_buf: String,
 }
 
 impl System {
@@ -309,6 +323,12 @@ impl System {
                 engine.schedule(cfg.repair.interval, Event::StoreRepair);
             }
         }
+        // Anti-entropy arms only when enabled (DESIGN.md §18); the arming
+        // itself draws no randomness, so gossip-off runs stay
+        // byte-identical to pre-gossip baselines.
+        if cfg.gossip.enabled {
+            engine.schedule(cfg.gossip.interval, Event::GossipRound);
+        }
         let groups = cfg.partitions.n_groups.max(1);
         let mut sys = System {
             // xtask: allow(alloc): construction, runs once per run
@@ -353,6 +373,10 @@ impl System {
             next_read_id: 0,
             store_targets,
             repair_cursor: 0,
+            gossip_peers: Vec::new(),
+            gossip_objects: Vec::new(),
+            gossip_changed: Vec::new(),
+            gossip_key_buf: String::new(),
         };
         sys.sync_draw_ledger();
         sys
@@ -697,6 +721,8 @@ impl System {
         for (peer, node, map) in sends {
             self.stats.reconcile_pushes += 1;
             self.stats.control_messages += 1;
+            let msg = Message::MapUpdate { node, map };
+            self.charge_wire(&msg);
             // Flat delivery delay, no loss/jitter draws: reconcile pushes
             // are substrate-scheduled like HostDown/NotHosting notices,
             // and extra RNG draws here would perturb replay of the fault
@@ -706,7 +732,7 @@ impl System {
                 Event::Deliver {
                     to: peer,
                     from: Some(id),
-                    msg: Message::MapUpdate { node, map },
+                    msg,
                 },
             );
         }
@@ -832,12 +858,16 @@ impl System {
         );
         for &t in &targets {
             self.stats.control_messages += 1;
+            let msg = Message::PutObject { node, obj };
+            if t != origin {
+                self.charge_wire(&msg);
+            }
             self.engine.schedule_in(
                 self.cfg.network_delay,
                 Event::Deliver {
                     to: t,
                     from: Some(origin),
-                    msg: Message::PutObject { node, obj },
+                    msg,
                 },
             );
         }
@@ -887,16 +917,20 @@ impl System {
             let majority = targets.len() as u32 / 2 + 1;
             for &t in &targets {
                 self.stats.control_messages += 1;
+                let msg = Message::GetObject {
+                    id,
+                    node,
+                    reply_to: origin,
+                };
+                if t != origin {
+                    self.charge_wire(&msg);
+                }
                 self.engine.schedule_in(
                     self.cfg.network_delay,
                     Event::Deliver {
                         to: t,
                         from: Some(origin),
-                        msg: Message::GetObject {
-                            id,
-                            node,
-                            reply_to: origin,
-                        },
+                        msg,
                     },
                 );
             }
@@ -907,16 +941,20 @@ impl System {
                 .copied()
                 .unwrap_or_else(|| self.assignment.owner(node));
             self.stats.control_messages += 1;
+            let msg = Message::GetObject {
+                id,
+                node,
+                reply_to: origin,
+            };
+            if pick != origin {
+                self.charge_wire(&msg);
+            }
             self.engine.schedule_in(
                 self.cfg.network_delay,
                 Event::Deliver {
                     to: pick,
                     from: Some(origin),
-                    msg: Message::GetObject {
-                        id,
-                        node,
-                        reply_to: origin,
-                    },
+                    msg,
                 },
             );
             1
@@ -994,6 +1032,12 @@ impl System {
                 if self.is_failed(t) {
                     continue;
                 }
+                // A real sweep learns each live member's copy by probing
+                // it; charge that round-trip so sweep-vs-digest wire
+                // comparisons are honest (DESIGN.md §18 — counters only,
+                // the simulation reads state directly and behavior is
+                // unchanged).
+                self.stats.bytes_on_wire += crate::messages::PROBE_BYTES;
                 let Some(obj) = self
                     .servers
                     .get(t.index())
@@ -1031,12 +1075,14 @@ impl System {
                     pushes += 1;
                     self.stats.repair_pushes += 1;
                     self.stats.control_messages += 1;
+                    let msg = Message::RepairPush { node, obj: best };
+                    self.charge_wire(&msg);
                     self.engine.schedule_in(
                         self.cfg.network_delay,
                         Event::Deliver {
                             to: t,
                             from: Some(holder),
-                            msg: Message::RepairPush { node, obj: best },
+                            msg,
                         },
                     );
                 }
@@ -1044,6 +1090,250 @@ impl System {
         }
         self.repair_cursor = idx as u32;
         self.store_targets = targets;
+    }
+
+    /// One anti-entropy round (DESIGN.md §18): reschedules itself, then
+    /// has every live server contact up to `gossip.fanout`
+    /// namespace-neighbor owners — sorted, deduplicated, shuffled from
+    /// the fault RNG so runs replay bit-identically, truncated — and
+    /// exchange state per the configured culture:
+    ///
+    /// - **chatty** pushes fresh singleton advertisements for everything
+    ///   the server hosts plus its object copies (membership-filtered per
+    ///   peer): O(state) bytes every round, nothing ever pruned;
+    /// - **taciturn** ships the windowed digest; each receiver purges the
+    ///   soft state the digest disclaims and pulls back only the object
+    ///   versions it shows missing or older;
+    /// - **hybrid** is taciturn plus an eager push of the keys changed
+    ///   since the last round (bounded by `gossip.window`).
+    ///
+    /// Never armed while gossip is disabled, and then the only
+    /// randomness drawn is the per-server peer shuffle.
+    fn gossip_round(&mut self) {
+        use rand::seq::SliceRandom;
+        self.engine
+            .schedule_in(self.cfg.gossip.interval, Event::GossipRound);
+        let culture = self.cfg.gossip.culture;
+        for i in 0..self.servers.len() {
+            if self.failed.get(i).copied().unwrap_or(true) {
+                continue;
+            }
+            let id = ServerId(i as u32);
+            let mut peers = std::mem::take(&mut self.gossip_peers);
+            peers.clear();
+            // A server that has never sealed a digest (first round ever,
+            // or just recovered from a soft-state wipe) has everything to
+            // re-learn: its round becomes a *recovery burst* that
+            // contacts the whole candidate pool instead of `fanout` of
+            // it, so every object it backs is re-pulled within one
+            // interval instead of one interval per pool/fanout chunk.
+            // Steady-state rounds are untouched.
+            // (Chatty never seals a digest, so only the post-reset flag
+            // can burst it — its ordinary rounds already push full state.)
+            let burst = self.servers.get(i).is_some_and(|s| {
+                s.gossip.all_changed
+                    || (!matches!(culture, GossipCulture::Chatty) && s.gossip.digest.is_none())
+            });
+            if let Some(server) = self.servers.get(i) {
+                for node in server.owned_ids() {
+                    for nb in self.ns.neighbors(node) {
+                        let owner = self.assignment.owner(nb);
+                        if owner != id && !self.is_failed(owner) {
+                            peers.push(owner);
+                        }
+                        // Fellow replica-set members — the other
+                        // neighbor-owners of the same node — hold the
+                        // only live copy when that node's owner is down;
+                        // without these 2-hop links a wiped replica can
+                        // never re-pull from them. Routing-only runs skip
+                        // them: no objects, so the extra candidates would
+                        // only dilute the neighbor mix.
+                        if self.cfg.storage.enabled {
+                            for nb2 in self.ns.neighbors(nb) {
+                                let fellow = self.assignment.owner(nb2);
+                                if fellow != id && !self.is_failed(fellow) {
+                                    peers.push(fellow);
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+            // Filler replicas live on consecutive server ids from the
+            // owner (`storage::replica_targets`), not on namespace
+            // neighbors — without these links a wiped filler can never
+            // solicit the owners it backs, and digest-driven repair
+            // silently excludes every filler-placed copy.
+            if self.cfg.storage.enabled {
+                let n = self.servers.len() as u32;
+                for k in 1..self.cfg.storage.replication_factor.min(n) {
+                    for cand in [ServerId((id.0 + n - k) % n), ServerId((id.0 + k) % n)] {
+                        if cand != id && !self.is_failed(cand) {
+                            peers.push(cand);
+                        }
+                    }
+                }
+            }
+            peers.sort_unstable();
+            peers.dedup();
+            peers.shuffle(&mut self.rng_faults);
+            if !burst {
+                peers.truncate(self.cfg.gossip.fanout as usize);
+            }
+            if !peers.is_empty() {
+                match culture {
+                    GossipCulture::Chatty => {
+                        self.gossip_push(id, &peers, None);
+                        // Chatty never reseals the digest, so per-node
+                        // change tracking would grow without bound and
+                        // the post-reset flag would re-burst every round
+                        // — drain both here instead.
+                        if let Some(s) = self.servers.get_mut(i) {
+                            s.gossip.changed.clear();
+                            s.gossip.all_changed = false;
+                        }
+                    }
+                    GossipCulture::Taciturn => {
+                        self.gossip_send_digest(id, &peers);
+                    }
+                    GossipCulture::Hybrid => {
+                        // Snapshot the change set before the digest
+                        // reseal clears it; the eager push covers exactly
+                        // those keys. (A reset emptied it — the fresh
+                        // snapshot digest carries that signal instead.)
+                        let mut changed = std::mem::take(&mut self.gossip_changed);
+                        changed.clear();
+                        if let Some(s) = self.servers.get(i) {
+                            changed.extend(s.gossip.changed.iter().copied());
+                        }
+                        changed.sort_unstable();
+                        changed.dedup();
+                        changed.truncate(self.cfg.gossip.window as usize);
+                        self.gossip_send_digest(id, &peers);
+                        if !changed.is_empty() {
+                            self.gossip_push(id, &peers, Some(&changed));
+                        }
+                        self.gossip_changed = changed;
+                    }
+                }
+            }
+            self.gossip_peers = peers;
+        }
+    }
+
+    /// Ships `id`'s current windowed digest to each round peer, tagging
+    /// each copy with the generation last shipped to that peer — the
+    /// wire-cost model's delta base. The digest itself is identical
+    /// either way; only its charged bytes differ (O(changed) in steady
+    /// state, the full filter after a reset or for a first contact).
+    fn gossip_send_digest(&mut self, id: ServerId, peers: &[ServerId]) {
+        let digest = match self.servers.get_mut(id.index()) {
+            Some(s) => s.gossip_digest(),
+            None => return,
+        };
+        let gen = digest.generation();
+        for &peer in peers {
+            let since = match self.servers.get_mut(id.index()) {
+                Some(s) => s.gossip.note_sent(peer, gen),
+                None => None,
+            };
+            let msg = Message::GossipDigest {
+                from: id,
+                // xtask: allow(alloc): Arc-backed digest clone, O(1) per peer
+                digest: digest.clone(),
+                since,
+            };
+            self.stats.control_messages += 1;
+            self.charge_wire(&msg);
+            self.engine.schedule_in(
+                self.cfg.network_delay,
+                Event::Deliver {
+                    to: peer,
+                    from: Some(id),
+                    msg,
+                },
+            );
+        }
+    }
+
+    /// The eager push arm: singleton hosting advertisements plus object
+    /// copies, membership-filtered per peer so no server ends up holding
+    /// a copy outside its objects' replica sets. `changed = None` pushes
+    /// everything the server hosts (chatty); `Some(nodes)` restricts the
+    /// payload to that sorted change set (hybrid).
+    fn gossip_push(&mut self, id: ServerId, peers: &[ServerId], changed: Option<&[NodeId]>) {
+        let mut targets = std::mem::take(&mut self.store_targets);
+        let mut objects = std::mem::take(&mut self.gossip_objects);
+        for &peer in peers {
+            // Each push advertises only the authoritative fact the pusher
+            // can vouch for — "I host this node", a singleton map — same
+            // rule as reconcile pushes: forwarding full maps would spread
+            // exactly the stale third-party pointers anti-entropy exists
+            // to retire. Chatty advertises its whole hosted set, replica
+            // ads included — deliberately profligate, and the ads go
+            // stale the moment a crash resets the pusher's replicas.
+            // Hybrid's eager push sticks to *owned* nodes: ownership is
+            // the static assignment, so those ads can never go stale,
+            // and its digest already retires everything else.
+            let records: Vec<(NodeId, NodeMap)> = match self.servers.get(id.index()) {
+                Some(s) => match changed {
+                    None => s
+                        .owned_ids()
+                        .chain(s.replica_ids())
+                        .map(|n| (n, NodeMap::singleton(id)))
+                        .collect(), // xtask: allow(alloc): each push message owns its payload
+                    Some(nodes) => nodes
+                        .iter()
+                        .copied()
+                        .filter(|&n| self.assignment.owner(n) == id)
+                        .map(|n| (n, NodeMap::singleton(id)))
+                        .collect(), // xtask: allow(alloc): each push message owns its payload
+                },
+                None => Vec::new(),
+            };
+            objects.clear();
+            if let Some(s) = self.servers.get(id.index()) {
+                for (node, obj) in s.stored_objects() {
+                    if let Some(nodes) = changed {
+                        if nodes.binary_search(&node).is_err() {
+                            continue;
+                        }
+                    }
+                    crate::storage::replica_targets(
+                        node,
+                        &self.ns,
+                        &self.assignment,
+                        &self.cfg.storage,
+                        &mut targets,
+                    );
+                    if targets.contains(&peer) {
+                        objects.push((node, obj));
+                    }
+                }
+            }
+            objects.sort_unstable_by_key(|&(n, _)| n);
+            if records.is_empty() && objects.is_empty() {
+                continue;
+            }
+            let msg = Message::GossipPush {
+                from: id,
+                records,
+                // xtask: allow(alloc): each push message owns its payload
+                objects: objects.clone(),
+            };
+            self.stats.control_messages += 1;
+            self.charge_wire(&msg);
+            self.engine.schedule_in(
+                self.cfg.network_delay,
+                Event::Deliver {
+                    to: peer,
+                    from: Some(id),
+                    msg,
+                },
+            );
+        }
+        self.store_targets = targets;
+        self.gossip_objects = objects;
     }
 
     /// Recomputes the durability gauges: an object is *alive* while any
@@ -1371,6 +1661,7 @@ impl System {
             Event::StoreGet => self.store_get(),
             Event::StoreRepair => self.store_repair(),
             Event::StoreReadDone { id } => self.finish_read(id),
+            Event::GossipRound => self.gossip_round(),
             Event::Maintain => {
                 let now = self.engine.now();
                 for i in 0..self.servers.len() {
@@ -1740,6 +2031,22 @@ impl System {
     }
 
     /// Interprets the effects a server emitted.
+    /// Deterministic wire-byte accounting (DESIGN.md §18): every message
+    /// crossing the network is charged its modeled size at send time —
+    /// before any loss draw, since a lost packet still spent its bytes.
+    /// Local hand-offs and substrate-synthesized feedback (`from = None`
+    /// deliveries) never touch a wire and are never charged.
+    fn charge_wire(&mut self, msg: &Message) {
+        let bytes = msg.wire_bytes();
+        self.stats.bytes_on_wire += bytes;
+        if matches!(
+            msg,
+            Message::GossipDigest { .. } | Message::GossipPush { .. } | Message::GossipReply { .. }
+        ) {
+            self.stats.gossip_bytes += bytes;
+        }
+    }
+
     fn dispatch(&mut self, from: ServerId) {
         let now = self.engine.now();
         let effects = std::mem::take(&mut self.out_buf);
@@ -1764,6 +2071,7 @@ impl System {
                         );
                         continue;
                     }
+                    self.charge_wire(&msg);
                     let mut delay = self.cfg.network_delay;
                     let loss_prob = self.cfg.faults.loss_prob;
                     let jitter = self.cfg.faults.jitter;
@@ -1862,6 +2170,63 @@ impl System {
                 } else {
                     self.stats.data_fetches_failed += 1;
                 }
+            }
+            ProtocolEvent::GossipSolicited { at, from, digest } => {
+                // Object arm of a digest exchange (DESIGN.md §18): from
+                // the copies `at` holds, select the versions the digest
+                // shows the gossiper missing or holding older —
+                // restricted to objects whose replica set includes the
+                // gossiper, bounded by `gossip.window` — and pull them
+                // back with a reply. A second exchange at the same state
+                // selects nothing: the round is idempotent.
+                let window = self.cfg.gossip.window as usize;
+                let mut targets = std::mem::take(&mut self.store_targets);
+                let mut out = std::mem::take(&mut self.gossip_objects);
+                let mut key_buf = std::mem::take(&mut self.gossip_key_buf);
+                out.clear();
+                if let Some(server) = self.servers.get(at.index()) {
+                    let ns = &self.ns;
+                    let assignment = &self.assignment;
+                    let storage_cfg = &self.cfg.storage;
+                    crate::gossip::select_pull(
+                        ns,
+                        &digest,
+                        server.stored_objects(),
+                        |node| {
+                            crate::storage::replica_targets(
+                                node,
+                                ns,
+                                assignment,
+                                storage_cfg,
+                                &mut targets,
+                            );
+                            targets.contains(&from)
+                        },
+                        window,
+                        &mut key_buf,
+                        &mut out,
+                    );
+                }
+                if !out.is_empty() {
+                    let msg = Message::GossipReply {
+                        from: at,
+                        // xtask: allow(alloc): each reply owns its payload
+                        objects: out.clone(),
+                    };
+                    self.stats.control_messages += 1;
+                    self.charge_wire(&msg);
+                    self.engine.schedule_in(
+                        self.cfg.network_delay,
+                        Event::Deliver {
+                            to: from,
+                            from: Some(at),
+                            msg,
+                        },
+                    );
+                }
+                self.store_targets = targets;
+                self.gossip_objects = out;
+                self.gossip_key_buf = key_buf;
             }
             ProtocolEvent::StorageReadReply { id, obj } => {
                 let closed = match self.reads.get_mut(&id) {
@@ -2271,6 +2636,99 @@ mod tests {
             format!("{:?}", sys.stats())
         };
         assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn gossip_disabled_touches_nothing() {
+        let mut sys = small_system(|_| {});
+        sys.run_until(10.0);
+        let st = sys.stats();
+        // Query traffic is on the wire books, but not one gossip byte —
+        // the round never arms, no gossip message ever exists.
+        assert!(st.bytes_on_wire > 0, "queries must be charged");
+        assert_eq!(st.gossip_bytes, 0, "gossip-off run charged gossip bytes");
+    }
+
+    #[test]
+    fn gossip_replays_bitwise() {
+        let run = |culture: GossipCulture| {
+            let mut sys = small_system(|c| {
+                c.gossip.enabled = true;
+                c.gossip.culture = culture;
+                c.gossip.interval = 0.5;
+                c.storage.enabled = true;
+                c.churn.enabled = true;
+                c.churn.mean_uptime = 4.0;
+                c.churn.mean_downtime = 2.0;
+                c.churn.stop = 10.0;
+            });
+            sys.run_until(12.0);
+            format!("{:?}", sys.stats())
+        };
+        for culture in [
+            GossipCulture::Chatty,
+            GossipCulture::Taciturn,
+            GossipCulture::Hybrid,
+        ] {
+            assert_eq!(run(culture), run(culture), "replay diverged: {culture:?}");
+        }
+    }
+
+    #[test]
+    fn gossip_cultures_exchange_bytes_and_audit_clean() {
+        for culture in [
+            GossipCulture::Chatty,
+            GossipCulture::Taciturn,
+            GossipCulture::Hybrid,
+        ] {
+            let mut sys = small_system(|c| {
+                c.gossip.enabled = true;
+                c.gossip.culture = culture;
+                c.gossip.interval = 0.5;
+                c.storage.enabled = true;
+            });
+            sys.run_until(10.0);
+            let st = sys.stats();
+            assert!(st.gossip_bytes > 0, "{culture:?} exchanged no bytes");
+            assert!(
+                st.gossip_bytes <= st.bytes_on_wire,
+                "{culture:?} gossip bytes exceed the wire total"
+            );
+            assert!(sys.audit().is_empty(), "{culture:?}: {:?}", sys.audit());
+        }
+    }
+
+    #[test]
+    fn gossip_digests_repair_objects_without_the_sweep() {
+        // Crash+recover wipes server 1's object store. With the rotating
+        // repair sweep off, only the digest exchange can restore its
+        // copies: the rejoined server's fresh snapshot digest disclaims
+        // every object key, so peers pull-reply the versions it is a
+        // member of.
+        let mut sys = small_system(|c| {
+            c.storage.enabled = true;
+            c.repair.enabled = false;
+            c.gossip.enabled = true;
+            c.gossip.culture = GossipCulture::Taciturn;
+            c.gossip.interval = 0.5;
+        });
+        sys.run_until(2.0);
+        sys.fail_server(ServerId(1));
+        sys.recover_server(ServerId(1));
+        let wiped = sys
+            .servers()
+            .get(1)
+            .map_or(usize::MAX, crate::server::ServerState::stored_object_count);
+        assert_eq!(wiped, 0, "recovery must wipe the store");
+        sys.run_until(12.0);
+        let st = sys.stats();
+        assert_eq!(st.repair_pushes, 0, "sweep must stay off");
+        assert!(st.gossip_bytes > 0, "digest rounds must run");
+        let restored = sys
+            .servers()
+            .get(1)
+            .map_or(0, crate::server::ServerState::stored_object_count);
+        assert!(restored > 0, "digest-driven repair restored nothing");
     }
 
     #[test]

@@ -36,6 +36,7 @@ pub const CONFIG_STRUCTS: &[&str] = &[
     "ReconcileConfig",
     "StorageConfig",
     "RepairConfig",
+    "GossipConfig",
 ];
 
 /// Runs the dead-config pass over one struct.

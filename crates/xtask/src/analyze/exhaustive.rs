@@ -49,6 +49,13 @@ pub const ENUM_RULES: &[EnumRule] = &[
               the accounting identity",
     },
     EnumRule {
+        name: "GossipCulture",
+        def_file: "crates/terradir/src/config.rs",
+        use_files: &["crates/terradir/src/system.rs"],
+        why: "a gossip culture the round driver never matches gossips \
+              nothing and the frontier lies",
+    },
+    EnumRule {
         name: "ChaosAction",
         def_file: "crates/terradir/src/config.rs",
         use_files: &["crates/terradir/src/system.rs"],
