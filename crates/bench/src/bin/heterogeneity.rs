@@ -23,7 +23,7 @@
 //! fixed bottlenecks.
 
 use terradir::{Config, System};
-use terradir_bench::{pct, tsv_header, Args, ShapeChecks};
+use terradir_bench::{pct, tsv_header, write_bench_json, Args, JsonObj, ShapeChecks};
 use terradir_workload::StreamPlan;
 
 fn main() {
@@ -43,8 +43,10 @@ fn main() {
         "bc_max_load",
     ]);
     let mut rows = Vec::new();
+    let mut arms_json = JsonObj::new();
     for &spread in &spreads {
         let mut result = Vec::new();
+        let mut spread_json = JsonObj::new();
         for replication in [true, false] {
             let mut cfg = if replication {
                 Config::paper_default(scale.servers)
@@ -66,6 +68,13 @@ fn main() {
             let max_mean = st.load_max_per_sec[half..].iter().sum::<f64>()
                 / (st.load_max_per_sec.len() - half).max(1) as f64;
             result.push((st.drop_fraction(), max_mean));
+            spread_json = spread_json.obj(
+                if replication { "bcr" } else { "bc" },
+                JsonObj::new()
+                    .num("drop_fraction", st.drop_fraction())
+                    .num("max_load_mean", max_mean)
+                    .raw("summary", &st.summary().to_json()),
+            );
             eprint!(".");
         }
         println!(
@@ -73,6 +82,7 @@ fn main() {
             result[0].0, result[1].0, result[0].1, result[1].1
         );
         rows.push((spread, result[0].0, result[1].0));
+        arms_json = arms_json.obj(&format!("spread_{spread}x"), spread_json);
     }
     eprintln!();
 
@@ -90,5 +100,12 @@ fn main() {
             format!("BCR {} vs BC {}", pct(bcr), pct(bc)),
         );
     }
+    let json = JsonObj::new()
+        .str("bench", "heterogeneity")
+        .int("servers", u64::from(scale.servers))
+        .int("seed", args.seed)
+        .arr("spreads", &spreads)
+        .obj("arms", arms_json);
+    write_bench_json("heterogeneity", &json);
     std::process::exit(i32::from(!checks.finish()));
 }

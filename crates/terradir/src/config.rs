@@ -131,6 +131,13 @@ pub struct Config {
     /// namespace-neighbor peers that repair both routing soft state and
     /// stored objects between the event-driven triggers (DESIGN.md §18).
     pub gossip: GossipConfig,
+    /// Heterogeneous fleet roles: relay/edge/keeper server classes with
+    /// admission-region placement enforcement and keeper pinning
+    /// (DESIGN.md §19).
+    pub roles: RoleConfig,
+    /// Multi-tenant namespace partition with per-tenant arrival shares,
+    /// popularity laws, and availability SLOs (DESIGN.md §19).
+    pub tenants: TenantConfig,
     /// Graceful degradation: when a request queue is full, shed the
     /// deepest-TTL queued query in favor of the arrival instead of
     /// FIFO-dropping the arrival (DESIGN.md §13). Control traffic is
@@ -481,6 +488,127 @@ impl Default for GossipConfig {
     }
 }
 
+/// The capacity/placement class of a server in a heterogeneous fleet
+/// (DESIGN.md §19). Classes are assigned deterministically from server
+/// ids by [`RoleConfig`]; the class governs which subtrees a server may
+/// accept replicas and stored objects for, its queue depth, and its
+/// service rate.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ServerClass {
+    /// Backbone server: accepts replicas/objects for *any* subtree and
+    /// runs with `relay_queue_factor ×` queue depth and
+    /// `relay_speed_factor ×` service rate.
+    Relay,
+    /// Leaf server: accepts replicas/objects only for admission regions
+    /// on its allowlist (by default, the regions containing nodes it
+    /// owns).
+    Edge,
+    /// An edge that additionally *pins* the replicas of its admitted
+    /// regions: pinned records are exempt from lease expiry, idle
+    /// eviction, and capacity displacement.
+    Keeper,
+}
+
+/// Heterogeneous fleet roles (DESIGN.md §19): splits the namespace into
+/// admission regions rooted at depth `region_depth` and the fleet into
+/// [`ServerClass`]es by server id. Every placement decision — replication
+/// partner ranking, storage `replica_targets`, gossip candidate pools,
+/// and reconcile push targets — consults the role map; violations are
+/// caught by `invariants::check_role_placement`. The default is inert:
+/// `enabled = false` builds no role map, changes no behavior, and
+/// consumes zero RNG draws, so a disabled run is bitwise-identical to a
+/// build without the subsystem.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RoleConfig {
+    /// Master switch for the role subsystem.
+    pub enabled: bool,
+    /// Server `s` is a relay when `relay_every > 0` and
+    /// `s % relay_every == 0`. `0` means a fleet with zero relays.
+    pub relay_every: u32,
+    /// Among non-relay servers, `s` is a keeper when `keeper_every > 0`
+    /// and `s % keeper_every == 0`; otherwise it is a plain edge. `0`
+    /// means no keepers.
+    pub keeper_every: u32,
+    /// Relay queue depth relative to `queue_capacity` (≥ 1).
+    pub relay_queue_factor: f64,
+    /// Relay service-rate multiplier applied on top of the (possibly
+    /// heterogeneous) static speed (≥ 1). Deterministic scaling — no
+    /// extra RNG draws.
+    pub relay_speed_factor: f64,
+    /// Namespace depth of admission-region roots: every node at this
+    /// depth roots a region covering its subtree; shallower nodes form
+    /// the spine, which every server admits.
+    pub region_depth: u16,
+    /// Explicit admissions: `(server, region_root_node)` pairs grant the
+    /// named edge/keeper admission to the named region *in addition to*
+    /// its owned-derived allowlist (pairs naming non-region-root nodes
+    /// are ignored at role-map build time).
+    pub edge_allow: Vec<(u32, u32)>,
+    /// When `false`, edges and keepers do *not* derive admission from
+    /// the regions containing their owned nodes — only `edge_allow`
+    /// grants admission. The all-edge/empty-allowlist degenerate fleet.
+    pub owned_admission: bool,
+}
+
+impl Default for RoleConfig {
+    fn default() -> RoleConfig {
+        RoleConfig {
+            enabled: false,
+            relay_every: 4,
+            keeper_every: 2,
+            relay_queue_factor: 4.0,
+            relay_speed_factor: 2.0,
+            region_depth: 1,
+            edge_allow: Vec::new(),
+            owned_admission: true,
+        }
+    }
+}
+
+/// One tenant of a multi-tenant namespace (DESIGN.md §19).
+#[derive(Debug, Clone, PartialEq)]
+pub struct TenantSpec {
+    /// Relative share of the global arrival rate routed to this tenant
+    /// (normalized over all tenants; must be positive).
+    pub weight: f64,
+    /// Zipf exponent of the tenant's within-subtree popularity law;
+    /// `0` draws destinations uniformly over the tenant's nodes.
+    pub zipf_theta: f64,
+    /// Availability SLO: the tenant's resolved/injected fraction the
+    /// operator promises, reported against in `Summary::to_json`.
+    pub slo_availability: f64,
+}
+
+/// Multi-tenant namespace partition (DESIGN.md §19): the nodes at depth
+/// `cut_depth` are dealt round-robin (by node id) to tenants, each
+/// tenant owning the disjoint union of its subtrees; shallower spine
+/// nodes belong to no tenant. With tenants enabled the query stream
+/// draws a tenant by weight, then a destination inside that tenant from
+/// its own popularity law; per-tenant availability, latency, drops, and
+/// staleness are reported in `RunStats`/`Summary::to_json`. The default
+/// is inert: `enabled = false` changes neither the workload nor the RNG
+/// draw sequence.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TenantConfig {
+    /// Master switch for the tenant partition.
+    pub enabled: bool,
+    /// Namespace depth whose nodes seed the round-robin deal of
+    /// subtrees to tenants.
+    pub cut_depth: u16,
+    /// The tenants (must be non-empty when enabled).
+    pub specs: Vec<TenantSpec>,
+}
+
+impl Default for TenantConfig {
+    fn default() -> TenantConfig {
+        TenantConfig {
+            enabled: false,
+            cut_depth: 1,
+            specs: Vec::new(),
+        }
+    }
+}
+
 /// A timed chaos script (DESIGN.md §13): actions fire from the event
 /// calendar at their scheduled times, under the run's single fault-RNG
 /// stream, so every scenario replays bit-identically from a seed. The
@@ -538,6 +666,19 @@ pub enum ChaosAction {
     },
     /// Recover every currently failed server (cold rejoin).
     Recover,
+    /// Instantaneously crash every live server of the named class — the
+    /// cross-class failure wave (DESIGN.md §19). Deterministic target
+    /// set, zero RNG draws. Requires `roles.enabled`.
+    ClassCrash {
+        /// The class whose live members all crash.
+        class: ServerClass,
+    },
+    /// Recover every currently failed server of the named class (cold
+    /// rejoin). Requires `roles.enabled`.
+    ClassRecover {
+        /// The class whose failed members all recover.
+        class: ServerClass,
+    },
 }
 
 impl Config {
@@ -589,6 +730,8 @@ impl Config {
             storage: StorageConfig::default(),
             repair: RepairConfig::default(),
             gossip: GossipConfig::default(),
+            roles: RoleConfig::default(),
+            tenants: TenantConfig::default(),
             shedding: false,
             seed: 0,
         }
@@ -634,6 +777,16 @@ impl Config {
     /// `Misroute` NACK (rides on the lease subsystem).
     pub fn misroute_active(&self) -> bool {
         self.leases.enabled && self.leases.misroute
+    }
+
+    /// Whether the heterogeneous role subsystem is active.
+    pub fn roles_active(&self) -> bool {
+        self.roles.enabled
+    }
+
+    /// Whether the multi-tenant namespace partition is active.
+    pub fn tenants_active(&self) -> bool {
+        self.tenants.enabled && !self.tenants.specs.is_empty()
     }
 
     /// Validates internal consistency; returns a description of the first
@@ -779,6 +932,41 @@ impl Config {
                 return Err("gossip.window must be at least 1".into());
             }
         }
+        if self.roles.enabled {
+            if !self.roles.relay_queue_factor.is_finite() || self.roles.relay_queue_factor < 1.0 {
+                return Err("roles.relay_queue_factor must be finite and ≥ 1".into());
+            }
+            if !self.roles.relay_speed_factor.is_finite() || self.roles.relay_speed_factor < 1.0 {
+                return Err("roles.relay_speed_factor must be finite and ≥ 1".into());
+            }
+            if let Some((s, _)) = self
+                .roles
+                .edge_allow
+                .iter()
+                .find(|&&(s, _)| s >= self.n_servers)
+            {
+                return Err(format!(
+                    "roles.edge_allow names server {s} but n_servers is {}",
+                    self.n_servers
+                ));
+            }
+        }
+        if self.tenants.enabled {
+            if self.tenants.specs.is_empty() {
+                return Err("tenants.enabled requires at least one tenant spec".into());
+            }
+            for (i, t) in self.tenants.specs.iter().enumerate() {
+                if !t.weight.is_finite() || t.weight <= 0.0 {
+                    return Err(format!("tenant {i} weight must be finite and positive"));
+                }
+                if !t.zipf_theta.is_finite() || t.zipf_theta < 0.0 {
+                    return Err(format!("tenant {i} zipf_theta must be finite and ≥ 0"));
+                }
+                if t.slo_availability.is_nan() || !(0.0..=1.0).contains(&t.slo_availability) {
+                    return Err(format!("tenant {i} slo_availability must be in [0, 1]"));
+                }
+            }
+        }
         for ev in &self.scenario.events {
             if !ev.at.is_finite() || ev.at < 0.0 {
                 return Err("scenario event time must be finite and non-negative".into());
@@ -804,6 +992,11 @@ impl Config {
                 ChaosAction::CorrelatedCrash { fraction } => {
                     if fraction.is_nan() || !(0.0..=1.0).contains(fraction) {
                         return Err("correlated-crash fraction must be in [0, 1]".into());
+                    }
+                }
+                ChaosAction::ClassCrash { .. } | ChaosAction::ClassRecover { .. } => {
+                    if !self.roles.enabled {
+                        return Err("class-wave chaos actions require roles.enabled".into());
                     }
                 }
                 ChaosAction::Heal | ChaosAction::Recover => {}
@@ -1166,6 +1359,84 @@ mod tests {
             c.gossip.culture = culture;
             assert_eq!(c.validate(), Ok(()));
         }
+    }
+
+    #[test]
+    fn role_and_tenant_defaults_are_inert_and_valid() {
+        let c = Config::paper_default(4);
+        assert_eq!(c.roles, RoleConfig::default());
+        assert!(!c.roles.enabled);
+        assert!(!c.roles_active());
+        assert_eq!(c.tenants, TenantConfig::default());
+        assert!(!c.tenants.enabled);
+        assert!(!c.tenants_active());
+        assert_eq!(c.validate(), Ok(()));
+    }
+
+    #[test]
+    fn validate_catches_bad_role_and_tenant_values() {
+        let mut c = Config::paper_default(4);
+        c.roles.enabled = true;
+        assert_eq!(c.validate(), Ok(()));
+        c.roles.relay_queue_factor = 0.5;
+        assert!(c.validate().is_err());
+        c.roles.relay_queue_factor = 4.0;
+        c.roles.relay_speed_factor = f64::NAN;
+        assert!(c.validate().is_err());
+        c.roles.relay_speed_factor = 2.0;
+        c.roles.edge_allow.push((9, 0));
+        assert!(c.validate().is_err(), "edge_allow server beyond fleet");
+        c.roles.edge_allow.clear();
+        c.roles.edge_allow.push((3, 1));
+        assert_eq!(c.validate(), Ok(()));
+        // A zero-relay, zero-keeper (all-edge) fleet is legal.
+        c.roles.relay_every = 0;
+        c.roles.keeper_every = 0;
+        assert_eq!(c.validate(), Ok(()));
+        // Bounds are only enforced when the subsystem is enabled.
+        let mut c = Config::paper_default(4);
+        c.roles.relay_queue_factor = 0.0;
+        assert_eq!(c.validate(), Ok(()));
+
+        let mut c = Config::paper_default(4);
+        c.tenants.enabled = true;
+        assert!(c.validate().is_err(), "enabled tenants need specs");
+        c.tenants.specs.push(TenantSpec {
+            weight: 1.0,
+            zipf_theta: 0.0,
+            slo_availability: 0.99,
+        });
+        assert_eq!(c.validate(), Ok(()));
+        assert!(c.tenants_active());
+        c.tenants.specs[0].weight = 0.0;
+        assert!(c.validate().is_err());
+        c.tenants.specs[0].weight = 1.0;
+        c.tenants.specs[0].zipf_theta = -1.0;
+        assert!(c.validate().is_err());
+        c.tenants.specs[0].zipf_theta = 1.25;
+        c.tenants.specs[0].slo_availability = 1.5;
+        assert!(c.validate().is_err());
+    }
+
+    #[test]
+    fn class_wave_scenarios_require_roles() {
+        let mut c = Config::paper_default(4);
+        c.scenario.events.push(ScenarioEvent {
+            at: 1.0,
+            action: ChaosAction::ClassCrash {
+                class: ServerClass::Relay,
+            },
+        });
+        assert!(c.validate().is_err(), "class wave without roles");
+        c.roles.enabled = true;
+        assert_eq!(c.validate(), Ok(()));
+        c.scenario.events.push(ScenarioEvent {
+            at: 2.0,
+            action: ChaosAction::ClassRecover {
+                class: ServerClass::Relay,
+            },
+        });
+        assert_eq!(c.validate(), Ok(()));
     }
 
     #[test]

@@ -398,6 +398,7 @@ pub fn check_storage_soundness(
     ns: &Namespace,
     assignment: &terradir_namespace::OwnerAssignment,
     storage: &crate::config::StorageConfig,
+    roles: Option<&crate::roles::RoleMap>,
     committed: &[u64],
     server: &ServerState,
 ) -> Vec<String> {
@@ -413,7 +414,7 @@ pub fn check_storage_soundness(
             ));
             continue;
         };
-        crate::storage::replica_targets(node, ns, assignment, storage, &mut targets);
+        crate::storage::replica_targets(node, ns, assignment, storage, roles, &mut targets);
         if !targets.contains(&server.id) {
             v.push(format!(
                 "server {}: holds a copy for node {} but is not in its replica set {targets:?}",
@@ -440,6 +441,7 @@ pub fn check_storage_replica_counts(
     ns: &Namespace,
     assignment: &terradir_namespace::OwnerAssignment,
     storage: &crate::config::StorageConfig,
+    roles: Option<&crate::roles::RoleMap>,
     n_objects: usize,
     servers: &[ServerState],
 ) -> Vec<String> {
@@ -447,7 +449,7 @@ pub fn check_storage_replica_counts(
     let mut targets = Vec::new();
     for o in 0..n_objects {
         let node = terradir_namespace::NodeId(o as u32);
-        crate::storage::replica_targets(node, ns, assignment, storage, &mut targets);
+        crate::storage::replica_targets(node, ns, assignment, storage, roles, &mut targets);
         let copies = servers
             .iter()
             .filter(|s| s.stored_object(node).is_some())
@@ -456,6 +458,37 @@ pub fn check_storage_replica_counts(
             v.push(format!(
                 "object {o}: {copies} copies exceed the replica set size {}",
                 targets.len()
+            ));
+        }
+    }
+    v
+}
+
+/// Role-placement soundness (DESIGN.md §19): a server must never hold
+/// soft state outside its admitted regions — every *replica* record and
+/// every stored-object copy for a non-owned node must sit in a region
+/// the role map admits the server to. Owned records (and owned-node
+/// object copies) are exempt: ownership is authoritative regardless of
+/// class. Placement decisions all consult the same map, so a violation
+/// here means some path installed state without asking it.
+pub fn check_role_placement(roles: &crate::roles::RoleMap, server: &ServerState) -> Vec<String> {
+    let mut v = Vec::new();
+    for n in server.replicas.keys() {
+        if !roles.admits(server.id, *n) {
+            v.push(format!(
+                "server {}: holds a replica for node {} outside its admitted regions",
+                server.id.0, n.0
+            ));
+        }
+    }
+    for (n, _) in server.stored_objects() {
+        if server.owned.contains_key(&n) {
+            continue;
+        }
+        if !roles.admits(server.id, n) {
+            v.push(format!(
+                "server {}: holds an object copy for node {} outside its admitted regions",
+                server.id.0, n.0
             ));
         }
     }
@@ -694,6 +727,62 @@ mod tests {
         // Retry off: the table must stay empty.
         assert!(check_pending_hygiene(false, 10, 6, 3, 0).is_empty());
         assert_eq!(check_pending_hygiene(false, 10, 6, 3, 1).len(), 1);
+    }
+
+    #[test]
+    fn role_placement_violations_are_caught() {
+        use crate::config::RoleConfig;
+        use crate::roles::RoleMap;
+        let (ns, mut s) = fixture();
+        let asg = OwnerAssignment::round_robin(&ns, 4);
+        // All-edge fleet, no owned-derived admission: nothing below the
+        // spine is admitted anywhere.
+        let roles_cfg = RoleConfig {
+            enabled: true,
+            relay_every: 0,
+            keeper_every: 0,
+            owned_admission: false,
+            ..RoleConfig::default()
+        };
+        let map = RoleMap::build(&ns, &asg, &roles_cfg, 4);
+        assert!(check_role_placement(&map, &s).is_empty());
+        // A replica planted in a non-admitted region is flagged …
+        let bad = ns
+            .ids()
+            .find(|&n| !s.hosts(n) && !map.admits(s.id, n))
+            .unwrap();
+        s.replicas.insert(
+            bad,
+            NodeRecord::new(bad, NodeMap::singleton(ServerId(1)), Meta::new(), 0.0),
+        );
+        s.digest_dirty = true;
+        let v = check_role_placement(&map, &s);
+        assert_eq!(v.len(), 1, "{v:?}");
+        assert!(v[0].contains("replica"), "{v:?}");
+        s.replicas.remove(&bad);
+        // … and so is a stored-object copy for a non-owned node.
+        s.merge_object(
+            bad,
+            crate::storage::StoredObject {
+                version: 1,
+                writer: ServerId(1),
+                payload: 0,
+            },
+        );
+        let v = check_role_placement(&map, &s);
+        assert_eq!(v.len(), 1, "{v:?}");
+        assert!(v[0].contains("object copy"), "{v:?}");
+        // An owned-node copy is exempt: ownership is authoritative.
+        let own = s.owned_ids().next().unwrap();
+        s.merge_object(
+            own,
+            crate::storage::StoredObject {
+                version: 1,
+                writer: ServerId(0),
+                payload: 0,
+            },
+        );
+        assert_eq!(check_role_placement(&map, &s).len(), 1);
     }
 
     #[test]

@@ -67,6 +67,7 @@ pub mod oracle;
 pub mod ranking;
 pub mod records;
 pub mod replication;
+pub mod roles;
 pub mod routing;
 pub mod server;
 pub mod stats;
@@ -76,13 +77,14 @@ pub mod system;
 pub use cache::RouteCache;
 pub use config::{
     ChaosAction, ChurnConfig, Config, CutWindow, FaultConfig, GossipConfig, GossipCulture,
-    LeaseConfig, PartitionConfig, ReconcileConfig, RepairConfig, RetryConfig, ScenarioConfig,
-    ScenarioEvent, StorageConfig,
+    LeaseConfig, PartitionConfig, ReconcileConfig, RepairConfig, RetryConfig, RoleConfig,
+    ScenarioConfig, ScenarioEvent, ServerClass, StorageConfig, TenantConfig, TenantSpec,
 };
 pub use map::NodeMap;
 pub use messages::{Message, QueryPacket};
 pub use meta::Meta;
 pub use records::NodeRecord;
+pub use roles::{RoleMap, TenantMap};
 pub use server::{Outgoing, ProtocolEvent, ServerState};
 pub use stats::{RunStats, Summary};
 pub use storage::{lww_merge, replica_targets, StoredObject};

@@ -67,17 +67,28 @@ impl KnownLoads {
     }
 
     /// The known server with minimum fresh load, excluding `exclude`.
-    /// Deterministic: ties break by server id.
+    /// Deterministic: an exact load tie breaks by *higher static speed*
+    /// (`speeds`, indexed by server id; missing entries count as 1.0 so
+    /// a homogeneous fleet — `speed_spread == 1.0` or an empty table —
+    /// degrades to the old id tie-break with identical results), then
+    /// by server id. Draws no randomness either way.
     pub(crate) fn best_candidate(
         &self,
         now: f64,
         stale_after: f64,
         exclude: &[ServerId],
+        speeds: &[f64],
     ) -> Option<ServerId> {
+        let speed = |s: ServerId| speeds.get(s.0 as usize).copied().unwrap_or(1.0);
         self.entries
             .iter()
             .filter(|(s, (_, at))| now - at <= stale_after && !exclude.contains(s))
-            .min_by(|a, b| a.1 .0.total_cmp(&b.1 .0).then(a.0.cmp(b.0)))
+            .min_by(|a, b| {
+                a.1 .0
+                    .total_cmp(&b.1 .0)
+                    .then(speed(*b.0).total_cmp(&speed(*a.0)))
+                    .then(a.0.cmp(b.0))
+            })
             .map(|(&s, _)| s)
     }
 
@@ -194,10 +205,27 @@ impl ServerState {
         // random fallback can hand a fresh session straight to a host the
         // negative cache just evicted.
         exclude.extend(self.negative.keys().copied());
-        if let Some(s) = self
-            .known_loads
-            .best_candidate(now, self.cfg.load_stale_after, &exclude)
-        {
+        // Role-aware partner ranking (DESIGN.md §19): an edge or keeper
+        // that does not admit our home region could never install what we
+        // would ship, so it is excluded up front — covering both the
+        // profiled ranking and the random fallback. Gated on the role map
+        // handle so the roles-off path is byte-identical.
+        if let Some(roles) = self.role_map() {
+            if let Some(home) = self.home_node() {
+                for s in 0..self.cfg.n_servers {
+                    let sid = ServerId(s);
+                    if sid != self.id && !roles.admits(sid, home) && !exclude.contains(&sid) {
+                        exclude.push(sid);
+                    }
+                }
+            }
+        }
+        if let Some(s) = self.known_loads.best_candidate(
+            now,
+            self.cfg.load_stale_after,
+            &exclude,
+            self.static_speeds(),
+        ) {
             let ls = self.load.effective(now);
             let known = self
                 .known_loads
@@ -399,6 +427,12 @@ impl ServerState {
                 self.absorb_mapping(p.node, &p.map, now, rng);
                 continue;
             }
+            // Receiver-side role admission (DESIGN.md §19): an edge or
+            // keeper never installs a replica for a region it does not
+            // admit, no matter what the sender believed.
+            if !self.admits_node(p.node) {
+                continue;
+            }
             if let Some(rec) = self.replicas.get_mut(&p.node) {
                 rec.absorb_meta(&p.meta);
                 // A re-shipped payload is fresh evidence: renew the lease.
@@ -417,10 +451,12 @@ impl ServerState {
             // churns soft state and staleness).
             while self.replicas.len() >= cap {
                 let victim = {
+                    // Keeper-pinned replicas (our owned region's soft
+                    // state) are never displacement victims (§19).
                     let mut candidates: Vec<(f64, NodeId)> = self
                         .replicas
                         .keys()
-                        .filter(|n| !installed.contains(*n))
+                        .filter(|n| !installed.contains(*n) && !self.pins_node(**n))
                         .map(|&n| (self.weights.value(n, now), n))
                         .collect();
                     candidates.sort_by(|a, b| a.0.total_cmp(&b.0).then(a.1.cmp(&b.1)));
@@ -578,17 +614,35 @@ mod tests {
         let mut k = KnownLoads::new(2);
         k.observe(ServerId(1), 0.9, 0.0);
         k.observe(ServerId(2), 0.1, 0.0);
-        assert_eq!(k.best_candidate(0.0, 5.0, &[]), Some(ServerId(2)));
+        assert_eq!(k.best_candidate(0.0, 5.0, &[], &[]), Some(ServerId(2)));
         assert_eq!(
-            k.best_candidate(0.0, 5.0, &[ServerId(2)]),
+            k.best_candidate(0.0, 5.0, &[ServerId(2)], &[]),
             Some(ServerId(1))
         );
         // Stale entries are ignored.
-        assert_eq!(k.best_candidate(100.0, 5.0, &[]), None);
+        assert_eq!(k.best_candidate(100.0, 5.0, &[], &[]), None);
         // Bound: inserting a third evicts the oldest.
         k.observe(ServerId(3), 0.5, 1.0);
         assert_eq!(k.len(), 2);
         assert!(k.get_fresh(ServerId(3), 1.0, 5.0).is_some());
+    }
+
+    #[test]
+    fn best_candidate_load_tie_breaks_by_speed_then_id() {
+        let mut k = KnownLoads::new(4);
+        k.observe(ServerId(1), 0.2, 0.0);
+        k.observe(ServerId(2), 0.2, 0.0);
+        k.observe(ServerId(3), 0.2, 0.0);
+        // Homogeneous speeds (or none at all): lowest id wins the tie.
+        assert_eq!(k.best_candidate(0.0, 5.0, &[], &[]), Some(ServerId(1)));
+        let flat = [1.0, 1.0, 1.0, 1.0];
+        assert_eq!(k.best_candidate(0.0, 5.0, &[], &flat), Some(ServerId(1)));
+        // Heterogeneous: the fastest of the tied candidates wins.
+        let speeds = [1.0, 1.0, 2.5, 2.5];
+        assert_eq!(k.best_candidate(0.0, 5.0, &[], &speeds), Some(ServerId(2)));
+        // A strictly lower load still beats a faster server.
+        k.observe(ServerId(1), 0.05, 0.0);
+        assert_eq!(k.best_candidate(0.0, 5.0, &[], &speeds), Some(ServerId(1)));
     }
 
     #[test]
@@ -801,6 +855,135 @@ mod tests {
         assert!(out
             .iter()
             .any(|o| matches!(o, Outgoing::Event(ProtocolEvent::ReplicaDeleted { node, .. }) if *node == lowest)));
+    }
+
+    #[test]
+    fn edges_refuse_foreign_region_payloads() {
+        use crate::config::RoleConfig;
+        use crate::roles::RoleMap;
+        let (ns, asg, mut servers) = world(4);
+        // Server 1 is an edge whose only grant is the second depth-1
+        // region; owned admission is off so everything else is foreign.
+        let roots: Vec<NodeId> = ns.children(ns.root()).to_vec();
+        let roles_cfg = RoleConfig {
+            enabled: true,
+            relay_every: 0,
+            keeper_every: 0,
+            owned_admission: false,
+            edge_allow: vec![(1, roots[1].0)],
+            ..RoleConfig::default()
+        };
+        let map = Arc::new(RoleMap::build(&ns, &asg, &roles_cfg, 4));
+        servers[1].set_role_map(Arc::clone(&map));
+        let mut rng = StdRng::seed_from_u64(7);
+        let mut out = Vec::new();
+        let payload = |node: NodeId| ReplicaPayload {
+            node,
+            map: crate::map::NodeMap::singleton(ServerId(0)),
+            meta: crate::meta::Meta::new(),
+            neighbors: vec![],
+            weight: 5.0,
+        };
+        let foreign = ns
+            .ids()
+            .find(|&n| ns.depth(n) >= 1 && !map.admits(ServerId(1), n) && !servers[1].hosts(n))
+            .unwrap();
+        let installed =
+            servers[1].install_replicas(1.0, vec![payload(foreign)], &mut rng, &mut out);
+        assert!(installed.is_empty(), "edge must refuse a foreign replica");
+        assert!(!servers[1].hosts(foreign));
+        // An admitted node from the granted region still installs.
+        let granted = ns
+            .ids()
+            .find(|&n| ns.depth(n) >= 1 && map.admits(ServerId(1), n) && !servers[1].hosts(n))
+            .unwrap();
+        let installed =
+            servers[1].install_replicas(1.0, vec![payload(granted)], &mut rng, &mut out);
+        assert_eq!(installed, vec![granted]);
+    }
+
+    #[test]
+    fn keeper_pinned_replicas_resist_displacement() {
+        use crate::config::RoleConfig;
+        use crate::roles::RoleMap;
+        let (ns, asg, mut servers) = world(4);
+        // Everyone is a keeper: server 1 pins (and admits) the regions
+        // holding its owned nodes.
+        let roles_cfg = RoleConfig {
+            enabled: true,
+            relay_every: 0,
+            keeper_every: 1,
+            ..RoleConfig::default()
+        };
+        let map = Arc::new(RoleMap::build(&ns, &asg, &roles_cfg, 4));
+        servers[1].set_role_map(Arc::clone(&map));
+        let mut rng = StdRng::seed_from_u64(9);
+        let now = 1.0;
+        let cap = servers[1].cfg.replica_cap(servers[1].owned_count());
+        let candidates: Vec<NodeId> = ns
+            .ids()
+            .filter(|&n| {
+                !servers[1].hosts(n) && map.admits(ServerId(1), n) && map.pins(ServerId(1), n)
+            })
+            .collect();
+        assert!(candidates.len() > cap, "fixture needs spare candidates");
+        let mut out = Vec::new();
+        for &n in candidates.iter().take(cap) {
+            let p = ReplicaPayload {
+                node: n,
+                map: crate::map::NodeMap::singleton(ServerId(0)),
+                meta: crate::meta::Meta::new(),
+                neighbors: vec![],
+                weight: 1.0,
+            };
+            let installed = servers[1].install_replicas(now, vec![p], &mut rng, &mut out);
+            assert_eq!(installed.len(), 1);
+        }
+        assert_eq!(servers[1].replica_count(), cap);
+        // A far hotter newcomer cannot displace a pinned victim.
+        let newcomer = candidates[cap];
+        let p = ReplicaPayload {
+            node: newcomer,
+            map: crate::map::NodeMap::singleton(ServerId(0)),
+            meta: crate::meta::Meta::new(),
+            neighbors: vec![],
+            weight: 1000.0,
+        };
+        out.clear();
+        let installed = servers[1].install_replicas(now, vec![p], &mut rng, &mut out);
+        assert!(
+            installed.is_empty(),
+            "pinned replicas must not be displaced"
+        );
+        assert_eq!(servers[1].replica_count(), cap);
+        for &n in candidates.iter().take(cap) {
+            assert!(servers[1].hosts(n), "pinned replica {n} survived");
+        }
+    }
+
+    #[test]
+    fn pick_partner_skips_non_admitting_servers() {
+        use crate::config::RoleConfig;
+        use crate::roles::RoleMap;
+        let (ns, asg, mut servers) = world(4);
+        // All-edge fleet with empty allowlists: nobody admits server 0's
+        // home region, so there is no partner at all — neither via the
+        // profiled ranking nor the random fallback.
+        let roles_cfg = RoleConfig {
+            enabled: true,
+            relay_every: 0,
+            keeper_every: 0,
+            owned_admission: false,
+            ..RoleConfig::default()
+        };
+        let map = Arc::new(RoleMap::build(&ns, &asg, &roles_cfg, 4));
+        servers[0].set_role_map(map);
+        let now = 1.0;
+        servers[0].known_loads.observe(ServerId(2), 0.0, now);
+        let mut rng = StdRng::seed_from_u64(8);
+        for _ in 0..8 {
+            assert_eq!(servers[0].pick_partner(now, &[], &mut rng), None);
+        }
     }
 
     #[test]

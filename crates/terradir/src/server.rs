@@ -68,12 +68,16 @@ pub enum ProtocolEvent {
     DroppedTtl {
         /// Query id.
         id: u64,
+        /// Lookup target (tenant attribution; DESIGN.md §19).
+        target: NodeId,
     },
     /// A query could not be routed (no usable candidate — should not occur
     /// with a connected namespace).
     DroppedStuck {
         /// Query id.
         id: u64,
+        /// Lookup target (tenant attribution; DESIGN.md §19).
+        target: NodeId,
     },
     /// A replica was installed at this server.
     ReplicaCreated {
@@ -223,6 +227,14 @@ pub struct ServerState {
     /// digest over hosted names and object-version keys, its change
     /// tracking, and per-peer delta bases. Inert while gossip is off.
     pub(crate) gossip: crate::gossip::GossipState,
+    /// Fleet role map handle (DESIGN.md §19): `None` while roles are
+    /// off, so every admission check short-circuits to "allowed" and
+    /// the roles-off path stays byte-identical.
+    pub(crate) roles: Option<Arc<crate::roles::RoleMap>>,
+    /// The substrate's static per-server speed table (empty when speed
+    /// heterogeneity is off). Used only for deterministic tie-breaking
+    /// in replication partner ranking — never consulted for timing.
+    pub(crate) speeds: Arc<[f64]>,
 }
 
 /// Client-side state of one in-progress data fetch.
@@ -296,9 +308,59 @@ impl ServerState {
             pending_fetches: DetHashMap::default(),
             negative: DetHashMap::default(),
             gossip: crate::gossip::GossipState::default(),
+            roles: None,
+            speeds: Arc::new([]),
             ns,
             cfg,
         }
+    }
+
+    /// Installs the fleet role map (built once by the substrate when
+    /// `Config::roles.enabled`; never installed otherwise).
+    pub fn set_role_map(&mut self, roles: Arc<crate::roles::RoleMap>) {
+        self.roles = Some(roles);
+    }
+
+    /// The installed role map, if roles are on.
+    pub(crate) fn role_map(&self) -> Option<&crate::roles::RoleMap> {
+        self.roles.as_deref()
+    }
+
+    /// Shares the substrate's static speed table (partner-ranking
+    /// tie-breaks under speed heterogeneity; DESIGN.md §16).
+    pub fn set_static_speeds(&mut self, speeds: Arc<[f64]>) {
+        self.speeds = speeds;
+    }
+
+    /// The shared static speed table (empty when heterogeneity is off).
+    pub(crate) fn static_speeds(&self) -> &[f64] {
+        &self.speeds
+    }
+
+    /// May this server hold soft state for `node`? Always true with
+    /// roles off (DESIGN.md §19).
+    pub(crate) fn admits_node(&self, node: NodeId) -> bool {
+        self.roles
+            .as_deref()
+            .is_none_or(|r| r.admits(self.id, node))
+    }
+
+    /// Is `node` pinned here (a keeper protecting its owned region
+    /// against lease expiry, idle eviction, and displacement)?
+    pub(crate) fn pins_node(&self, node: NodeId) -> bool {
+        self.roles.as_deref().is_some_and(|r| r.pins(self.id, node))
+    }
+
+    /// The representative owned node for role-aware partner ranking:
+    /// the lowest-id owned node below the spine. Spine nodes are
+    /// admitted by everyone, so they say nothing about our region.
+    pub(crate) fn home_node(&self) -> Option<NodeId> {
+        let roles = self.role_map()?;
+        self.owned
+            .keys()
+            .copied()
+            .filter(|&n| !roles.in_spine(n))
+            .min()
     }
 
     fn digest_capacity(cfg: &Config, owned: usize) -> usize {
@@ -555,6 +617,14 @@ impl ServerState {
     /// deliberately indistinguishable here — both are just evidence of
     /// the object's latest version.
     pub(crate) fn merge_object(&mut self, node: NodeId, obj: crate::storage::StoredObject) {
+        // Role admission (DESIGN.md §19): a non-owner never stores
+        // object copies for regions it does not admit. Writes, repair,
+        // and gossip pushes all funnel through here, so this one check
+        // covers every object receive path. Owners are authoritative
+        // and exempt.
+        if !self.owned.contains_key(&node) && !self.admits_node(node) {
+            return;
+        }
         let prev = self.store.get(&node).copied();
         let merged = match prev {
             Some(held) => crate::storage::lww_merge(held, obj),
@@ -869,7 +939,10 @@ impl ServerState {
                                 .collect::<Vec<_>>()
                         );
                     }
-                    out.push(Outgoing::Event(ProtocolEvent::DroppedTtl { id: p.id }));
+                    out.push(Outgoing::Event(ProtocolEvent::DroppedTtl {
+                        id: p.id,
+                        target: p.target,
+                    }));
                     return;
                 }
                 p.intended_via = Some(via);
@@ -888,7 +961,10 @@ impl ServerState {
                 });
             }
             RouteChoice::Stuck => {
-                out.push(Outgoing::Event(ProtocolEvent::DroppedStuck { id: p.id }));
+                out.push(Outgoing::Event(ProtocolEvent::DroppedStuck {
+                    id: p.id,
+                    target: p.target,
+                }));
             }
         }
     }
@@ -1124,7 +1200,8 @@ impl ServerState {
         let mut victims: Vec<NodeId> = self
             .replicas
             .values()
-            .filter(|r| now - r.lease_at > ttl)
+            // Keeper-pinned replicas are exempt from lease expiry (§19).
+            .filter(|r| now - r.lease_at > ttl && !self.pins_node(r.node))
             .map(|r| r.node)
             .collect(); // xtask: allow(alloc): periodic maintenance sweep, not per event
         victims.sort_unstable();
@@ -1168,6 +1245,8 @@ impl ServerState {
             .filter(|r| {
                 now - r.installed_at > cfg.evict_min_age
                     && self.weights.value(r.node, now) < cfg.evict_weight_threshold
+                    // Keeper-pinned replicas never idle out (§19).
+                    && !self.pins_node(r.node)
             })
             .map(|r| r.node)
             .collect(); // xtask: allow(alloc): periodic maintenance sweep, not per event

@@ -166,6 +166,23 @@ pub struct RunStats {
     /// The subset of `bytes_on_wire` spent by the anti-entropy gossip
     /// subsystem (digests at delta or full cost, pushes, pull replies).
     pub gossip_bytes: u64,
+    /// Per-tenant queries injected (DESIGN.md §19), indexed by tenant id.
+    /// Empty when tenants are off; spine-targeted queries (no tenant)
+    /// are uncounted.
+    pub tenant_injected: Vec<u64>,
+    /// Per-tenant queries resolved.
+    pub tenant_resolved: Vec<u64>,
+    /// Per-tenant final query drops (all kinds folded).
+    pub tenant_dropped: Vec<u64>,
+    /// Per-tenant sum of resolution latencies in seconds (divide by
+    /// `tenant_resolved` for the mean).
+    pub tenant_latency_sum: Vec<f64>,
+    /// Per-tenant resolutions that hit at least one stale pointer (the
+    /// tenant-facing staleness signal).
+    pub tenant_misrouted: Vec<u64>,
+    /// Per-tenant availability SLO targets, copied from the config so
+    /// reports carry their own pass/fail threshold.
+    pub tenant_slo: Vec<f64>,
     /// RNG draw ledger: total 64-bit draws per component tag, indexed by
     /// `terradir_workload::seed::tags` (slot 0 unused). Synced by the
     /// system after every `run_until`; equal ledgers across two replays of
@@ -268,10 +285,99 @@ impl RunStats {
             repair_pushes: 0,
             bytes_on_wire: 0,
             gossip_bytes: 0,
+            tenant_injected: Vec::new(),
+            tenant_resolved: Vec::new(),
+            tenant_dropped: Vec::new(),
+            tenant_latency_sum: Vec::new(),
+            tenant_misrouted: Vec::new(),
+            tenant_slo: Vec::new(),
             rng_draws: Vec::new(),
             alloc_events: 0,
             alloc_bytes: 0,
         }
+    }
+
+    /// Sizes the per-tenant series and installs the availability SLO
+    /// targets (DESIGN.md §19). Called once at construction when tenants
+    /// are active; with tenants off every per-tenant series stays empty.
+    pub fn init_tenants(&mut self, slos: impl Iterator<Item = f64>) {
+        self.tenant_slo = slos.collect();
+        let n = self.tenant_slo.len();
+        self.tenant_injected = vec![0; n];
+        self.tenant_resolved = vec![0; n];
+        self.tenant_dropped = vec![0; n];
+        self.tenant_latency_sum = vec![0.0; n];
+        self.tenant_misrouted = vec![0; n];
+    }
+
+    /// Records a query injection attributed to tenant `t`.
+    pub fn on_tenant_injected(&mut self, t: u16) {
+        if let Some(slot) = self.tenant_injected.get_mut(t as usize) {
+            *slot += 1;
+        }
+    }
+
+    /// Records a resolution attributed to tenant `t` with its latency and
+    /// whether the winning attempt hit a stale pointer.
+    pub fn on_tenant_resolved(&mut self, t: u16, latency: f64, misrouted: bool) {
+        if let Some(slot) = self.tenant_resolved.get_mut(t as usize) {
+            *slot += 1;
+        }
+        if let Some(slot) = self.tenant_latency_sum.get_mut(t as usize) {
+            *slot += latency.max(0.0);
+        }
+        if misrouted {
+            if let Some(slot) = self.tenant_misrouted.get_mut(t as usize) {
+                *slot += 1;
+            }
+        }
+    }
+
+    /// Records a final drop attributed to tenant `t`.
+    pub fn on_tenant_dropped(&mut self, t: u16) {
+        if let Some(slot) = self.tenant_dropped.get_mut(t as usize) {
+            *slot += 1;
+        }
+    }
+
+    /// Per-tenant whole-run availability: `resolved / injected`, capped
+    /// at 1; a tenant that saw no injections reads fully available.
+    pub fn tenant_availability(&self) -> Vec<f64> {
+        self.tenant_injected
+            .iter()
+            .zip(&self.tenant_resolved)
+            .map(|(&inj, &res)| {
+                if inj == 0 {
+                    1.0
+                } else {
+                    (res as f64 / inj as f64).min(1.0)
+                }
+            })
+            .collect()
+    }
+
+    /// Per-tenant mean resolution latency in seconds (0 when a tenant
+    /// resolved nothing).
+    pub fn tenant_latency_mean(&self) -> Vec<f64> {
+        self.tenant_latency_sum
+            .iter()
+            .zip(&self.tenant_resolved)
+            .map(|(&sum, &res)| if res == 0 { 0.0 } else { sum / res as f64 })
+            .collect()
+    }
+
+    /// Worst per-tenant availability (1.0 with no tenants configured).
+    pub fn tenant_worst_availability(&self) -> f64 {
+        self.tenant_availability().into_iter().fold(1.0, f64::min)
+    }
+
+    /// Tenants whose whole-run availability fell below their SLO target.
+    pub fn tenant_slo_misses(&self) -> u64 {
+        self.tenant_availability()
+            .iter()
+            .zip(&self.tenant_slo)
+            .filter(|(got, want)| *got < *want)
+            .count() as u64
     }
 
     /// Total dropped queries (queue + TTL + stuck + timeout + lost + shed
@@ -496,6 +602,12 @@ pub struct Summary {
     pub attempts_lost_partition: u64,
     /// Servers crashed by `CorrelatedCrash` scenario actions.
     pub scenario_crashes: u64,
+    /// Tenants configured (0 with tenants off).
+    pub tenant_count: u64,
+    /// Worst per-tenant whole-run availability (1.0 with no tenants).
+    pub tenant_worst_availability: f64,
+    /// Tenants whose availability fell below their SLO target.
+    pub tenant_slo_misses: u64,
     /// Total RNG draws across every tagged stream (ledger sum).
     pub rng_draws: u64,
     /// Allocator events charged to the run (0 without the alloc ledger).
@@ -533,7 +645,9 @@ impl Summary {
                 "\"attempts_lost_ttl\":{},\"attempts_lost_stuck\":{},",
                 "\"attempts_lost_dead\":{},\"attempts_lost_transport\":{},",
                 "\"attempts_lost_shed\":{},\"attempts_lost_partition\":{},",
-                "\"scenario_crashes\":{},\"rng_draws\":{},",
+                "\"scenario_crashes\":{},\"tenant_count\":{},",
+                "\"tenant_worst_availability\":{:.6},\"tenant_slo_misses\":{},",
+                "\"rng_draws\":{},",
                 "\"alloc_events\":{},\"alloc_bytes\":{}}}"
             ),
             self.injected,
@@ -584,6 +698,9 @@ impl Summary {
             self.attempts_lost_shed,
             self.attempts_lost_partition,
             self.scenario_crashes,
+            self.tenant_count,
+            self.tenant_worst_availability,
+            self.tenant_slo_misses,
             self.rng_draws,
             self.alloc_events,
             self.alloc_bytes,
@@ -643,6 +760,9 @@ impl RunStats {
             attempts_lost_shed: self.attempts_lost_shed,
             attempts_lost_partition: self.attempts_lost_partition,
             scenario_crashes: self.scenario_crashes,
+            tenant_count: self.tenant_slo.len() as u64,
+            tenant_worst_availability: self.tenant_worst_availability(),
+            tenant_slo_misses: self.tenant_slo_misses(),
             rng_draws: self.rng_draws.iter().sum(),
             alloc_events: self.alloc_events,
             alloc_bytes: self.alloc_bytes,
@@ -930,5 +1050,63 @@ mod tests {
         assert_eq!(s.created_per_level[1], 1);
         assert_eq!(s.created_per_level[5], 1);
         assert_eq!(s.replicas_created, 2);
+    }
+
+    #[test]
+    fn tenant_ledger_math_and_summary() {
+        let mut s = RunStats::new(2);
+        s.init_tenants([0.95, 0.5].into_iter());
+        for _ in 0..10 {
+            s.on_tenant_injected(0);
+        }
+        for _ in 0..4 {
+            s.on_tenant_injected(1);
+        }
+        for _ in 0..9 {
+            s.on_tenant_resolved(0, 0.1, false);
+        }
+        s.on_tenant_dropped(0);
+        s.on_tenant_resolved(1, 0.2, true);
+        s.on_tenant_dropped(1);
+        let avail = s.tenant_availability();
+        assert!((avail[0] - 0.9).abs() < 1e-12);
+        assert!((avail[1] - 0.25).abs() < 1e-12);
+        assert!((s.tenant_worst_availability() - 0.25).abs() < 1e-12);
+        // Tenant 0 misses its 0.95 SLO at 0.9; tenant 1 meets 0.5? No:
+        // 0.25 < 0.5 misses too.
+        assert_eq!(s.tenant_slo_misses(), 2);
+        let lat = s.tenant_latency_mean();
+        assert!((lat[0] - 0.1).abs() < 1e-12);
+        assert!((lat[1] - 0.2).abs() < 1e-12);
+        assert_eq!(s.tenant_misrouted, vec![0, 1]);
+        let sum = s.summary();
+        assert_eq!(sum.tenant_count, 2);
+        assert_eq!(sum.tenant_slo_misses, 2);
+        let json = sum.to_json();
+        assert!(json.contains("\"tenant_count\":2"));
+        assert!(json.contains("\"tenant_slo_misses\":2"));
+        assert!(json.contains("\"tenant_worst_availability\":0.250000"));
+        assert_eq!(json.matches('"').count() % 2, 0);
+    }
+
+    #[test]
+    fn tenant_ledger_is_empty_without_init() {
+        let s = RunStats::new(1);
+        assert!(s.tenant_availability().is_empty());
+        assert!(s.tenant_latency_mean().is_empty());
+        assert!((s.tenant_worst_availability() - 1.0).abs() < 1e-12);
+        assert_eq!(s.tenant_slo_misses(), 0);
+        let sum = s.summary();
+        assert_eq!(sum.tenant_count, 0);
+        assert!((sum.tenant_worst_availability - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn tenant_availability_is_one_when_idle() {
+        let mut s = RunStats::new(1);
+        s.init_tenants([0.9].into_iter());
+        // No arrivals: availability defaults to 1.0 and meets any SLO.
+        assert_eq!(s.tenant_availability(), vec![1.0]);
+        assert_eq!(s.tenant_slo_misses(), 0);
     }
 }

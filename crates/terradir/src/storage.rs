@@ -21,6 +21,7 @@
 use terradir_namespace::{Namespace, NodeId, OwnerAssignment, ServerId};
 
 use crate::config::StorageConfig;
+use crate::roles::RoleMap;
 
 /// One stored object replica: a versioned payload with a writer tag.
 ///
@@ -67,13 +68,18 @@ pub fn lww_merge(a: StoredObject, b: StoredObject) -> StoredObject {
 /// of the node's namespace neighbors (parent, then children in tree
 /// order), then consecutive server ids from the owner as filler,
 /// truncated to `replication_factor` distinct servers (capped at the
-/// fleet size). Deterministic, draws no randomness, and allocates
-/// nothing beyond the caller's reusable buffer.
+/// fleet size). With a [`RoleMap`] (DESIGN.md §19), candidates that do
+/// not admit `node`'s region are skipped — except the owner, which is
+/// always placed first (it is authoritative regardless of class) — so
+/// the set may come up short of the replication factor when too few
+/// admitting servers exist. Deterministic, draws no randomness, and
+/// allocates nothing beyond the caller's reusable buffer.
 pub fn replica_targets(
     node: NodeId,
     ns: &Namespace,
     assignment: &OwnerAssignment,
     cfg: &StorageConfig,
+    roles: Option<&RoleMap>,
     out: &mut Vec<ServerId>,
 ) {
     out.clear();
@@ -82,6 +88,7 @@ pub fn replica_targets(
     if want == 0 {
         return;
     }
+    let admitted = |s: ServerId| roles.is_none_or(|r| r.admits(s, node));
     let owner = assignment.owner(node);
     out.push(owner);
     if cfg.subtree_affinity {
@@ -93,15 +100,15 @@ pub fn replica_targets(
                 break;
             }
             let host = assignment.owner(nb);
-            if !out.contains(&host) {
+            if admitted(host) && !out.contains(&host) {
                 out.push(host);
             }
         }
     }
     let mut k = 1;
-    while out.len() < want {
+    while out.len() < want && k < n_servers {
         let host = ServerId((owner.0 + k) % n_servers);
-        if !out.contains(&host) {
+        if admitted(host) && !out.contains(&host) {
             out.push(host);
         }
         k += 1;
@@ -152,7 +159,7 @@ mod tests {
         let mut out = Vec::new();
         for id in 0..ns.len() as u32 {
             let node = NodeId(id);
-            replica_targets(node, &ns, &assignment, &cfg, &mut out);
+            replica_targets(node, &ns, &assignment, &cfg, None, &mut out);
             assert_eq!(out.len(), 3);
             assert_eq!(out[0], assignment.owner(node));
             let mut uniq = out.clone();
@@ -171,7 +178,7 @@ mod tests {
             ..StorageConfig::default()
         };
         let mut out = Vec::new();
-        replica_targets(NodeId(0), &ns, &assignment, &cfg, &mut out);
+        replica_targets(NodeId(0), &ns, &assignment, &cfg, None, &mut out);
         assert_eq!(out.len(), 3);
     }
 
@@ -188,7 +195,7 @@ mod tests {
         };
         let node = NodeId(1); // has a parent and two children
         let mut out = Vec::new();
-        replica_targets(node, &ns, &assignment, &cfg, &mut out);
+        replica_targets(node, &ns, &assignment, &cfg, None, &mut out);
         assert_eq!(out[0], assignment.owner(node));
         let parent = ns.parent(node).unwrap();
         assert_eq!(out[1], assignment.owner(parent));
@@ -200,8 +207,56 @@ mod tests {
             subtree_affinity: false,
             ..cfg
         };
-        replica_targets(node, &ns, &assignment, &plain, &mut out);
+        replica_targets(node, &ns, &assignment, &plain, None, &mut out);
         assert_eq!(out[1], ServerId(assignment.owner(node).0 + 1));
+    }
+
+    #[test]
+    fn role_filter_restricts_targets_to_admitting_servers() {
+        use crate::config::RoleConfig;
+        let ns = balanced_tree(2, 4);
+        let assignment = OwnerAssignment::round_robin(&ns, 8);
+        let cfg = StorageConfig {
+            replication_factor: 4,
+            ..StorageConfig::default()
+        };
+        // Only relays (every 4th server) admit foreign regions.
+        let roles_cfg = RoleConfig {
+            enabled: true,
+            relay_every: 4,
+            keeper_every: 0,
+            owned_admission: false,
+            ..RoleConfig::default()
+        };
+        let map = RoleMap::build(&ns, &assignment, &roles_cfg, 8);
+        let mut out = Vec::new();
+        for id in 0..ns.len() as u32 {
+            let node = NodeId(id);
+            replica_targets(node, &ns, &assignment, &cfg, Some(&map), &mut out);
+            assert_eq!(out[0], assignment.owner(node));
+            for &s in out.iter().skip(1) {
+                assert!(map.admits(s, node), "node {id} placed on {s}");
+            }
+        }
+        // A deep node: only the owner + the two relays qualify, so the
+        // set comes up short of the factor.
+        let deep = NodeId(ns.len() as u32 - 1);
+        replica_targets(deep, &ns, &assignment, &cfg, Some(&map), &mut out);
+        assert!(out.len() <= 3, "owner + relays only, got {out:?}");
+        // A role map that admits everything reproduces the unfiltered set.
+        let open = RoleConfig {
+            enabled: true,
+            relay_every: 1,
+            ..RoleConfig::default()
+        };
+        let open_map = RoleMap::build(&ns, &assignment, &open, 8);
+        let mut plain = Vec::new();
+        for id in 0..ns.len() as u32 {
+            let node = NodeId(id);
+            replica_targets(node, &ns, &assignment, &cfg, Some(&open_map), &mut out);
+            replica_targets(node, &ns, &assignment, &cfg, None, &mut plain);
+            assert_eq!(out, plain);
+        }
     }
 
     #[test]
@@ -211,8 +266,8 @@ mod tests {
         let cfg = StorageConfig::default();
         let mut a = Vec::new();
         let mut b = Vec::new();
-        replica_targets(NodeId(7), &ns, &assignment, &cfg, &mut a);
-        replica_targets(NodeId(7), &ns, &assignment, &cfg, &mut b);
+        replica_targets(NodeId(7), &ns, &assignment, &cfg, None, &mut a);
+        replica_targets(NodeId(7), &ns, &assignment, &cfg, None, &mut b);
         assert_eq!(a, b);
     }
 }

@@ -192,6 +192,17 @@ pub struct System {
     gossip_changed: Vec<NodeId>,
     /// Reusable key-rendering buffer for pull selection.
     gossip_key_buf: String,
+    /// Fleet role map (DESIGN.md §19); built once at construction when
+    /// `Config::roles.enabled`, `None` otherwise so the roles-off path
+    /// stays byte-identical.
+    roles: Option<Arc<crate::roles::RoleMap>>,
+    /// Tenant partition of the namespace (DESIGN.md §19); present only
+    /// when tenants are active.
+    tenants: Option<crate::roles::TenantMap>,
+    /// Per-server queue capacities: relays get `relay_queue_factor ×`
+    /// the scalar `queue_capacity`; everyone else (and the whole fleet
+    /// with roles off) gets the scalar itself.
+    queue_caps: Vec<usize>,
 }
 
 impl System {
@@ -231,9 +242,66 @@ impl System {
         let mut servers: Vec<ServerState> = (0..cfg.n_servers)
             .map(|i| ServerState::new(ServerId(i), Arc::clone(&ns), Arc::clone(&cfg), &assignment))
             .collect(); // xtask: allow(alloc): construction, runs once per run
+                        // Fleet roles and tenant partition (DESIGN.md §19). Both maps are
+                        // pure functions of (namespace, assignment, config) — zero RNG —
+                        // and both stay `None` when disabled so this block is inert for
+                        // baseline runs.
+        let roles = if cfg.roles_active() {
+            Some(Arc::new(crate::roles::RoleMap::build(
+                &ns,
+                &assignment,
+                &cfg.roles,
+                cfg.n_servers,
+            )))
+        } else {
+            None
+        };
+        let tenants = if cfg.tenants_active() {
+            Some(crate::roles::TenantMap::build(&ns, &cfg.tenants))
+        } else {
+            None
+        };
+        if let Some(r) = &roles {
+            for s in &mut servers {
+                s.set_role_map(Arc::clone(r));
+            }
+        }
+        // xtask: allow(alloc): construction, runs once per run
         let mut setup_draws = vec![0u64; tags::LEDGER_SLOTS];
-        let (speeds, speed_draws) = Self::draw_speeds(&cfg);
+        let (mut speeds, speed_draws) = Self::draw_speeds(&cfg);
         ledger_add(&mut setup_draws, tags::SPEEDS, speed_draws);
+        // Relays run faster hardware: scale their drawn speed by
+        // `relay_speed_factor` (no extra RNG; deliberately breaks the
+        // mean-1 normalization — the fleet's aggregate capacity grows
+        // with its relay count, DESIGN.md §19).
+        if let Some(r) = &roles {
+            if cfg.roles.relay_speed_factor != 1.0 {
+                for (i, sp) in speeds.iter_mut().enumerate() {
+                    if r.class_of(ServerId(i as u32)) == crate::config::ServerClass::Relay {
+                        *sp *= cfg.roles.relay_speed_factor;
+                    }
+                }
+            }
+        }
+        // Shared read-only speed table for replica-partner tie-breaking
+        // (an all-1.0 table degrades the tie-break to server id, so
+        // installing it unconditionally changes nothing at spread 1.0).
+        let shared_speeds: Arc<[f64]> = Arc::from(speeds.as_slice());
+        for s in &mut servers {
+            s.set_static_speeds(Arc::clone(&shared_speeds));
+        }
+        // Per-server queue capacities: relays get a deeper queue.
+        let queue_caps: Vec<usize> = (0..cfg.n_servers)
+            .map(|i| match &roles {
+                Some(r) if r.class_of(ServerId(i)) == crate::config::ServerClass::Relay => {
+                    #[allow(clippy::cast_possible_truncation, clippy::cast_sign_loss)]
+                    let cap =
+                        (cfg.queue_capacity as f64 * cfg.roles.relay_queue_factor).round() as usize;
+                    cap.max(cfg.queue_capacity)
+                }
+                _ => cfg.queue_capacity,
+            })
+            .collect(); // xtask: allow(alloc): construction, runs once per run
         if cfg.static_top_levels > 0 {
             let static_draws =
                 Self::bootstrap_static_replicas(&ns, &cfg, &assignment, &mut servers);
@@ -260,6 +328,7 @@ impl System {
                 &ns,
                 &assignment,
                 &cfg.storage,
+                roles.as_deref(),
                 &mut store_targets,
             );
             let obj = crate::storage::StoredObject {
@@ -273,8 +342,28 @@ impl System {
                 }
             }
         }
-        let stream = QueryStream::new(plan, ns.len(), cfg.n_servers, cfg.seed);
+        let mut stream = QueryStream::new(plan, ns.len(), cfg.n_servers, cfg.seed);
         let mut stats = RunStats::new(ns.max_depth());
+        if let Some(tm) = &tenants {
+            // Per-tenant destination mix (DESIGN.md §19): the stream keeps
+            // drawing from the same three tagged streams, so tenants-off
+            // runs are byte-identical to pre-tenant baselines.
+            // xtask: allow(alloc): construction, runs once per run
+            let mix: Vec<(Vec<NodeId>, f64, f64)> = cfg
+                .tenants
+                .specs
+                .iter()
+                .enumerate()
+                .map(|(t, spec)| {
+                    #[allow(clippy::cast_possible_truncation)]
+                    // xtask: allow(alloc): construction, runs once per run
+                    let members = tm.members(t as u16).to_vec();
+                    (members, spec.weight, spec.zipf_theta)
+                })
+                .collect(); // xtask: allow(alloc): construction, runs once
+            stream.set_tenant_mix(mix);
+            stats.init_tenants(cfg.tenants.specs.iter().map(|s| s.slo_availability));
+        }
         stats.objects_written = effective_objects as u64;
         stats.objects_alive = effective_objects as u64;
         let mut engine = Engine::new();
@@ -377,6 +466,9 @@ impl System {
             gossip_objects: Vec::new(),
             gossip_changed: Vec::new(),
             gossip_key_buf: String::new(),
+            roles,
+            tenants,
+            queue_caps,
         };
         sys.sync_draw_ledger();
         sys
@@ -510,6 +602,7 @@ impl System {
                         self.stats.on_attempt_lost(DropKind::Queue);
                     } else {
                         self.stats.on_drop(now, DropKind::Queue);
+                        Self::tenant_drop(self.tenants.as_ref(), &mut self.stats, &msg);
                     }
                 }
             }
@@ -523,6 +616,7 @@ impl System {
                     self.stats.on_attempt_lost(DropKind::Queue);
                 } else {
                     self.stats.on_drop(now, DropKind::Queue);
+                    Self::tenant_drop(self.tenants.as_ref(), &mut self.stats, &msg);
                 }
             }
         }
@@ -625,6 +719,32 @@ impl System {
                     self.recover_server(ServerId(i));
                 }
             }
+            ChaosAction::ClassCrash { class } => self.class_wave(class, true),
+            ChaosAction::ClassRecover { class } => self.class_wave(class, false),
+        }
+    }
+
+    /// Cross-class failure wave (DESIGN.md §19): crash or recover every
+    /// server of one role class in a single deterministic id-order sweep.
+    /// Draws no randomness itself; `validate` guarantees a role map is
+    /// present when the scenario script names a class.
+    fn class_wave(&mut self, class: crate::config::ServerClass, crash: bool) {
+        let Some(roles) = self.roles.as_ref().map(Arc::clone) else {
+            return;
+        };
+        for i in 0..self.cfg.n_servers {
+            let id = ServerId(i);
+            if roles.class_of(id) != class {
+                continue;
+            }
+            if crash {
+                if !self.is_failed(id) {
+                    self.stats.scenario_crashes += 1;
+                    self.fail_server(id);
+                }
+            } else if self.is_failed(id) {
+                self.recover_server(id);
+            }
         }
     }
 
@@ -696,6 +816,12 @@ impl System {
         }
         peers.sort_unstable();
         peers.dedup();
+        // Role gate (DESIGN.md §19): advertisements go only to peers that
+        // could serve the pusher's subtrees. Runs before the shuffle, so
+        // roles-off runs spend identical fault-stream draws.
+        if let Some(roles) = self.roles.as_deref() {
+            peers.retain(|&p| roles.gossip_compatible(id, p));
+        }
         peers.shuffle(&mut self.rng_faults);
         peers.truncate(self.cfg.reconcile.fanout as usize);
         // xtask: allow(alloc): reconcile push, fires only on heal/rejoin
@@ -794,6 +920,7 @@ impl System {
         self.stats.flash_injected += 1;
         self.stats.injected_per_sec.record(now);
         self.record_injection_side(now, src);
+        self.note_tenant_injected(node);
         if self.cfg.retry.enabled {
             self.pending.insert(
                 id,
@@ -854,6 +981,7 @@ impl System {
             &self.ns,
             &self.assignment,
             &self.cfg.storage,
+            self.roles.as_deref(),
             &mut targets,
         );
         for &t in &targets {
@@ -905,6 +1033,7 @@ impl System {
             &self.ns,
             &self.assignment,
             &self.cfg.storage,
+            self.roles.as_deref(),
             &mut targets,
         );
         if targets.is_empty() {
@@ -1025,6 +1154,7 @@ impl System {
                 &self.ns,
                 &self.assignment,
                 &self.cfg.storage,
+                self.roles.as_deref(),
                 &mut targets,
             );
             let mut freshest: Option<(ServerId, crate::storage::StoredObject)> = None;
@@ -1176,6 +1306,13 @@ impl System {
             }
             peers.sort_unstable();
             peers.dedup();
+            // Role gate (DESIGN.md §19): an edge's digests stay within
+            // servers sharing an admitted region; relays are unrestricted.
+            // Runs before the shuffle so roles-off draw counts are
+            // untouched.
+            if let Some(roles) = self.roles.as_deref() {
+                peers.retain(|&p| roles.gossip_compatible(id, p));
+            }
             peers.shuffle(&mut self.rng_faults);
             if !burst {
                 peers.truncate(self.cfg.gossip.fanout as usize);
@@ -1304,6 +1441,7 @@ impl System {
                         &self.ns,
                         &self.assignment,
                         &self.cfg.storage,
+                        self.roles.as_deref(),
                         &mut targets,
                     );
                     if targets.contains(&peer) {
@@ -1354,6 +1492,7 @@ impl System {
                 &self.ns,
                 &self.assignment,
                 &self.cfg.storage,
+                self.roles.as_deref(),
                 &mut targets,
             );
             let held = targets.iter().any(|&t| {
@@ -1413,6 +1552,47 @@ impl System {
             self.stats.injected_per_sec_minority.record(now);
         } else {
             self.stats.injected_per_sec_majority.record(now);
+        }
+    }
+
+    /// Tenant id of a query-traffic message's lookup target: `None` for
+    /// control traffic, spine targets, or with tenants off. An associated
+    /// fn over disjoint fields so drop sites holding a mutable queue
+    /// borrow can still attribute (DESIGN.md §19).
+    fn tenant_of_msg(tenants: Option<&crate::roles::TenantMap>, msg: &Message) -> Option<u16> {
+        let target = match msg {
+            Message::Query(p) => p.target,
+            Message::QueryResult { packet, .. } => packet.target,
+            _ => return None,
+        };
+        tenants.and_then(|t| t.tenant_of(target))
+    }
+
+    /// Attributes a *final* query drop to its target's tenant. Callers on
+    /// the retry path must not call this for attempt-level losses — only
+    /// the finalizing drop counts, mirroring `RunStats::on_drop`.
+    fn tenant_drop(tenants: Option<&crate::roles::TenantMap>, stats: &mut RunStats, msg: &Message) {
+        if let Some(t) = Self::tenant_of_msg(tenants, msg) {
+            stats.on_tenant_dropped(t);
+        }
+    }
+
+    /// `tenant_drop` for sites that hold the lookup target rather than
+    /// the message (the pending-table timeout finalizer).
+    fn tenant_drop_at(
+        tenants: Option<&crate::roles::TenantMap>,
+        stats: &mut RunStats,
+        node: NodeId,
+    ) {
+        if let Some(t) = tenants.and_then(|m| m.tenant_of(node)) {
+            stats.on_tenant_dropped(t);
+        }
+    }
+
+    /// Attributes an injection to its target's tenant.
+    fn note_tenant_injected(&mut self, node: NodeId) {
+        if let Some(t) = self.tenants.as_ref().and_then(|m| m.tenant_of(node)) {
+            self.stats.on_tenant_injected(t);
         }
     }
 
@@ -1551,6 +1731,16 @@ impl System {
         &self.servers
     }
 
+    /// The fleet role map (`None` with roles off).
+    pub fn roles(&self) -> Option<&crate::roles::RoleMap> {
+        self.roles.as_deref()
+    }
+
+    /// The tenant partition (`None` with tenants off).
+    pub fn tenants(&self) -> Option<&crate::roles::TenantMap> {
+        self.tenants.as_ref()
+    }
+
     /// Total replicas currently hosted across all servers.
     pub fn total_replicas(&self) -> usize {
         self.servers
@@ -1585,6 +1775,9 @@ impl System {
             if !failed {
                 v.extend(crate::invariants::audit_server(&self.ns, server));
                 v.extend(crate::invariants::check_lease_freshness(server, now));
+                if let Some(roles) = self.roles.as_deref() {
+                    v.extend(crate::invariants::check_role_placement(roles, server));
+                }
             }
         }
         v.extend(crate::invariants::check_pending_hygiene(
@@ -1601,6 +1794,7 @@ impl System {
                         &self.ns,
                         &self.assignment,
                         &self.cfg.storage,
+                        self.roles.as_deref(),
                         &self.committed,
                         server,
                     ));
@@ -1610,6 +1804,7 @@ impl System {
                 &self.ns,
                 &self.assignment,
                 &self.cfg.storage,
+                self.roles.as_deref(),
                 self.committed.len(),
                 &self.servers,
             ));
@@ -1762,6 +1957,7 @@ impl System {
         self.stats.injected += 1;
         self.stats.injected_per_sec.record(now);
         self.record_injection_side(now, src);
+        self.note_tenant_injected(dst);
         if self.cfg.retry.enabled {
             self.pending.insert(
                 id,
@@ -1796,6 +1992,7 @@ impl System {
         if attempt >= self.cfg.retry.max_attempts {
             self.pending.remove(&id);
             self.stats.on_drop(now, DropKind::Timeout);
+            Self::tenant_drop_at(self.tenants.as_ref(), &mut self.stats, target);
             return;
         }
         // Re-resolve the origin, excluding hosts observed dead.
@@ -1854,6 +2051,7 @@ impl System {
                         self.stats.on_attempt_lost(DropKind::Partition);
                     } else {
                         self.stats.on_drop(now, DropKind::Partition);
+                        Self::tenant_drop(self.tenants.as_ref(), &mut self.stats, &msg);
                     }
                 }
                 return;
@@ -1904,6 +2102,7 @@ impl System {
                     self.stats.on_attempt_dead();
                 } else {
                     self.stats.on_drop(now, DropKind::Queue);
+                    Self::tenant_drop(self.tenants.as_ref(), &mut self.stats, &msg);
                 }
             }
             return;
@@ -1917,15 +2116,23 @@ impl System {
                 );
             }
         }
+        // Per-server admission bound (DESIGN.md §19): relays run deeper
+        // queues; with roles off every entry equals the scalar capacity.
+        let cap = self
+            .queue_caps
+            .get(to.index())
+            .copied()
+            .unwrap_or(self.cfg.queue_capacity);
         let Some(q) = self.queues.get_mut(to.index()) else {
             return;
         };
-        if msg.is_query_traffic() && q.len() >= self.cfg.queue_capacity {
+        if msg.is_query_traffic() && q.len() >= cap {
             if !self.cfg.shedding {
                 if self.cfg.retry.enabled {
                     self.stats.on_attempt_lost(DropKind::Queue);
                 } else {
                     self.stats.on_drop(now, DropKind::Queue);
+                    Self::tenant_drop(self.tenants.as_ref(), &mut self.stats, &msg);
                 }
                 return;
             }
@@ -1952,15 +2159,23 @@ impl System {
                 .max_by_key(|&(_, m)| badness(m))
                 .filter(|&(_, m)| badness(m) > incoming)
                 .map(|(i, _)| i);
-            if let Some(i) = victim {
-                if q.remove(i).is_some() {
-                    q.push_back(msg);
-                }
-            }
+            // Keep hold of whichever message was shed (the evicted victim
+            // or the arrival itself) for tenant attribution.
+            let shed = match victim {
+                Some(i) => match q.remove(i) {
+                    Some(v) => {
+                        q.push_back(msg);
+                        v
+                    }
+                    None => msg,
+                },
+                None => msg,
+            };
             if self.cfg.retry.enabled {
                 self.stats.on_attempt_lost(DropKind::Shed);
             } else {
                 self.stats.on_drop(now, DropKind::Shed);
+                Self::tenant_drop(self.tenants.as_ref(), &mut self.stats, &shed);
             }
             if victim.is_some() {
                 self.try_start(to);
@@ -2084,6 +2299,7 @@ impl System {
                                     self.stats.on_attempt_lost(DropKind::Lost);
                                 } else {
                                     self.stats.on_drop(now, DropKind::Lost);
+                                    Self::tenant_drop(self.tenants.as_ref(), &mut self.stats, &msg);
                                 }
                             }
                             continue;
@@ -2111,6 +2327,7 @@ impl System {
         match e {
             ProtocolEvent::Resolved {
                 id,
+                target,
                 issued_at,
                 hops,
                 misrouted,
@@ -2129,6 +2346,9 @@ impl System {
                 if counts {
                     self.stats
                         .on_resolved(now, issued_at, hops, misrouted, detour_hops);
+                    if let Some(t) = self.tenants.as_ref().and_then(|m| m.tenant_of(target)) {
+                        self.stats.on_tenant_resolved(t, now - issued_at, misrouted);
+                    }
                     // Per-side availability numerator: results deliver at
                     // the origin, so `at` is the side the query was
                     // served to.
@@ -2139,18 +2359,20 @@ impl System {
                     }
                 }
             }
-            ProtocolEvent::DroppedTtl { .. } => {
+            ProtocolEvent::DroppedTtl { target, .. } => {
                 if self.cfg.retry.enabled {
                     self.stats.on_attempt_lost(DropKind::Ttl);
                 } else {
                     self.stats.on_drop(now, DropKind::Ttl);
+                    Self::tenant_drop_at(self.tenants.as_ref(), &mut self.stats, target);
                 }
             }
-            ProtocolEvent::DroppedStuck { .. } => {
+            ProtocolEvent::DroppedStuck { target, .. } => {
                 if self.cfg.retry.enabled {
                     self.stats.on_attempt_lost(DropKind::Stuck);
                 } else {
                     self.stats.on_drop(now, DropKind::Stuck);
+                    Self::tenant_drop_at(self.tenants.as_ref(), &mut self.stats, target);
                 }
             }
             ProtocolEvent::HostMarkedDead { .. } => self.stats.negative_evictions += 1,
@@ -2188,6 +2410,7 @@ impl System {
                     let ns = &self.ns;
                     let assignment = &self.assignment;
                     let storage_cfg = &self.cfg.storage;
+                    let roles = self.roles.as_deref();
                     crate::gossip::select_pull(
                         ns,
                         &digest,
@@ -2198,6 +2421,7 @@ impl System {
                                 ns,
                                 assignment,
                                 storage_cfg,
+                                roles,
                                 &mut targets,
                             );
                             targets.contains(&from)
@@ -2751,5 +2975,160 @@ mod tests {
         let (reads_a, _) = run(false);
         assert!(reads_q > 0, "quorum mode must complete reads");
         assert!(reads_a > 0, "any-replica mode must complete reads");
+    }
+
+    #[test]
+    fn disabled_roles_and_tenants_are_inert() {
+        // The role/tenant structs default to disabled; their mere
+        // presence (even with populated specs) must not perturb a
+        // single RNG draw or stat relative to the plain config.
+        let run = |cfg_mod: fn(&mut Config)| {
+            let mut sys = small_system(cfg_mod);
+            sys.run_until(25.0);
+            format!("{:?}", sys.stats())
+        };
+        let plain = run(|_| {});
+        let loaded = run(|c| {
+            c.roles.enabled = false;
+            c.roles.relay_every = 2;
+            c.roles.relay_queue_factor = 8.0;
+            c.tenants.enabled = false;
+            c.tenants.specs.push(crate::config::TenantSpec {
+                weight: 1.0,
+                zipf_theta: 0.8,
+                slo_availability: 0.99,
+            });
+        });
+        assert_eq!(plain, loaded, "disabled roles/tenants changed the run");
+    }
+
+    #[test]
+    fn roles_on_replays_bitwise() {
+        let run = || {
+            let mut sys = small_system(|c| {
+                c.roles.enabled = true;
+                c.storage.enabled = true;
+                c.gossip.enabled = true;
+            });
+            sys.run_until(25.0);
+            format!("{:?}", sys.stats())
+        };
+        assert_eq!(run(), run(), "roles-on run is not replayable");
+    }
+
+    #[test]
+    fn audit_stays_clean_with_roles_on() {
+        let mut sys = small_system(|c| {
+            c.roles.enabled = true;
+            c.storage.enabled = true;
+            c.repair.enabled = true;
+            c.gossip.enabled = true;
+        });
+        sys.run_until(20.0);
+        assert!(sys.audit().is_empty(), "{:?}", sys.audit());
+        assert!(sys.roles().is_some(), "role map must be built");
+    }
+
+    #[test]
+    fn class_wave_crashes_and_recovers_every_relay() {
+        use crate::config::{ScenarioEvent, ServerClass};
+        let mut sys = small_system(|c| {
+            c.roles.enabled = true;
+            c.scenario.events.push(ScenarioEvent {
+                at: 5.0,
+                action: ChaosAction::ClassCrash {
+                    class: ServerClass::Relay,
+                },
+            });
+            c.scenario.events.push(ScenarioEvent {
+                at: 10.0,
+                action: ChaosAction::ClassRecover {
+                    class: ServerClass::Relay,
+                },
+            });
+        });
+        sys.run_until(7.0);
+        let roles = sys.roles().expect("roles on").clone();
+        let n_relays = (0..8)
+            .filter(|&i| roles.class_of(ServerId(i)) == crate::config::ServerClass::Relay)
+            .count();
+        assert!(n_relays > 0, "fleet must contain relays");
+        for i in 0..8 {
+            let id = ServerId(i);
+            let is_relay = roles.class_of(id) == crate::config::ServerClass::Relay;
+            assert_eq!(sys.is_failed(id), is_relay, "server {i} wave state");
+        }
+        assert_eq!(sys.stats().scenario_crashes, n_relays as u64);
+        sys.run_until(20.0);
+        for i in 0..8 {
+            assert!(!sys.is_failed(ServerId(i)), "server {i} still down");
+        }
+        assert!(sys.audit().is_empty(), "{:?}", sys.audit());
+    }
+
+    #[test]
+    fn tenant_accounting_conserves_queries() {
+        let mut sys = small_system(|c| {
+            c.tenants.enabled = true;
+            c.tenants.cut_depth = 1;
+            for (w, theta, slo) in [(3.0, 0.8, 0.9), (1.0, 0.0, 0.99)] {
+                c.tenants.specs.push(crate::config::TenantSpec {
+                    weight: w,
+                    zipf_theta: theta,
+                    slo_availability: slo,
+                });
+            }
+        });
+        sys.run_until(30.0);
+        let st = sys.stats();
+        assert_eq!(st.tenant_injected.len(), 2);
+        let inj: u64 = st.tenant_injected.iter().sum();
+        assert_eq!(inj, st.injected, "every query must carry a tenant");
+        for t in 0..2 {
+            assert!(
+                st.tenant_resolved[t] + st.tenant_dropped[t] <= st.tenant_injected[t],
+                "tenant {t} over-accounted"
+            );
+        }
+        // Weight 3:1 must skew arrivals toward tenant 0.
+        assert!(
+            st.tenant_injected[0] > st.tenant_injected[1],
+            "weights ignored: {:?}",
+            st.tenant_injected
+        );
+        let avail = st.tenant_availability();
+        assert!(avail.iter().all(|&a| (0.0..=1.0).contains(&a)));
+        assert!(sys.tenants().is_some());
+    }
+
+    #[test]
+    fn tenant_drops_are_attributed_under_stress() {
+        // Saturate tiny queues so shed/queue-full drops occur, then
+        // check the per-tenant ledger saw them.
+        let run = |tenants: bool| {
+            let ns = balanced_tree(2, 5);
+            let mut cfg = Config::paper_default(4).with_seed(11);
+            cfg.queue_capacity = 2;
+            if tenants {
+                cfg.tenants.enabled = true;
+                cfg.tenants.specs.push(crate::config::TenantSpec {
+                    weight: 1.0,
+                    zipf_theta: 0.5,
+                    slo_availability: 0.999,
+                });
+            }
+            let mut sys = System::new(ns, cfg, StreamPlan::unif(900.0), 40.0);
+            sys.run_until(20.0);
+            (
+                sys.stats().dropped_total(),
+                sys.stats().tenant_dropped.clone(),
+            )
+        };
+        let (drops, per_tenant) = run(true);
+        assert!(drops > 0, "stress run must drop");
+        assert_eq!(per_tenant.iter().sum::<u64>(), drops, "tenant drop ledger");
+        let (drops_off, per_off) = run(false);
+        assert!(drops_off > 0);
+        assert!(per_off.is_empty(), "tenants-off must not allocate ledgers");
     }
 }

@@ -114,6 +114,24 @@ impl StreamPlan {
     }
 }
 
+/// Per-tenant destination machinery: tenant member lists, cumulative
+/// selection weights, and per-tenant Zipf popularity. Installed with
+/// [`QueryStream::set_tenant_mix`]; while present it replaces the
+/// segment-driven destination sampling entirely.
+#[derive(Debug)]
+struct TenantMix {
+    /// Cumulative normalized weights, one entry per tenant. Tenants with
+    /// no member nodes get zero width and are never selected.
+    cum: Vec<f64>,
+    /// Member nodes per tenant, in namespace id order.
+    members: Vec<Vec<NodeId>>,
+    /// Zipf rank sampler per tenant (order 0 = uniform within the
+    /// tenant's subtree).
+    samplers: Vec<ZipfSampler>,
+    /// Popularity permutation per tenant, over member-list indices.
+    rankings: Vec<PopularityRanking>,
+}
+
 /// Executes a [`StreamPlan`]: yields `(source, destination)` per query.
 ///
 /// Sources are uniform over servers (paper §4.1: "lookups are initiated
@@ -131,6 +149,7 @@ pub struct QueryStream {
     src_rng: TaggedRng,
     rank_rng: TaggedRng,
     n_nodes: usize,
+    tenant_mix: Option<TenantMix>,
 }
 
 impl QueryStream {
@@ -153,7 +172,80 @@ impl QueryStream {
             src_rng: tagged_rng(master_seed, tags::SOURCES),
             rank_rng,
             n_nodes,
+            tenant_mix: None,
         }
+    }
+
+    /// Installs a per-tenant destination mix: one `(member nodes, weight,
+    /// zipf order)` triple per tenant. While installed, every destination
+    /// is drawn by first picking a tenant (weights over non-empty
+    /// tenants, one uniform draw) and then a member node via the tenant's
+    /// own Zipf popularity — the plan's segment modes and reshuffles are
+    /// ignored. Spends one ranking-stream draw burst per tenant at
+    /// install time and nothing else; a stream without a mix is
+    /// byte-identical to one built before this method existed.
+    pub fn set_tenant_mix(&mut self, tenants: Vec<(Vec<NodeId>, f64, f64)>) {
+        let total: f64 = tenants
+            .iter()
+            .filter(|(m, _, _)| !m.is_empty())
+            .map(|(_, w, _)| w.max(0.0))
+            .sum();
+        let mut cum = Vec::with_capacity(tenants.len());
+        let mut members = Vec::with_capacity(tenants.len());
+        let mut samplers = Vec::with_capacity(tenants.len());
+        let mut rankings = Vec::with_capacity(tenants.len());
+        let mut acc = 0.0;
+        for (m, weight, order) in tenants {
+            if !m.is_empty() && total > 0.0 {
+                acc += weight.max(0.0) / total;
+            }
+            cum.push(acc);
+            // `max(1)`: the sampler/ranking constructors reject n = 0;
+            // a zero-member tenant has zero width so never samples.
+            let n = m.len().max(1);
+            samplers.push(ZipfSampler::new(n, order.max(0.0)));
+            rankings.push(PopularityRanking::random(n, &mut self.rank_rng));
+            members.push(m);
+        }
+        self.tenant_mix = Some(TenantMix {
+            cum,
+            members,
+            samplers,
+            rankings,
+        });
+    }
+
+    /// Draws a tenant-mix destination: one uniform draw picks the tenant,
+    /// one Zipf draw picks the member rank. Falls back to the namespace
+    /// root if every tenant is empty (zero total weight).
+    fn tenant_destination(&mut self) -> NodeId {
+        let QueryStream {
+            tenant_mix,
+            dest_rng,
+            ..
+        } = self;
+        let Some(mix) = tenant_mix else {
+            return NodeId(0);
+        };
+        let u: f64 = dest_rng.gen();
+        let t = mix
+            .cum
+            .iter()
+            .position(|&c| u < c)
+            .unwrap_or_else(|| mix.cum.len().saturating_sub(1));
+        let rank = match mix.samplers.get(t) {
+            Some(z) => z.sample(dest_rng),
+            None => 0,
+        };
+        let idx = mix
+            .rankings
+            .get(t)
+            .map_or(0, |r| r.node_at_rank(rank).index());
+        mix.members
+            .get(t)
+            .and_then(|m| m.get(idx))
+            .copied()
+            .unwrap_or(NodeId(0))
     }
 
     /// Per-tag draw counts of the stream's three RNGs (the `QueryStream`
@@ -192,6 +284,11 @@ impl QueryStream {
     /// Draws the next query issued at simulation time `now`: a uniformly
     /// random source server and a destination node per the active segment.
     pub fn next_query(&mut self, now: f64) -> (ServerId, NodeId) {
+        if self.tenant_mix.is_some() {
+            let src = ServerId(self.src_rng.gen_range(0..self.n_servers));
+            let dst = self.tenant_destination();
+            return (src, dst);
+        }
         self.advance_to(now);
         let src = ServerId(self.src_rng.gen_range(0..self.n_servers));
         let mode = self
@@ -342,6 +439,74 @@ mod tests {
         let mut b = mk();
         for i in 0..100 {
             assert_eq!(a.next_query(i as f64 * 0.01), b.next_query(i as f64 * 0.01));
+        }
+    }
+
+    fn mix_of(tenants: Vec<(Vec<NodeId>, f64, f64)>, seed: u64) -> QueryStream {
+        let mut qs = QueryStream::new(StreamPlan::unif(50.0), 16, 4, seed);
+        qs.set_tenant_mix(tenants);
+        qs
+    }
+
+    #[test]
+    fn tenant_mix_confines_destinations_to_members() {
+        let a: Vec<NodeId> = (0..4).map(NodeId).collect();
+        let b: Vec<NodeId> = (8..12).map(NodeId).collect();
+        let mut qs = mix_of(vec![(a.clone(), 1.0, 0.8), (b.clone(), 1.0, 0.0)], 5);
+        for i in 0..1000 {
+            let (_, d) = qs.next_query(i as f64 * 0.01);
+            assert!(
+                a.contains(&d) || b.contains(&d),
+                "destination {d:?} escaped both tenants"
+            );
+        }
+    }
+
+    #[test]
+    fn tenant_weights_skew_arrivals() {
+        let a: Vec<NodeId> = (0..8).map(NodeId).collect();
+        let b: Vec<NodeId> = (8..16).map(NodeId).collect();
+        let mut qs = mix_of(vec![(a.clone(), 4.0, 0.0), (b, 1.0, 0.0)], 13);
+        let mut hits_a = 0u32;
+        for i in 0..2000 {
+            let (_, d) = qs.next_query(i as f64 * 0.01);
+            if a.contains(&d) {
+                hits_a += 1;
+            }
+        }
+        // Expected 80%; accept a generous deterministic band.
+        assert!(
+            (1400..=1800).contains(&hits_a),
+            "4:1 weights gave {hits_a}/2000 to tenant A"
+        );
+    }
+
+    #[test]
+    fn tenant_mix_replays_and_skips_no_draws() {
+        let mk = || {
+            mix_of(
+                vec![
+                    ((0..6).map(NodeId).collect(), 1.0, 1.2),
+                    ((6..12).map(NodeId).collect(), 2.0, 0.0),
+                ],
+                21,
+            )
+        };
+        let mut a = mk();
+        let mut b = mk();
+        for i in 0..300 {
+            assert_eq!(a.next_query(i as f64 * 0.01), b.next_query(i as f64 * 0.01));
+        }
+        assert_eq!(a.rng_draws(), b.rng_draws());
+    }
+
+    #[test]
+    fn empty_tenant_gets_no_traffic() {
+        let a: Vec<NodeId> = (0..4).map(NodeId).collect();
+        let mut qs = mix_of(vec![(a.clone(), 1.0, 0.0), (vec![], 100.0, 0.0)], 3);
+        for i in 0..500 {
+            let (_, d) = qs.next_query(i as f64 * 0.01);
+            assert!(a.contains(&d), "empty tenant must absorb no arrivals");
         }
     }
 }

@@ -37,6 +37,9 @@ pub const DERIVED_SUMMARY_FIELDS: &[&str] = &[
     "latency_mean_s",
     "latency_p99_s",
     "hops_mean",
+    "tenant_count",
+    "tenant_worst_availability",
+    "tenant_slo_misses",
 ];
 
 /// Scrubs a source file and blanks its `#[cfg(test)]` module bodies, so

@@ -37,6 +37,9 @@ pub const CONFIG_STRUCTS: &[&str] = &[
     "StorageConfig",
     "RepairConfig",
     "GossipConfig",
+    "RoleConfig",
+    "TenantConfig",
+    "TenantSpec",
 ];
 
 /// Runs the dead-config pass over one struct.

@@ -62,6 +62,13 @@ pub const ENUM_RULES: &[EnumRule] = &[
         why: "an unapplied scenario action makes chaos scripts lie",
     },
     EnumRule {
+        name: "ServerClass",
+        def_file: "crates/terradir/src/config.rs",
+        use_files: &["crates/terradir/src/roles.rs"],
+        why: "a fleet class the role map never assigns has no placement \
+              policy and silently degrades to an edge",
+    },
+    EnumRule {
         name: "Event",
         def_file: "crates/terradir/src/system.rs",
         use_files: &["crates/terradir/src/system.rs"],

@@ -37,6 +37,7 @@ pub const HOT_PATH_FILES: &[&str] = &[
     "crates/namespace/src/tree.rs",
     "crates/sim/src/calendar.rs",
     "crates/terradir/src/gossip.rs",
+    "crates/terradir/src/roles.rs",
     "crates/terradir/src/routing.rs",
     "crates/terradir/src/server.rs",
     "crates/terradir/src/storage.rs",

@@ -2,7 +2,7 @@
 # Regenerates every figure/table at quick scale (256 servers); pass --full for paper scale.
 set -u
 cd "$(dirname "$0")/.."
-for bin in fig3 fig4 fig5 fig6 fig7 fig8 fig9 tab1 rfact resilience ablate_static heterogeneity ablate_cache ablate_digests ablate_hysteresis speed durability antientropy; do
+for bin in fig3 fig4 fig5 fig6 fig7 fig8 fig9 tab1 rfact resilience ablate_static heterogeneity ablate_cache ablate_digests ablate_hysteresis speed durability antientropy tenants; do
   echo "=== $bin ==="
   ./target/release/$bin "$@" > results/$bin.tsv 2> results/$bin.log
   echo "exit=$? ($(grep -c 'shape\[PASS\]' results/$bin.tsv 2>/dev/null || true) passes, $(grep -c 'shape\[FAIL\]' results/$bin.tsv 2>/dev/null || true) fails)"
