@@ -65,7 +65,6 @@ fn main() {
     // Who is overloaded, and what do they host?
     let mut loads: Vec<(f64, u32)> = sys
         .servers()
-        .iter()
         .map(|s| (s.measured_load(), s.id().0))
         .collect();
     loads.sort_by(|a, b| b.0.partial_cmp(&a.0).unwrap());
@@ -80,13 +79,12 @@ fn main() {
     // How many hosts does the root have?
     let root_hosts = sys
         .servers()
-        .iter()
         .filter(|s| s.hosts(terradir::NodeId(0)))
         .count();
     let l1: Vec<usize> = nsr
         .children(nsr.root())
         .iter()
-        .map(|&c| sys.servers().iter().filter(|s| s.hosts(c)).count())
+        .map(|&c| sys.servers().filter(|s| s.hosts(c)).count())
         .collect();
     eprintln!("root hosted by {root_hosts} servers; level-1 hosts {l1:?}");
     let (c, a, r) = terradir::oracle::routing_accuracy(&sys);

@@ -437,21 +437,26 @@ pub fn check_storage_soundness(
 /// soundness per server almost implies this — the count bound
 /// additionally catches a replica set computed inconsistently between
 /// writers.
-pub fn check_storage_replica_counts(
+pub fn check_storage_replica_counts<'a, I>(
     ns: &Namespace,
     assignment: &terradir_namespace::OwnerAssignment,
     storage: &crate::config::StorageConfig,
     roles: Option<&crate::roles::RoleMap>,
     n_objects: usize,
-    servers: &[ServerState],
-) -> Vec<String> {
+    servers: I,
+) -> Vec<String>
+where
+    I: IntoIterator<Item = &'a ServerState>,
+    I::IntoIter: Clone,
+{
+    let servers = servers.into_iter();
     let mut v = Vec::new();
     let mut targets = Vec::new();
     for o in 0..n_objects {
         let node = terradir_namespace::NodeId(o as u32);
         crate::storage::replica_targets(node, ns, assignment, storage, roles, &mut targets);
         let copies = servers
-            .iter()
+            .clone()
             .filter(|s| s.stored_object(node).is_some())
             .count();
         if copies > targets.len() {

@@ -55,6 +55,7 @@
 
 pub mod cache;
 pub mod config;
+pub mod context;
 pub mod det;
 pub mod digests;
 pub(crate) mod gossip;
@@ -80,6 +81,7 @@ pub use config::{
     LeaseConfig, PartitionConfig, ReconcileConfig, RepairConfig, RetryConfig, RoleConfig,
     ScenarioConfig, ScenarioEvent, ServerClass, StorageConfig, TenantConfig, TenantSpec,
 };
+pub use context::{StatefulContext, StatelessContext};
 pub use map::NodeMap;
 pub use messages::{Message, QueryPacket};
 pub use meta::Meta;

@@ -35,7 +35,7 @@ impl GlobalTruth {
     }
 
     /// Snapshots the hosting relation of an explicit server set.
-    pub fn from_servers(servers: &[ServerState]) -> GlobalTruth {
+    pub fn from_servers<'a>(servers: impl IntoIterator<Item = &'a ServerState>) -> GlobalTruth {
         let mut hosts = DetHashSet::default();
         for s in servers {
             for n in s.hosted_ids() {

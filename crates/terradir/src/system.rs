@@ -17,6 +17,7 @@ use terradir_workload::{
 };
 
 use crate::config::{ChaosAction, Config, GossipCulture};
+use crate::context::{StatefulContext, StatelessContext};
 use crate::map::NodeMap;
 use crate::messages::{Message, QueryPacket};
 use crate::server::{Outgoing, ProtocolEvent, ServerState};
@@ -116,17 +117,19 @@ fn exp_draw<R: rand::RngCore>(rng: &mut R, mean: f64) -> f64 {
 }
 
 /// A complete simulated TerraDir system.
+///
+/// State is split per DESIGN.md §20: `shared` is the fleet-wide
+/// read-only half ([`StatelessContext`]), `ctxs` holds one mutable
+/// [`StatefulContext`] per server, and everything else is the
+/// deterministic calendar/dispatch layer — the only code allowed to
+/// touch more than one server's context (the `isolation` xtask pass
+/// enforces that boundary statically).
 pub struct System {
-    ns: Arc<Namespace>,
-    cfg: Arc<Config>,
-    assignment: OwnerAssignment,
-    servers: Vec<ServerState>,
-    queues: Vec<VecDeque<Message>>,
-    in_service: Vec<Option<Message>>,
-    /// Per-server busy-time accounting over 1-second windows (drives the
-    /// Fig. 6 utilization series; separate from the protocol's load metric
-    /// so disabling replication does not lose the measurement).
-    util: Vec<crate::load::LoadMeter>,
+    /// Fleet-wide read-only state (namespace, config, assignment,
+    /// role/tenant maps, speed table).
+    shared: StatelessContext,
+    /// Per-server mutable state, indexed by server id.
+    ctxs: Vec<StatefulContext>,
     engine: Engine<Event>,
     stream: QueryStream,
     arrivals: PoissonArrivals,
@@ -146,14 +149,27 @@ pub struct System {
     next_query_id: u64,
     out_buf: Vec<Outgoing>,
     injecting: bool,
-    failed: Vec<bool>,
-    /// Per-server service epoch, bumped at each failure (stale-filters
-    /// `ServiceDone` events scheduled before a crash).
-    epoch: Vec<u64>,
     /// Outstanding queries under the retry layer, by query id.
     pending: crate::det::DetHashMap<u64, Pending>,
-    /// Per-server speed factors (service time divides by these).
-    speeds: Vec<f64>,
+    /// Shadow-exec permutation seed (DESIGN.md §20): when set, the
+    /// compute half of every same-timestep per-server sweep
+    /// (maintenance, utilization rolls, gossip peer-pool builds) steps
+    /// servers in a deterministic pseudo-random order instead of id
+    /// order, while effects still apply in id order. The replay test
+    /// asserts byte-identical summaries either way — the exact
+    /// order-independence a parallel executor needs.
+    shadow_seed: Option<u64>,
+    /// Per-run counter of permuted sweeps, mixed into the permutation
+    /// so each sweep uses a different order.
+    shadow_rounds: u64,
+    /// Reusable sweep-order scratch buffer.
+    perm_buf: Vec<u32>,
+    /// Reusable per-server maintenance effect buffers (phase 2 of the
+    /// Maintain sweep drains them in canonical id order).
+    maint_bufs: Vec<Vec<Outgoing>>,
+    /// Reusable per-server gossip peer-pool buffers (phase 2 of the
+    /// gossip sweep shuffles/truncates/sends in canonical id order).
+    gossip_peer_bufs: Vec<Vec<ServerId>>,
     /// Reachability group of each server (`id mod partitions.n_groups`).
     group_of: Vec<u32>,
     /// Active partition cut: each server's side of the relation. `None`
@@ -183,8 +199,6 @@ pub struct System {
     store_targets: Vec<ServerId>,
     /// Rotating cursor for the bounded background repair sweep.
     repair_cursor: u32,
-    /// Reusable peer-set scratch for the gossip round driver.
-    gossip_peers: Vec<ServerId>,
     /// Reusable object-payload scratch for gossip pushes and pull replies.
     gossip_objects: Vec<(NodeId, crate::storage::StoredObject)>,
     /// Reusable changed-node snapshot for the hybrid culture's eager push
@@ -192,18 +206,12 @@ pub struct System {
     gossip_changed: Vec<NodeId>,
     /// Reusable key-rendering buffer for pull selection.
     gossip_key_buf: String,
-    /// Fleet role map (DESIGN.md §19); built once at construction when
-    /// `Config::roles.enabled`, `None` otherwise so the roles-off path
-    /// stays byte-identical.
-    roles: Option<Arc<crate::roles::RoleMap>>,
-    /// Tenant partition of the namespace (DESIGN.md §19); present only
-    /// when tenants are active.
-    tenants: Option<crate::roles::TenantMap>,
-    /// Per-server queue capacities: relays get `relay_queue_factor ×`
-    /// the scalar `queue_capacity`; everyone else (and the whole fleet
-    /// with roles off) gets the scalar itself.
-    queue_caps: Vec<usize>,
 }
+
+/// Event types cross threads with the parallel executor's calendar, so
+/// they must be `Send + Sync` too (`Event` is private, so the assertion
+/// lives here rather than in `context.rs`).
+const _: () = crate::context::assert_send_sync::<Event>();
 
 impl System {
     /// Builds a system over the namespace with the given configuration,
@@ -419,7 +427,36 @@ impl System {
             engine.schedule(cfg.gossip.interval, Event::GossipRound);
         }
         let groups = cfg.partitions.n_groups.max(1);
+        // Zip the per-server pieces into one StatefulContext each
+        // (DESIGN.md §20): from here on, only the dispatch regions of
+        // this file may reach into another server's context.
+        // xtask: allow(alloc): construction, runs once per run
+        let ctxs: Vec<StatefulContext> = servers
+            .into_iter()
+            .zip(queue_caps)
+            .enumerate()
+            .map(|(i, (server, queue_cap))| StatefulContext {
+                server,
+                queue: VecDeque::new(),
+                in_service: None,
+                util: crate::load::LoadMeter::new(1.0, 1.0),
+                failed: false,
+                epoch: 0,
+                speed: speeds.get(i).copied().unwrap_or(1.0),
+                queue_cap,
+            })
+            .collect(); // xtask: allow(alloc): construction, runs once
+        let shared = StatelessContext {
+            ns,
+            cfg: Arc::clone(&cfg),
+            assignment: Arc::new(assignment),
+            roles,
+            tenants: tenants.map(Arc::new),
+            speeds: shared_speeds,
+        };
         let mut sys = System {
+            shared,
+            ctxs,
             // xtask: allow(alloc): construction, runs once per run
             group_of: (0..cfg.n_servers).map(|i| i % groups).collect(),
             cut_side: None,
@@ -428,22 +465,11 @@ impl System {
             flash: None,
             flash_epoch: 0,
             service: ExpService::new(cfg.mean_service),
-            util: (0..n)
-                .map(|_| crate::load::LoadMeter::new(1.0, 1.0))
-                .collect(), // xtask: allow(alloc): construction, runs once
-            // xtask: allow(alloc): construction, runs once per run
-            queues: (0..n).map(|_| VecDeque::new()).collect(),
-            // xtask: allow(alloc): construction, runs once per run
-            in_service: (0..n).map(|_| None).collect(),
             rng_service: tagged_rng(cfg.seed, tags::SERVICE),
             rng_protocol: tagged_rng(cfg.seed, tags::PROTOCOL),
             rng_arrivals,
             rng_faults,
             setup_draws,
-            ns,
-            cfg,
-            assignment,
-            servers,
             engine,
             stream,
             arrivals,
@@ -451,27 +477,65 @@ impl System {
             next_query_id: 0,
             out_buf: Vec::new(),
             injecting: true,
-            // xtask: allow(alloc): construction, runs once per run
-            failed: vec![false; n],
-            // xtask: allow(alloc): construction, runs once per run
-            epoch: vec![0; n],
             pending: crate::det::DetHashMap::default(),
-            speeds,
+            shadow_seed: None,
+            shadow_rounds: 0,
+            perm_buf: Vec::new(),
+            // xtask: allow(alloc): construction, runs once per run
+            maint_bufs: (0..n).map(|_| Vec::new()).collect(),
+            // xtask: allow(alloc): construction, runs once per run
+            gossip_peer_bufs: (0..n).map(|_| Vec::new()).collect(),
             committed,
             reads: crate::det::DetHashMap::default(),
             next_read_id: 0,
             store_targets,
             repair_cursor: 0,
-            gossip_peers: Vec::new(),
             gossip_objects: Vec::new(),
             gossip_changed: Vec::new(),
             gossip_key_buf: String::new(),
-            roles,
-            tenants,
-            queue_caps,
         };
         sys.sync_draw_ledger();
         sys
+    }
+
+    /// Enables (`Some(seed)`) or disables (`None`) shadow-exec sweep
+    /// permutation (DESIGN.md §20). With a seed set, every same-timestep
+    /// per-server compute sweep runs in a deterministic pseudo-random
+    /// order derived from the seed and a per-run sweep counter; effects
+    /// still apply in canonical id order, so a run's observable output
+    /// must be byte-identical to the unpermuted run. The permutation
+    /// draws no tagged randomness, so the RNG draw ledger is untouched.
+    pub fn set_shadow_permutation(&mut self, seed: Option<u64>) {
+        self.shadow_seed = seed;
+    }
+
+    /// The order the next per-server compute sweep steps servers in:
+    /// identity without a shadow seed, a Fisher–Yates permutation of a
+    /// private splitmix64 stream with one. Returns the reusable order
+    /// buffer; callers hand it back by reassigning `perm_buf`.
+    fn sweep_order(&mut self, n: usize) -> Vec<u32> {
+        let mut order = std::mem::take(&mut self.perm_buf);
+        order.clear();
+        order.extend(0..n as u32);
+        if let Some(seed) = self.shadow_seed {
+            self.shadow_rounds += 1;
+            // splitmix64 over (seed, sweep index): deterministic,
+            // ledger-free, and different every sweep.
+            let mut state = seed ^ self.shadow_rounds.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+            let mut next = move || {
+                state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+                let mut z = state;
+                z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+                z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+                z ^ (z >> 31)
+            };
+            for i in (1..order.len()).rev() {
+                #[allow(clippy::cast_possible_truncation)]
+                let j = (next() % (i as u64 + 1)) as usize;
+                order.swap(i, j);
+            }
+        }
+        order
     }
 
     /// Draws normalized per-server speed factors (log-uniform in
@@ -583,46 +647,43 @@ impl System {
     /// paper's resiliency argument relies on ("hosting servers for nodes
     /// with failed replicas will incur more load after failure … and will
     /// replicate again").
+    // xtask: region(dispatch): begin — churn executor: crash/recovery must drain and reset the victim's context
     pub fn fail_server(&mut self, id: ServerId) {
         let i = id.index();
-        let Some(flag) = self.failed.get_mut(i) else {
+        let now = self.engine.now();
+        let retry = self.shared.cfg.retry.enabled;
+        let Some(ctx) = self.ctxs.get_mut(i) else {
             return;
         };
-        if *flag {
+        if ctx.failed {
             return;
         }
-        *flag = true;
+        ctx.failed = true;
         self.stats.churn_failures += 1;
-        let now = self.engine.now();
-        let retry = self.cfg.retry.enabled;
-        if let Some(q) = self.queues.get_mut(i) {
-            for msg in q.drain(..) {
-                if msg.is_query_traffic() {
-                    if retry {
-                        self.stats.on_attempt_lost(DropKind::Queue);
-                    } else {
-                        self.stats.on_drop(now, DropKind::Queue);
-                        Self::tenant_drop(self.tenants.as_ref(), &mut self.stats, &msg);
-                    }
+        for msg in ctx.queue.drain(..) {
+            if msg.is_query_traffic() {
+                if retry {
+                    self.stats.on_attempt_lost(DropKind::Queue);
+                } else {
+                    self.stats.on_drop(now, DropKind::Queue);
+                    Self::tenant_drop(self.shared.tenants.as_deref(), &mut self.stats, &msg);
                 }
             }
         }
         // The in-service message dies with the server right now; its
         // already-scheduled completion event is stale-filtered by the
         // epoch bump below.
-        if let Some(msg) = self.in_service.get_mut(i).and_then(Option::take) {
+        if let Some(msg) = ctx.in_service.take() {
             if msg.is_query_traffic() {
                 if retry {
                     self.stats.on_attempt_lost(DropKind::Queue);
                 } else {
                     self.stats.on_drop(now, DropKind::Queue);
-                    Self::tenant_drop(self.tenants.as_ref(), &mut self.stats, &msg);
+                    Self::tenant_drop(self.shared.tenants.as_deref(), &mut self.stats, &msg);
                 }
             }
         }
-        if let Some(e) = self.epoch.get_mut(i) {
-            *e += 1;
-        }
+        ctx.epoch += 1;
     }
 
     /// Recovers a failed server (DESIGN.md §12): it rejoins with its owned
@@ -631,33 +692,30 @@ impl System {
     /// and immediately resumes service. A no-op on a live server.
     pub fn recover_server(&mut self, id: ServerId) {
         let i = id.index();
-        let Some(flag) = self.failed.get_mut(i) else {
+        let now = self.engine.now();
+        let Some(ctx) = self.ctxs.get_mut(i) else {
             return;
         };
-        if !*flag {
+        if !ctx.failed {
             return;
         }
-        *flag = false;
+        ctx.failed = false;
         self.stats.churn_recoveries += 1;
-        let now = self.engine.now();
-        if let Some(server) = self.servers.get_mut(i) {
-            // A replication session whose *initiator* dies is gone for
-            // good — the reset below discards it, and the ledger must
-            // record the abort so started == completed + aborted holds.
-            if server.session.is_some() {
-                self.stats.sessions_aborted += 1;
-            }
-            server.reset_soft_state(now, &self.assignment);
+        // A replication session whose *initiator* dies is gone for
+        // good — the reset below discards it, and the ledger must
+        // record the abort so started == completed + aborted holds.
+        if ctx.server.session.is_some() {
+            self.stats.sessions_aborted += 1;
         }
-        if let Some(m) = self.util.get_mut(i) {
-            *m = crate::load::LoadMeter::new(1.0, 1.0);
-            m.roll(now);
-        }
-        debug_assert!(self.queues.get(i).is_none_or(VecDeque::is_empty));
-        debug_assert!(self.in_service.get(i).is_none_or(Option::is_none));
+        ctx.server.reset_soft_state(now, &self.shared.assignment);
+        ctx.util = crate::load::LoadMeter::new(1.0, 1.0);
+        ctx.util.roll(now);
+        debug_assert!(ctx.queue.is_empty());
+        debug_assert!(ctx.in_service.is_none());
         self.try_start(id);
         self.warm_rejoin_push(id);
     }
+    // xtask: region(dispatch): end
 
     /// Churn process, failure side: fail the server and arm its recovery
     /// timer. Failures are suppressed once the churn window closed, and
@@ -668,13 +726,13 @@ impl System {
         // ChurnConfig is all scalars: copy the fields this step needs
         // instead of cloning the struct, detaching the cfg borrow.
         let (stop, max_down_fraction, mean_uptime, mean_downtime) = {
-            let c = &self.cfg.churn;
+            let c = &self.shared.cfg.churn;
             (c.stop, c.max_down_fraction, c.mean_uptime, c.mean_downtime)
         };
         if now >= stop {
             return;
         }
-        let n = self.cfg.n_servers as usize;
+        let n = self.shared.cfg.n_servers as usize;
         let over_budget = (self.failed_count() + 1) as f64 / n.max(1) as f64 > max_down_fraction;
         if self.is_failed(s) || over_budget {
             let gap = exp_draw(&mut self.rng_faults, mean_uptime);
@@ -692,8 +750,8 @@ impl System {
     fn churn_recover(&mut self, s: ServerId) {
         self.recover_server(s);
         let now = self.engine.now();
-        if now < self.cfg.churn.stop {
-            let up = exp_draw(&mut self.rng_faults, self.cfg.churn.mean_uptime);
+        if now < self.shared.cfg.churn.stop {
+            let up = exp_draw(&mut self.rng_faults, self.shared.cfg.churn.mean_uptime);
             self.engine.schedule_in(up, Event::ChurnFail { server: s });
         }
     }
@@ -702,8 +760,15 @@ impl System {
     /// (crash victims, flash origins and gaps) comes from the fault RNG,
     /// so a scenario replays bit-identically from the seed.
     fn apply_chaos(&mut self, idx: usize) {
-        // xtask: allow(alloc): scripted chaos action, a handful per run; the clone detaches the cfg borrow so the handlers may mutate self
-        let Some(action) = self.cfg.scenario.events.get(idx).map(|e| e.action.clone()) else {
+        let Some(action) = self
+            .shared
+            .cfg
+            .scenario
+            .events
+            .get(idx)
+            // xtask: allow(alloc): scripted chaos action, a handful per run; the clone detaches the cfg borrow so the handlers may mutate self
+            .map(|e| e.action.clone())
+        else {
             return;
         };
         match action {
@@ -715,7 +780,7 @@ impl System {
             } => self.set_flash(node, rate_multiplier),
             ChaosAction::CorrelatedCrash { fraction } => self.correlated_crash(fraction),
             ChaosAction::Recover => {
-                for i in 0..self.cfg.n_servers {
+                for i in 0..self.shared.cfg.n_servers {
                     self.recover_server(ServerId(i));
                 }
             }
@@ -729,10 +794,10 @@ impl System {
     /// Draws no randomness itself; `validate` guarantees a role map is
     /// present when the scenario script names a class.
     fn class_wave(&mut self, class: crate::config::ServerClass, crash: bool) {
-        let Some(roles) = self.roles.as_ref().map(Arc::clone) else {
+        let Some(roles) = self.shared.roles.as_ref().map(Arc::clone) else {
             return;
         };
-        for i in 0..self.cfg.n_servers {
+        for i in 0..self.shared.cfg.n_servers {
             let id = ServerId(i);
             if roles.class_of(id) != class {
                 continue;
@@ -782,7 +847,7 @@ impl System {
     fn heal_cut(&mut self) {
         self.stats.heals_applied += 1;
         self.cut_side = None;
-        if self.cfg.reconcile.enabled {
+        if self.shared.cfg.reconcile.enabled {
             for id in self.minority_servers() {
                 if !self.is_failed(id) {
                     self.warm_rejoin_push(id);
@@ -799,16 +864,16 @@ impl System {
     /// disabled runs stay byte-identical to pre-reconcile baselines).
     fn warm_rejoin_push(&mut self, id: ServerId) {
         use rand::seq::SliceRandom;
-        if !self.cfg.reconcile.enabled || self.is_failed(id) {
+        if !self.shared.cfg.reconcile.enabled || self.is_failed(id) {
             return;
         }
-        let Some(server) = self.servers.get(id.index()) else {
+        let Some(server) = self.ctxs.get(id.index()).map(|c| &c.server) else {
             return;
         };
         let mut peers: Vec<ServerId> = Vec::new();
         for node in server.owned_ids() {
-            for nb in self.ns.neighbors(node) {
-                let owner = self.assignment.owner(nb);
+            for nb in self.shared.ns.neighbors(node) {
+                let owner = self.shared.assignment.owner(nb);
                 if owner != id && !self.is_failed(owner) {
                     peers.push(owner);
                 }
@@ -819,15 +884,15 @@ impl System {
         // Role gate (DESIGN.md §19): advertisements go only to peers that
         // could serve the pusher's subtrees. Runs before the shuffle, so
         // roles-off runs spend identical fault-stream draws.
-        if let Some(roles) = self.roles.as_deref() {
+        if let Some(roles) = self.shared.roles.as_deref() {
             peers.retain(|&p| roles.gossip_compatible(id, p));
         }
         peers.shuffle(&mut self.rng_faults);
-        peers.truncate(self.cfg.reconcile.fanout as usize);
+        peers.truncate(self.shared.cfg.reconcile.fanout as usize);
         // xtask: allow(alloc): reconcile push, fires only on heal/rejoin
         let mut nodes: Vec<NodeId> = server.owned_ids().collect();
         nodes.sort_unstable();
-        nodes.truncate(self.cfg.reconcile.batch as usize);
+        nodes.truncate(self.shared.cfg.reconcile.batch as usize);
         // Each push advertises only the authoritative fact the pusher can
         // vouch for — "I host this node", a singleton map. Forwarding its
         // full host map would propagate exactly the stale third-party
@@ -854,7 +919,7 @@ impl System {
             // and extra RNG draws here would perturb replay of the fault
             // stream shared with churn/chaos.
             self.engine.schedule_in(
-                self.cfg.network_delay,
+                self.shared.cfg.network_delay,
                 Event::Deliver {
                     to: peer,
                     from: Some(id),
@@ -884,7 +949,7 @@ impl System {
     fn set_flash(&mut self, node: u32, rate_multiplier: f64) {
         self.flash_epoch += 1;
         let extra = self.arrivals.rate() * (rate_multiplier - 1.0);
-        if rate_multiplier <= 1.0 || extra <= 0.0 || (node as usize) >= self.ns.len() {
+        if rate_multiplier <= 1.0 || extra <= 0.0 || (node as usize) >= self.shared.ns.len() {
             self.flash = None;
             return;
         }
@@ -921,7 +986,7 @@ impl System {
         self.stats.injected_per_sec.record(now);
         self.record_injection_side(now, src);
         self.note_tenant_injected(node);
-        if self.cfg.retry.enabled {
+        if self.shared.cfg.retry.enabled {
             self.pending.insert(
                 id,
                 Pending {
@@ -950,7 +1015,7 @@ impl System {
         if !self.injecting {
             return;
         }
-        let rate = self.cfg.storage.write_rate;
+        let rate = self.shared.cfg.storage.write_rate;
         if rate > 0.0 {
             let gap = exp_draw(&mut self.rng_faults, 1.0 / rate);
             self.engine.schedule_in(gap, Event::StorePut);
@@ -978,10 +1043,10 @@ impl System {
         let mut targets = std::mem::take(&mut self.store_targets);
         crate::storage::replica_targets(
             node,
-            &self.ns,
-            &self.assignment,
-            &self.cfg.storage,
-            self.roles.as_deref(),
+            &self.shared.ns,
+            &self.shared.assignment,
+            &self.shared.cfg.storage,
+            self.shared.roles.as_deref(),
             &mut targets,
         );
         for &t in &targets {
@@ -991,7 +1056,7 @@ impl System {
                 self.charge_wire(&msg);
             }
             self.engine.schedule_in(
-                self.cfg.network_delay,
+                self.shared.cfg.network_delay,
                 Event::Deliver {
                     to: t,
                     from: Some(origin),
@@ -1013,7 +1078,7 @@ impl System {
         if !self.injecting {
             return;
         }
-        let rate = self.cfg.storage.read_rate;
+        let rate = self.shared.cfg.storage.read_rate;
         if rate > 0.0 {
             let gap = exp_draw(&mut self.rng_faults, 1.0 / rate);
             self.engine.schedule_in(gap, Event::StoreGet);
@@ -1030,10 +1095,10 @@ impl System {
         let mut targets = std::mem::take(&mut self.store_targets);
         crate::storage::replica_targets(
             node,
-            &self.ns,
-            &self.assignment,
-            &self.cfg.storage,
-            self.roles.as_deref(),
+            &self.shared.ns,
+            &self.shared.assignment,
+            &self.shared.cfg.storage,
+            self.shared.roles.as_deref(),
             &mut targets,
         );
         if targets.is_empty() {
@@ -1042,7 +1107,7 @@ impl System {
         }
         let id = self.next_read_id;
         self.next_read_id += 1;
-        let expect = if self.cfg.storage.quorum_reads {
+        let expect = if self.shared.cfg.storage.quorum_reads {
             let majority = targets.len() as u32 / 2 + 1;
             for &t in &targets {
                 self.stats.control_messages += 1;
@@ -1055,7 +1120,7 @@ impl System {
                     self.charge_wire(&msg);
                 }
                 self.engine.schedule_in(
-                    self.cfg.network_delay,
+                    self.shared.cfg.network_delay,
                     Event::Deliver {
                         to: t,
                         from: Some(origin),
@@ -1068,7 +1133,7 @@ impl System {
             let pick = targets
                 .get(self.rng_faults.gen_range(0..targets.len()))
                 .copied()
-                .unwrap_or_else(|| self.assignment.owner(node));
+                .unwrap_or_else(|| self.shared.assignment.owner(node));
             self.stats.control_messages += 1;
             let msg = Message::GetObject {
                 id,
@@ -1079,7 +1144,7 @@ impl System {
                 self.charge_wire(&msg);
             }
             self.engine.schedule_in(
-                self.cfg.network_delay,
+                self.shared.cfg.network_delay,
                 Event::Deliver {
                     to: pick,
                     from: Some(origin),
@@ -1098,8 +1163,10 @@ impl System {
                 issued_version: self.committed.get(o).copied().unwrap_or(1),
             },
         );
-        self.engine
-            .schedule_in(self.cfg.storage.read_timeout, Event::StoreReadDone { id });
+        self.engine.schedule_in(
+            self.shared.cfg.storage.read_timeout,
+            Event::StoreReadDone { id },
+        );
     }
 
     /// Finalizes an outstanding read: the freshest copy seen counts as a
@@ -1133,12 +1200,12 @@ impl System {
     /// cannot resurrect data — only a later write can.
     fn store_repair(&mut self) {
         self.engine
-            .schedule_in(self.cfg.repair.interval, Event::StoreRepair);
+            .schedule_in(self.shared.cfg.repair.interval, Event::StoreRepair);
         let n = self.committed.len();
         if n == 0 {
             return;
         }
-        let budget = self.cfg.repair.batch;
+        let budget = self.shared.cfg.repair.batch;
         let mut pushes = 0u32;
         let mut targets = std::mem::take(&mut self.store_targets);
         let mut idx = self.repair_cursor as usize % n;
@@ -1151,10 +1218,10 @@ impl System {
             let node = NodeId(o as u32);
             crate::storage::replica_targets(
                 node,
-                &self.ns,
-                &self.assignment,
-                &self.cfg.storage,
-                self.roles.as_deref(),
+                &self.shared.ns,
+                &self.shared.assignment,
+                &self.shared.cfg.storage,
+                self.shared.roles.as_deref(),
                 &mut targets,
             );
             let mut freshest: Option<(ServerId, crate::storage::StoredObject)> = None;
@@ -1169,9 +1236,9 @@ impl System {
                 // unchanged).
                 self.stats.bytes_on_wire += crate::messages::PROBE_BYTES;
                 let Some(obj) = self
-                    .servers
+                    .ctxs
                     .get(t.index())
-                    .and_then(|s| s.stored_object(node))
+                    .and_then(|c| c.server.stored_object(node))
                 else {
                     continue;
                 };
@@ -1194,9 +1261,9 @@ impl System {
                     continue;
                 }
                 let stale = match self
-                    .servers
+                    .ctxs
                     .get(t.index())
-                    .and_then(|s| s.stored_object(node))
+                    .and_then(|c| c.server.stored_object(node))
                 {
                     Some(have) => crate::storage::lww_merge(have, best) != have,
                     None => true,
@@ -1208,7 +1275,7 @@ impl System {
                     let msg = Message::RepairPush { node, obj: best };
                     self.charge_wire(&msg);
                     self.engine.schedule_in(
-                        self.cfg.network_delay,
+                        self.shared.cfg.network_delay,
                         Event::Deliver {
                             to: t,
                             from: Some(holder),
@@ -1242,48 +1309,47 @@ impl System {
     fn gossip_round(&mut self) {
         use rand::seq::SliceRandom;
         self.engine
-            .schedule_in(self.cfg.gossip.interval, Event::GossipRound);
-        let culture = self.cfg.gossip.culture;
-        for i in 0..self.servers.len() {
-            if self.failed.get(i).copied().unwrap_or(true) {
+            .schedule_in(self.shared.cfg.gossip.interval, Event::GossipRound);
+        let culture = self.shared.cfg.gossip.culture;
+        let n = self.ctxs.len();
+        // Phase 1 — compute (order-independent): every live server
+        // builds its candidate peer pool from its own state and the
+        // frozen fleet snapshot, into its own buffer. No RNG, no
+        // mutation of any context, so the shadow-exec permutation may
+        // step this sweep in any order.
+        let order = self.sweep_order(n);
+        let mut peer_bufs = std::mem::take(&mut self.gossip_peer_bufs);
+        for &oi in &order {
+            let i = oi as usize;
+            let Some(peers) = peer_bufs.get_mut(i) else {
+                continue;
+            };
+            peers.clear();
+            let Some(ctx) = self.ctxs.get(i) else {
+                continue;
+            };
+            if ctx.failed {
                 continue;
             }
-            let id = ServerId(i as u32);
-            let mut peers = std::mem::take(&mut self.gossip_peers);
-            peers.clear();
-            // A server that has never sealed a digest (first round ever,
-            // or just recovered from a soft-state wipe) has everything to
-            // re-learn: its round becomes a *recovery burst* that
-            // contacts the whole candidate pool instead of `fanout` of
-            // it, so every object it backs is re-pulled within one
-            // interval instead of one interval per pool/fanout chunk.
-            // Steady-state rounds are untouched.
-            // (Chatty never seals a digest, so only the post-reset flag
-            // can burst it — its ordinary rounds already push full state.)
-            let burst = self.servers.get(i).is_some_and(|s| {
-                s.gossip.all_changed
-                    || (!matches!(culture, GossipCulture::Chatty) && s.gossip.digest.is_none())
-            });
-            if let Some(server) = self.servers.get(i) {
-                for node in server.owned_ids() {
-                    for nb in self.ns.neighbors(node) {
-                        let owner = self.assignment.owner(nb);
-                        if owner != id && !self.is_failed(owner) {
-                            peers.push(owner);
-                        }
-                        // Fellow replica-set members — the other
-                        // neighbor-owners of the same node — hold the
-                        // only live copy when that node's owner is down;
-                        // without these 2-hop links a wiped replica can
-                        // never re-pull from them. Routing-only runs skip
-                        // them: no objects, so the extra candidates would
-                        // only dilute the neighbor mix.
-                        if self.cfg.storage.enabled {
-                            for nb2 in self.ns.neighbors(nb) {
-                                let fellow = self.assignment.owner(nb2);
-                                if fellow != id && !self.is_failed(fellow) {
-                                    peers.push(fellow);
-                                }
+            let id = ServerId(oi);
+            for node in ctx.server.owned_ids() {
+                for nb in self.shared.ns.neighbors(node) {
+                    let owner = self.shared.assignment.owner(nb);
+                    if owner != id && !self.is_failed(owner) {
+                        peers.push(owner);
+                    }
+                    // Fellow replica-set members — the other
+                    // neighbor-owners of the same node — hold the
+                    // only live copy when that node's owner is down;
+                    // without these 2-hop links a wiped replica can
+                    // never re-pull from them. Routing-only runs skip
+                    // them: no objects, so the extra candidates would
+                    // only dilute the neighbor mix.
+                    if self.shared.cfg.storage.enabled {
+                        for nb2 in self.shared.ns.neighbors(nb) {
+                            let fellow = self.shared.assignment.owner(nb2);
+                            if fellow != id && !self.is_failed(fellow) {
+                                peers.push(fellow);
                             }
                         }
                     }
@@ -1294,10 +1360,13 @@ impl System {
             // neighbors — without these links a wiped filler can never
             // solicit the owners it backs, and digest-driven repair
             // silently excludes every filler-placed copy.
-            if self.cfg.storage.enabled {
-                let n = self.servers.len() as u32;
-                for k in 1..self.cfg.storage.replication_factor.min(n) {
-                    for cand in [ServerId((id.0 + n - k) % n), ServerId((id.0 + k) % n)] {
+            if self.shared.cfg.storage.enabled {
+                let fleet = n as u32;
+                for k in 1..self.shared.cfg.storage.replication_factor.min(fleet) {
+                    for cand in [
+                        ServerId((id.0 + fleet - k) % fleet),
+                        ServerId((id.0 + k) % fleet),
+                    ] {
                         if cand != id && !self.is_failed(cand) {
                             peers.push(cand);
                         }
@@ -1310,52 +1379,87 @@ impl System {
             // servers sharing an admitted region; relays are unrestricted.
             // Runs before the shuffle so roles-off draw counts are
             // untouched.
-            if let Some(roles) = self.roles.as_deref() {
+            if let Some(roles) = self.shared.roles.as_deref() {
                 peers.retain(|&p| roles.gossip_compatible(id, p));
             }
-            peers.shuffle(&mut self.rng_faults);
-            if !burst {
-                peers.truncate(self.cfg.gossip.fanout as usize);
+        }
+        // Phase 2 — apply (canonical id order): the per-server shuffle
+        // draws from the shared fault stream and the sends schedule
+        // calendar events, so this half must run in id order for
+        // byte-identical replay.
+        // xtask: region(dispatch): begin — gossip apply phase: shuffles and sends drain every server's peer pool
+        for i in 0..n {
+            if self.ctxs.get(i).is_none_or(|c| c.failed) {
+                continue;
             }
-            if !peers.is_empty() {
-                match culture {
-                    GossipCulture::Chatty => {
-                        self.gossip_push(id, &peers, None);
-                        // Chatty never reseals the digest, so per-node
-                        // change tracking would grow without bound and
-                        // the post-reset flag would re-burst every round
-                        // — drain both here instead.
-                        if let Some(s) = self.servers.get_mut(i) {
-                            s.gossip.changed.clear();
-                            s.gossip.all_changed = false;
-                        }
-                    }
-                    GossipCulture::Taciturn => {
-                        self.gossip_send_digest(id, &peers);
-                    }
-                    GossipCulture::Hybrid => {
-                        // Snapshot the change set before the digest
-                        // reseal clears it; the eager push covers exactly
-                        // those keys. (A reset emptied it — the fresh
-                        // snapshot digest carries that signal instead.)
-                        let mut changed = std::mem::take(&mut self.gossip_changed);
-                        changed.clear();
-                        if let Some(s) = self.servers.get(i) {
-                            changed.extend(s.gossip.changed.iter().copied());
-                        }
-                        changed.sort_unstable();
-                        changed.dedup();
-                        changed.truncate(self.cfg.gossip.window as usize);
-                        self.gossip_send_digest(id, &peers);
-                        if !changed.is_empty() {
-                            self.gossip_push(id, &peers, Some(&changed));
-                        }
-                        self.gossip_changed = changed;
+            let id = ServerId(i as u32);
+            // A server that has never sealed a digest (first round ever,
+            // or just recovered from a soft-state wipe) has everything to
+            // re-learn: its round becomes a *recovery burst* that
+            // contacts the whole candidate pool instead of `fanout` of
+            // it, so every object it backs is re-pulled within one
+            // interval instead of one interval per pool/fanout chunk.
+            // Steady-state rounds are untouched.
+            // (Chatty never seals a digest, so only the post-reset flag
+            // can burst it — its ordinary rounds already push full state.)
+            let burst = self.ctxs.get(i).is_some_and(|c| {
+                c.server.gossip.all_changed
+                    || (!matches!(culture, GossipCulture::Chatty)
+                        && c.server.gossip.digest.is_none())
+            });
+            let Some(slot) = peer_bufs.get_mut(i) else {
+                continue;
+            };
+            slot.shuffle(&mut self.rng_faults);
+            if !burst {
+                slot.truncate(self.shared.cfg.gossip.fanout as usize);
+            }
+            if slot.is_empty() {
+                continue;
+            }
+            let peers = std::mem::take(slot);
+            match culture {
+                GossipCulture::Chatty => {
+                    self.gossip_push(id, &peers, None);
+                    // Chatty never reseals the digest, so per-node
+                    // change tracking would grow without bound and
+                    // the post-reset flag would re-burst every round
+                    // — drain both here instead.
+                    if let Some(c) = self.ctxs.get_mut(i) {
+                        c.server.gossip.changed.clear();
+                        c.server.gossip.all_changed = false;
                     }
                 }
+                GossipCulture::Taciturn => {
+                    self.gossip_send_digest(id, &peers);
+                }
+                GossipCulture::Hybrid => {
+                    // Snapshot the change set before the digest
+                    // reseal clears it; the eager push covers exactly
+                    // those keys. (A reset emptied it — the fresh
+                    // snapshot digest carries that signal instead.)
+                    let mut changed = std::mem::take(&mut self.gossip_changed);
+                    changed.clear();
+                    if let Some(c) = self.ctxs.get(i) {
+                        changed.extend(c.server.gossip.changed.iter().copied());
+                    }
+                    changed.sort_unstable();
+                    changed.dedup();
+                    changed.truncate(self.shared.cfg.gossip.window as usize);
+                    self.gossip_send_digest(id, &peers);
+                    if !changed.is_empty() {
+                        self.gossip_push(id, &peers, Some(&changed));
+                    }
+                    self.gossip_changed = changed;
+                }
             }
-            self.gossip_peers = peers;
+            if let Some(slot) = peer_bufs.get_mut(i) {
+                *slot = peers;
+            }
         }
+        // xtask: region(dispatch): end
+        self.gossip_peer_bufs = peer_bufs;
+        self.perm_buf = order;
     }
 
     /// Ships `id`'s current windowed digest to each round peer, tagging
@@ -1364,16 +1468,18 @@ impl System {
     /// either way; only its charged bytes differ (O(changed) in steady
     /// state, the full filter after a reset or for a first contact).
     fn gossip_send_digest(&mut self, id: ServerId, peers: &[ServerId]) {
-        let digest = match self.servers.get_mut(id.index()) {
-            Some(s) => s.gossip_digest(),
+        // xtask: region(dispatch): begin — gossip send helper: the digest snapshot and per-peer generation stamps mutate the sender's own context
+        let digest = match self.ctxs.get_mut(id.index()) {
+            Some(c) => c.server.gossip_digest(),
             None => return,
         };
         let gen = digest.generation();
         for &peer in peers {
-            let since = match self.servers.get_mut(id.index()) {
-                Some(s) => s.gossip.note_sent(peer, gen),
+            let since = match self.ctxs.get_mut(id.index()) {
+                Some(c) => c.server.gossip.note_sent(peer, gen),
                 None => None,
             };
+            // xtask: region(dispatch): end
             let msg = Message::GossipDigest {
                 from: id,
                 // xtask: allow(alloc): Arc-backed digest clone, O(1) per peer
@@ -1383,7 +1489,7 @@ impl System {
             self.stats.control_messages += 1;
             self.charge_wire(&msg);
             self.engine.schedule_in(
-                self.cfg.network_delay,
+                self.shared.cfg.network_delay,
                 Event::Deliver {
                     to: peer,
                     from: Some(id),
@@ -1412,7 +1518,8 @@ impl System {
             // Hybrid's eager push sticks to *owned* nodes: ownership is
             // the static assignment, so those ads can never go stale,
             // and its digest already retires everything else.
-            let records: Vec<(NodeId, NodeMap)> = match self.servers.get(id.index()) {
+            let records: Vec<(NodeId, NodeMap)> = match self.ctxs.get(id.index()).map(|c| &c.server)
+            {
                 Some(s) => match changed {
                     None => s
                         .owned_ids()
@@ -1422,14 +1529,14 @@ impl System {
                     Some(nodes) => nodes
                         .iter()
                         .copied()
-                        .filter(|&n| self.assignment.owner(n) == id)
+                        .filter(|&n| self.shared.assignment.owner(n) == id)
                         .map(|n| (n, NodeMap::singleton(id)))
                         .collect(), // xtask: allow(alloc): each push message owns its payload
                 },
                 None => Vec::new(),
             };
             objects.clear();
-            if let Some(s) = self.servers.get(id.index()) {
+            if let Some(s) = self.ctxs.get(id.index()).map(|c| &c.server) {
                 for (node, obj) in s.stored_objects() {
                     if let Some(nodes) = changed {
                         if nodes.binary_search(&node).is_err() {
@@ -1438,10 +1545,10 @@ impl System {
                     }
                     crate::storage::replica_targets(
                         node,
-                        &self.ns,
-                        &self.assignment,
-                        &self.cfg.storage,
-                        self.roles.as_deref(),
+                        &self.shared.ns,
+                        &self.shared.assignment,
+                        &self.shared.cfg.storage,
+                        self.shared.roles.as_deref(),
                         &mut targets,
                     );
                     if targets.contains(&peer) {
@@ -1462,7 +1569,7 @@ impl System {
             self.stats.control_messages += 1;
             self.charge_wire(&msg);
             self.engine.schedule_in(
-                self.cfg.network_delay,
+                self.shared.cfg.network_delay,
                 Event::Deliver {
                     to: peer,
                     from: Some(id),
@@ -1489,18 +1596,18 @@ impl System {
             let node = NodeId(o as u32);
             crate::storage::replica_targets(
                 node,
-                &self.ns,
-                &self.assignment,
-                &self.cfg.storage,
-                self.roles.as_deref(),
+                &self.shared.ns,
+                &self.shared.assignment,
+                &self.shared.cfg.storage,
+                self.shared.roles.as_deref(),
                 &mut targets,
             );
             let held = targets.iter().any(|&t| {
                 !self.is_failed(t)
                     && self
-                        .servers
+                        .ctxs
                         .get(t.index())
-                        .is_some_and(|s| s.stored_object(node).is_some())
+                        .is_some_and(|c| c.server.stored_object(node).is_some())
             });
             if held {
                 alive += 1;
@@ -1518,21 +1625,21 @@ impl System {
     /// deterministic linear sweep as fallback).
     fn correlated_crash(&mut self, fraction: f64) {
         use rand::Rng;
-        let n = self.cfg.n_servers as usize;
+        let n = self.shared.cfg.n_servers as usize;
         let live = n.saturating_sub(self.failed_count());
         let k = ((fraction * n as f64).round() as usize).min(live);
         let mut crashed = 0;
         let mut tries = 0;
         while crashed < k && tries < 64 * n.max(1) {
             tries += 1;
-            let s = ServerId(self.rng_faults.gen_range(0..self.cfg.n_servers));
+            let s = ServerId(self.rng_faults.gen_range(0..self.shared.cfg.n_servers));
             if !self.is_failed(s) {
                 self.fail_server(s);
                 self.stats.scenario_crashes += 1;
                 crashed += 1;
             }
         }
-        for i in 0..self.cfg.n_servers {
+        for i in 0..self.shared.cfg.n_servers {
             if crashed >= k {
                 break;
             }
@@ -1591,7 +1698,12 @@ impl System {
 
     /// Attributes an injection to its target's tenant.
     fn note_tenant_injected(&mut self, node: NodeId) {
-        if let Some(t) = self.tenants.as_ref().and_then(|m| m.tenant_of(node)) {
+        if let Some(t) = self
+            .shared
+            .tenants
+            .as_deref()
+            .and_then(|m| m.tenant_of(node))
+        {
             self.stats.on_tenant_injected(t);
         }
     }
@@ -1599,12 +1711,12 @@ impl System {
     /// Whether a server has been failed. Ids outside the fleet read as
     /// failed: nothing can be delivered to them.
     pub fn is_failed(&self, id: ServerId) -> bool {
-        self.failed.get(id.index()).copied().unwrap_or(true)
+        self.ctxs.get(id.index()).is_none_or(|c| c.failed)
     }
 
     /// Number of currently failed servers.
     pub fn failed_count(&self) -> usize {
-        self.failed.iter().filter(|&&f| f).count()
+        self.ctxs.iter().filter(|c| c.failed).count()
     }
 
     /// Stops (or restarts) query injection. With injection off, a further
@@ -1625,13 +1737,19 @@ impl System {
             // The storage write/read drivers are injection too: they
             // went quiet with the toggle (their handlers early-return
             // without re-arming) and resume with it.
-            if self.cfg.storage.enabled {
-                if self.cfg.storage.write_rate > 0.0 {
-                    let gap = exp_draw(&mut self.rng_faults, 1.0 / self.cfg.storage.write_rate);
+            if self.shared.cfg.storage.enabled {
+                if self.shared.cfg.storage.write_rate > 0.0 {
+                    let gap = exp_draw(
+                        &mut self.rng_faults,
+                        1.0 / self.shared.cfg.storage.write_rate,
+                    );
                     self.engine.schedule_in(gap, Event::StorePut);
                 }
-                if self.cfg.storage.read_rate > 0.0 {
-                    let gap = exp_draw(&mut self.rng_faults, 1.0 / self.cfg.storage.read_rate);
+                if self.shared.cfg.storage.read_rate > 0.0 {
+                    let gap = exp_draw(
+                        &mut self.rng_faults,
+                        1.0 / self.shared.cfg.storage.read_rate,
+                    );
                     self.engine.schedule_in(gap, Event::StoreGet);
                 }
             }
@@ -1701,61 +1819,63 @@ impl System {
 
     /// The namespace.
     pub fn namespace(&self) -> &Namespace {
-        &self.ns
+        &self.shared.ns
     }
 
     /// The configuration.
     pub fn config(&self) -> &Config {
-        &self.cfg
+        &self.shared.cfg
     }
 
     /// The ownership assignment.
     pub fn assignment(&self) -> &OwnerAssignment {
-        &self.assignment
+        &self.shared.assignment
+    }
+
+    /// The per-server speed-factor table (id-indexed).
+    pub fn speed_table(&self) -> &[f64] {
+        &self.shared.speeds
     }
 
     /// Read access to a server's protocol state. Out-of-range ids (only
     /// constructible by hand) degrade to the first server.
     pub fn server(&self, id: ServerId) -> &ServerState {
-        match self.servers.get(id.index()) {
-            Some(s) => s,
-            None => match self.servers.first() {
-                Some(s) => s,
+        match self.ctxs.get(id.index()) {
+            Some(c) => &c.server,
+            None => match self.ctxs.first() {
+                Some(c) => &c.server,
                 None => unreachable!("a system always has at least one server"),
             },
         }
     }
 
-    /// All servers.
-    pub fn servers(&self) -> &[ServerState] {
-        &self.servers
+    /// All servers, in id order.
+    pub fn servers(&self) -> impl Iterator<Item = &ServerState> + '_ {
+        self.ctxs.iter().map(|c| &c.server)
     }
 
     /// The fleet role map (`None` with roles off).
     pub fn roles(&self) -> Option<&crate::roles::RoleMap> {
-        self.roles.as_deref()
+        self.shared.roles.as_deref()
     }
 
     /// The tenant partition (`None` with tenants off).
     pub fn tenants(&self) -> Option<&crate::roles::TenantMap> {
-        self.tenants.as_ref()
+        self.shared.tenants.as_deref()
     }
 
     /// Total replicas currently hosted across all servers.
     pub fn total_replicas(&self) -> usize {
-        self.servers
-            .iter()
-            .map(super::server::ServerState::replica_count)
-            .sum()
+        self.ctxs.iter().map(|c| c.server.replica_count()).sum()
     }
 
     /// Replicas currently hosted per namespace level.
     pub fn replicas_per_level(&self) -> Vec<usize> {
         // xtask: allow(alloc): harness diagnostic, not on the event path
-        let mut out = vec![0usize; self.ns.max_depth() as usize + 1];
-        for s in &self.servers {
-            for n in s.replica_ids() {
-                if let Some(slot) = out.get_mut(self.ns.depth(n) as usize) {
+        let mut out = vec![0usize; self.shared.ns.max_depth() as usize + 1];
+        for c in &self.ctxs {
+            for n in c.server.replica_ids() {
+                if let Some(slot) = out.get_mut(self.shared.ns.depth(n) as usize) {
                     *slot += 1;
                 }
             }
@@ -1771,42 +1891,43 @@ impl System {
     pub fn audit(&self) -> Vec<String> {
         let now = self.engine.now();
         let mut v = Vec::new();
-        for (server, failed) in self.servers.iter().zip(&self.failed) {
-            if !failed {
-                v.extend(crate::invariants::audit_server(&self.ns, server));
+        for ctx in &self.ctxs {
+            if !ctx.failed {
+                let server = &ctx.server;
+                v.extend(crate::invariants::audit_server(&self.shared.ns, server));
                 v.extend(crate::invariants::check_lease_freshness(server, now));
-                if let Some(roles) = self.roles.as_deref() {
+                if let Some(roles) = self.shared.roles.as_deref() {
                     v.extend(crate::invariants::check_role_placement(roles, server));
                 }
             }
         }
         v.extend(crate::invariants::check_pending_hygiene(
-            self.cfg.retry.enabled,
+            self.shared.cfg.retry.enabled,
             self.stats.injected,
             self.stats.resolved,
             self.stats.dropped_total(),
             self.pending.len(),
         ));
-        if self.cfg.storage.enabled {
-            for (server, failed) in self.servers.iter().zip(&self.failed) {
-                if !failed {
+        if self.shared.cfg.storage.enabled {
+            for ctx in &self.ctxs {
+                if !ctx.failed {
                     v.extend(crate::invariants::check_storage_soundness(
-                        &self.ns,
-                        &self.assignment,
-                        &self.cfg.storage,
-                        self.roles.as_deref(),
+                        &self.shared.ns,
+                        &self.shared.assignment,
+                        &self.shared.cfg.storage,
+                        self.shared.roles.as_deref(),
                         &self.committed,
-                        server,
+                        &ctx.server,
                     ));
                 }
             }
             v.extend(crate::invariants::check_storage_replica_counts(
-                &self.ns,
-                &self.assignment,
-                &self.cfg.storage,
-                self.roles.as_deref(),
+                &self.shared.ns,
+                &self.shared.assignment,
+                &self.shared.cfg.storage,
+                self.shared.roles.as_deref(),
                 self.committed.len(),
-                &self.servers,
+                self.ctxs.iter().map(|c| &c.server),
             ));
         }
         v
@@ -1815,7 +1936,7 @@ impl System {
     /// Forward-emission audit: checks every `Query` a server just emitted
     /// against the sender's current state (`invariants::check_incremental_progress`).
     fn audit_outgoing(&self, from: ServerId, effects: &[Outgoing]) {
-        let Some(sender) = self.servers.get(from.index()) else {
+        let Some(sender) = self.ctxs.get(from.index()).map(|c| &c.server) else {
             return;
         };
         for o in effects {
@@ -1825,7 +1946,7 @@ impl System {
             } = o
             {
                 let violations =
-                    crate::invariants::check_incremental_progress(&self.cfg, sender, p);
+                    crate::invariants::check_incremental_progress(&self.shared.cfg, sender, p);
                 debug_assert!(
                     violations.is_empty(),
                     "forward invariants violated: {violations:#?}"
@@ -1844,8 +1965,14 @@ impl System {
             Event::ChurnRecover { server } => self.churn_recover(server),
             Event::Chaos { idx } => self.apply_chaos(idx),
             Event::CutStart { cut } => {
-                // xtask: allow(alloc): scheduled cut, a handful per run; the clone detaches the cfg borrow so apply_cut may mutate self
-                let groups = self.cfg.partitions.cuts.get(cut).map(|w| w.groups.clone());
+                let groups = self
+                    .shared
+                    .cfg
+                    .partitions
+                    .cuts
+                    .get(cut)
+                    // xtask: allow(alloc): scheduled cut, a handful per run; the clone detaches the cfg borrow so apply_cut may mutate self
+                    .map(|w| w.groups.clone());
                 if let Some(g) = groups {
                     self.apply_cut(&g);
                 }
@@ -1857,38 +1984,72 @@ impl System {
             Event::StoreRepair => self.store_repair(),
             Event::StoreReadDone { id } => self.finish_read(id),
             Event::GossipRound => self.gossip_round(),
+            // xtask: region(dispatch): begin — periodic sweeps: maintenance/sampling step every server's context
             Event::Maintain => {
                 let now = self.engine.now();
-                for i in 0..self.servers.len() {
-                    if self.failed.get(i).copied().unwrap_or(true) {
+                let n = self.ctxs.len();
+                // Phase 1 — compute (order-independent): each live
+                // server's maintenance touches only its own context and
+                // draws no randomness, writing its effects into its own
+                // buffer. The shadow-exec permutation may step this
+                // sweep in any order.
+                let order = self.sweep_order(n);
+                let mut bufs = std::mem::take(&mut self.maint_bufs);
+                for &oi in &order {
+                    let i = oi as usize;
+                    let Some(ctx) = self.ctxs.get_mut(i) else {
+                        continue;
+                    };
+                    if ctx.failed {
                         continue;
                     }
-                    debug_assert!(self.out_buf.is_empty());
-                    let mut out = std::mem::take(&mut self.out_buf);
-                    if let Some(server) = self.servers.get_mut(i) {
-                        server.maintenance(now, &mut out);
-                    }
-                    self.out_buf = out;
-                    self.dispatch(ServerId(i as u32));
+                    let Some(buf) = bufs.get_mut(i) else {
+                        continue;
+                    };
+                    debug_assert!(buf.is_empty());
+                    ctx.server.maintenance(now, buf);
                 }
+                // Phase 2 — apply (canonical id order): dispatch draws
+                // loss/jitter randomness and schedules calendar events,
+                // so effects apply in id order for byte-identical replay.
+                for i in 0..n {
+                    let Some(buf) = bufs.get_mut(i) else {
+                        continue;
+                    };
+                    self.dispatch_effects(ServerId(i as u32), buf);
+                }
+                self.maint_bufs = bufs;
+                self.perm_buf = order;
                 self.engine
-                    .schedule_in(self.cfg.load_window, Event::Maintain);
+                    .schedule_in(self.shared.cfg.load_window, Event::Maintain);
             }
             Event::Sample => {
                 let now = self.engine.now();
+                let n = self.ctxs.len();
+                // Phase 1 — compute: each meter rolls its own window
+                // (no RNG, own context only), in shadow-permutable order.
+                let order = self.sweep_order(n);
+                for &oi in &order {
+                    if let Some(ctx) = self.ctxs.get_mut(oi as usize) {
+                        ctx.util.roll(now);
+                    }
+                }
+                self.perm_buf = order;
+                // Phase 2 — accumulate in canonical id order: float
+                // addition is not associative, so the reduction order is
+                // pinned regardless of the sweep permutation.
                 let mut sum = 0.0;
                 let mut max = 0.0f64;
-                for m in &mut self.util {
-                    m.roll(now);
-                    let v = m.measured();
+                for ctx in &self.ctxs {
+                    let v = ctx.util.measured();
                     sum += v;
                     max = max.max(v);
                 }
                 self.stats
                     .load_mean_per_sec
-                    .push(sum / self.util.len() as f64);
+                    .push(sum / self.ctxs.len() as f64);
                 self.stats.load_max_per_sec.push(max);
-                if self.cfg.storage.enabled {
+                if self.shared.cfg.storage.enabled {
                     self.measure_durability();
                 }
                 if cfg!(debug_assertions) {
@@ -1899,7 +2060,7 @@ impl System {
                     );
                 }
                 self.engine.schedule_in(1.0, Event::Sample);
-            }
+            } // xtask: region(dispatch): end
         }
     }
 
@@ -1909,7 +2070,7 @@ impl System {
     /// failure-free runs spend zero fault randomness here.
     fn random_live_origin(&mut self) -> Option<ServerId> {
         use rand::Rng;
-        let n = self.cfg.n_servers;
+        let n = self.shared.cfg.n_servers;
         if self.failed_count() >= n as usize {
             return None;
         }
@@ -1925,7 +2086,7 @@ impl System {
     /// The timeout armed for a given attempt number: capped exponential
     /// backoff `min(base · 2^(attempt-1), cap)`.
     fn timeout_for(&self, attempt: u32) -> f64 {
-        let r = &self.cfg.retry;
+        let r = &self.shared.cfg.retry;
         let exp = attempt.saturating_sub(1).min(52);
         (r.base_timeout * f64::powi(2.0, exp as i32)).min(r.cap)
     }
@@ -1958,7 +2119,7 @@ impl System {
         self.stats.injected_per_sec.record(now);
         self.record_injection_side(now, src);
         self.note_tenant_injected(dst);
-        if self.cfg.retry.enabled {
+        if self.shared.cfg.retry.enabled {
             self.pending.insert(
                 id,
                 Pending {
@@ -1989,10 +2150,10 @@ impl System {
             Some(p) if p.attempt == attempt => (p.origin, p.target, p.issued_at),
             _ => return,
         };
-        if attempt >= self.cfg.retry.max_attempts {
+        if attempt >= self.shared.cfg.retry.max_attempts {
             self.pending.remove(&id);
             self.stats.on_drop(now, DropKind::Timeout);
-            Self::tenant_drop_at(self.tenants.as_ref(), &mut self.stats, target);
+            Self::tenant_drop_at(self.shared.tenants.as_deref(), &mut self.stats, target);
             return;
         }
         // Re-resolve the origin, excluding hosts observed dead.
@@ -2036,9 +2197,9 @@ impl System {
                 // a dead host (PR 2's negative-caching path). The far
                 // side is unreachable, not dead: entries clear via
                 // proof-of-life after the heal or expire at dead_ttl.
-                if self.cfg.negative_caching_active() && !self.is_failed(sender) {
+                if self.shared.cfg.negative_caching_active() && !self.is_failed(sender) {
                     self.engine.schedule_in(
-                        self.cfg.network_delay,
+                        self.shared.cfg.network_delay,
                         Event::Deliver {
                             to: sender,
                             from: None,
@@ -2047,11 +2208,11 @@ impl System {
                     );
                 }
                 if msg.is_query_traffic() {
-                    if self.cfg.retry.enabled {
+                    if self.shared.cfg.retry.enabled {
                         self.stats.on_attempt_lost(DropKind::Partition);
                     } else {
                         self.stats.on_drop(now, DropKind::Partition);
-                        Self::tenant_drop(self.tenants.as_ref(), &mut self.stats, &msg);
+                        Self::tenant_drop(self.shared.tenants.as_deref(), &mut self.stats, &msg);
                     }
                 }
                 return;
@@ -2067,7 +2228,7 @@ impl System {
                 if let (Some(prev), Some(via)) = (p.prev_hop, p.intended_via) {
                     if !self.is_failed(prev) {
                         self.engine.schedule_in(
-                            self.cfg.network_delay,
+                            self.shared.cfg.network_delay,
                             Event::Deliver {
                                 to: prev,
                                 from: None,
@@ -2083,11 +2244,11 @@ impl System {
             // Negative-caching feedback: the live sender — whatever the
             // message kind — learns the host is unreachable and purges it
             // from its soft state (DESIGN.md §12).
-            if self.cfg.negative_caching_active() {
+            if self.shared.cfg.negative_caching_active() {
                 if let Some(sender) = from {
                     if !self.is_failed(sender) {
                         self.engine.schedule_in(
-                            self.cfg.network_delay,
+                            self.shared.cfg.network_delay,
                             Event::Deliver {
                                 to: sender,
                                 from: None,
@@ -2098,11 +2259,11 @@ impl System {
                 }
             }
             if msg.is_query_traffic() {
-                if self.cfg.retry.enabled {
+                if self.shared.cfg.retry.enabled {
                     self.stats.on_attempt_dead();
                 } else {
                     self.stats.on_drop(now, DropKind::Queue);
-                    Self::tenant_drop(self.tenants.as_ref(), &mut self.stats, &msg);
+                    Self::tenant_drop(self.shared.tenants.as_deref(), &mut self.stats, &msg);
                 }
             }
             return;
@@ -2116,23 +2277,21 @@ impl System {
                 );
             }
         }
-        // Per-server admission bound (DESIGN.md §19): relays run deeper
-        // queues; with roles off every entry equals the scalar capacity.
-        let cap = self
-            .queue_caps
-            .get(to.index())
-            .copied()
-            .unwrap_or(self.cfg.queue_capacity);
-        let Some(q) = self.queues.get_mut(to.index()) else {
+        // xtask: region(dispatch): begin — queueing executor: admission, service start/finish act on the target's context
+        let Some(ctx) = self.ctxs.get_mut(to.index()) else {
             return;
         };
+        // Per-server admission bound (DESIGN.md §19): relays run deeper
+        // queues; with roles off every entry equals the scalar capacity.
+        let cap = ctx.queue_cap;
+        let q = &mut ctx.queue;
         if msg.is_query_traffic() && q.len() >= cap {
-            if !self.cfg.shedding {
-                if self.cfg.retry.enabled {
+            if !self.shared.cfg.shedding {
+                if self.shared.cfg.retry.enabled {
                     self.stats.on_attempt_lost(DropKind::Queue);
                 } else {
                     self.stats.on_drop(now, DropKind::Queue);
-                    Self::tenant_drop(self.tenants.as_ref(), &mut self.stats, &msg);
+                    Self::tenant_drop(self.shared.tenants.as_deref(), &mut self.stats, &msg);
                 }
                 return;
             }
@@ -2146,7 +2305,7 @@ impl System {
             // (badness −1): a result is a query one delivery away from
             // resolving. If nothing queued is strictly worse than the
             // arrival, the arrival itself is shed.
-            let ttl = i64::from(self.cfg.ttl_hops);
+            let ttl = i64::from(self.shared.cfg.ttl_hops);
             let badness = |m: &Message| match m {
                 Message::Query(p) => ttl - i64::from(p.hops),
                 _ => -1,
@@ -2171,11 +2330,11 @@ impl System {
                 },
                 None => msg,
             };
-            if self.cfg.retry.enabled {
+            if self.shared.cfg.retry.enabled {
                 self.stats.on_attempt_lost(DropKind::Shed);
             } else {
                 self.stats.on_drop(now, DropKind::Shed);
-                Self::tenant_drop(self.tenants.as_ref(), &mut self.stats, &shed);
+                Self::tenant_drop(self.shared.tenants.as_deref(), &mut self.stats, &shed);
             }
             if victim.is_some() {
                 self.try_start(to);
@@ -2188,62 +2347,67 @@ impl System {
 
     fn try_start(&mut self, s: ServerId) {
         let i = s.index();
-        if self.in_service.get(i).is_none_or(Option::is_some) {
-            return;
-        }
-        let Some(msg) = self.queues.get_mut(i).and_then(VecDeque::pop_front) else {
+        let now = self.engine.now();
+        let Some(ctx) = self.ctxs.get_mut(i) else {
             return;
         };
-        let now = self.engine.now();
-        let speed = self.speeds.get(i).copied().unwrap_or(1.0);
-        let mut d = self.service.sample(&mut self.rng_service) / speed;
+        if ctx.in_service.is_some() {
+            return;
+        }
+        let Some(msg) = ctx.queue.pop_front() else {
+            return;
+        };
+        let mut d = self.service.sample(&mut self.rng_service) / ctx.speed;
         match &msg {
             Message::Query(_) => self.stats.query_messages += 1,
             // Result delivery and control traffic are lightweight: the
             // paper's service time models routing steps, not the direct
             // response to the querier.
-            _ => d *= self.cfg.control_service_factor,
+            _ => d *= self.shared.cfg.control_service_factor,
         }
-        if let Some(server) = self.servers.get_mut(i) {
-            server.record_busy(now, d);
-        }
-        if let Some(meter) = self.util.get_mut(i) {
-            meter.record_busy(now, d);
-        }
-        if let Some(slot) = self.in_service.get_mut(i) {
-            *slot = Some(msg);
-        }
-        let epoch = self.epoch.get(i).copied().unwrap_or(0);
+        ctx.server.record_busy(now, d);
+        ctx.util.record_busy(now, d);
+        ctx.in_service = Some(msg);
+        let epoch = ctx.epoch;
         self.engine
             .schedule_in(d, Event::ServiceDone { server: s, epoch });
     }
 
     fn finish_service(&mut self, s: ServerId, epoch: u64) {
         let i = s.index();
-        if self.epoch.get(i).copied().unwrap_or(0) != epoch {
-            // Completion scheduled before a crash: the message already
-            // died (and was accounted) in fail_server.
-            return;
-        }
-        let Some(msg) = self.in_service.get_mut(i).and_then(Option::take) else {
-            debug_assert!(false, "service completion without a message in service");
-            return;
-        };
         let now = self.engine.now();
-        let was_query = matches!(msg, Message::Query(_));
         debug_assert!(self.out_buf.is_empty());
         let mut out = std::mem::take(&mut self.out_buf);
-        if let Some(server) = self.servers.get_mut(i) {
-            server.handle_message(now, msg, &mut self.rng_protocol, &mut out);
+        {
+            let Some(ctx) = self.ctxs.get_mut(i) else {
+                self.out_buf = out;
+                return;
+            };
+            if ctx.epoch != epoch {
+                // Completion scheduled before a crash: the message already
+                // died (and was accounted) in fail_server.
+                self.out_buf = out;
+                return;
+            }
+            let Some(msg) = ctx.in_service.take() else {
+                debug_assert!(false, "service completion without a message in service");
+                self.out_buf = out;
+                return;
+            };
+            let was_query = matches!(msg, Message::Query(_));
+            ctx.server
+                .handle_message(now, msg, &mut self.rng_protocol, &mut out);
             if was_query {
                 // "A server checks its load after each processed query."
-                server.maybe_start_session(now, &mut self.rng_protocol, &mut out);
+                ctx.server
+                    .maybe_start_session(now, &mut self.rng_protocol, &mut out);
             }
         }
         self.out_buf = out;
         self.dispatch(s);
         self.try_start(s);
     }
+    // xtask: region(dispatch): end
 
     /// Interprets the effects a server emitted.
     /// Deterministic wire-byte accounting (DESIGN.md §18): every message
@@ -2263,12 +2427,19 @@ impl System {
     }
 
     fn dispatch(&mut self, from: ServerId) {
+        let mut effects = std::mem::take(&mut self.out_buf);
+        self.dispatch_effects(from, &mut effects);
+        self.out_buf = effects;
+    }
+
+    /// Applies a drained effect buffer (the buffer keeps its capacity —
+    /// the Maintain sweep and `dispatch` reuse theirs every round).
+    fn dispatch_effects(&mut self, from: ServerId, effects: &mut Vec<Outgoing>) {
         let now = self.engine.now();
-        let effects = std::mem::take(&mut self.out_buf);
         if cfg!(debug_assertions) {
-            self.audit_outgoing(from, &effects);
+            self.audit_outgoing(from, effects);
         }
-        for o in effects {
+        for o in effects.drain(..) {
             match o {
                 Outgoing::Send { to, msg } => {
                     if msg.is_control() {
@@ -2287,19 +2458,23 @@ impl System {
                         continue;
                     }
                     self.charge_wire(&msg);
-                    let mut delay = self.cfg.network_delay;
-                    let loss_prob = self.cfg.faults.loss_prob;
-                    let jitter = self.cfg.faults.jitter;
+                    let mut delay = self.shared.cfg.network_delay;
+                    let loss_prob = self.shared.cfg.faults.loss_prob;
+                    let jitter = self.shared.cfg.faults.jitter;
                     if loss_prob > 0.0 {
                         use rand::Rng;
                         if self.rng_faults.gen::<f64>() < loss_prob {
                             self.stats.messages_lost += 1;
                             if msg.is_query_traffic() {
-                                if self.cfg.retry.enabled {
+                                if self.shared.cfg.retry.enabled {
                                     self.stats.on_attempt_lost(DropKind::Lost);
                                 } else {
                                     self.stats.on_drop(now, DropKind::Lost);
-                                    Self::tenant_drop(self.tenants.as_ref(), &mut self.stats, &msg);
+                                    Self::tenant_drop(
+                                        self.shared.tenants.as_deref(),
+                                        &mut self.stats,
+                                        &msg,
+                                    );
                                 }
                             }
                             continue;
@@ -2334,7 +2509,7 @@ impl System {
                 detour_hops,
                 ..
             } => {
-                let counts = if self.cfg.retry.enabled {
+                let counts = if self.shared.cfg.retry.enabled {
                     // Only the first resolution of a still-pending query
                     // counts: retries can race a slow earlier attempt, and
                     // a resolution after timeout exhaustion arrives too
@@ -2346,7 +2521,12 @@ impl System {
                 if counts {
                     self.stats
                         .on_resolved(now, issued_at, hops, misrouted, detour_hops);
-                    if let Some(t) = self.tenants.as_ref().and_then(|m| m.tenant_of(target)) {
+                    if let Some(t) = self
+                        .shared
+                        .tenants
+                        .as_deref()
+                        .and_then(|m| m.tenant_of(target))
+                    {
                         self.stats.on_tenant_resolved(t, now - issued_at, misrouted);
                     }
                     // Per-side availability numerator: results deliver at
@@ -2360,26 +2540,26 @@ impl System {
                 }
             }
             ProtocolEvent::DroppedTtl { target, .. } => {
-                if self.cfg.retry.enabled {
+                if self.shared.cfg.retry.enabled {
                     self.stats.on_attempt_lost(DropKind::Ttl);
                 } else {
                     self.stats.on_drop(now, DropKind::Ttl);
-                    Self::tenant_drop_at(self.tenants.as_ref(), &mut self.stats, target);
+                    Self::tenant_drop_at(self.shared.tenants.as_deref(), &mut self.stats, target);
                 }
             }
             ProtocolEvent::DroppedStuck { target, .. } => {
-                if self.cfg.retry.enabled {
+                if self.shared.cfg.retry.enabled {
                     self.stats.on_attempt_lost(DropKind::Stuck);
                 } else {
                     self.stats.on_drop(now, DropKind::Stuck);
-                    Self::tenant_drop_at(self.tenants.as_ref(), &mut self.stats, target);
+                    Self::tenant_drop_at(self.shared.tenants.as_deref(), &mut self.stats, target);
                 }
             }
             ProtocolEvent::HostMarkedDead { .. } => self.stats.negative_evictions += 1,
             ProtocolEvent::Misrouted { .. } => self.stats.misroutes += 1,
             ProtocolEvent::LeaseExpired { count, .. } => self.stats.lease_evictions += count,
             ProtocolEvent::ReplicaCreated { node, .. } => {
-                let level = self.ns.depth(node);
+                let level = self.shared.ns.depth(node);
                 self.stats.on_replica_created(now, level);
             }
             ProtocolEvent::ReplicaDeleted { .. } => self.stats.replicas_deleted += 1,
@@ -2401,16 +2581,16 @@ impl System {
                 // gossiper, bounded by `gossip.window` — and pull them
                 // back with a reply. A second exchange at the same state
                 // selects nothing: the round is idempotent.
-                let window = self.cfg.gossip.window as usize;
+                let window = self.shared.cfg.gossip.window as usize;
                 let mut targets = std::mem::take(&mut self.store_targets);
                 let mut out = std::mem::take(&mut self.gossip_objects);
                 let mut key_buf = std::mem::take(&mut self.gossip_key_buf);
                 out.clear();
-                if let Some(server) = self.servers.get(at.index()) {
-                    let ns = &self.ns;
-                    let assignment = &self.assignment;
-                    let storage_cfg = &self.cfg.storage;
-                    let roles = self.roles.as_deref();
+                if let Some(server) = self.ctxs.get(at.index()).map(|c| &c.server) {
+                    let ns = &self.shared.ns;
+                    let assignment = &self.shared.assignment;
+                    let storage_cfg = &self.shared.cfg.storage;
+                    let roles = self.shared.roles.as_deref();
                     crate::gossip::select_pull(
                         ns,
                         &digest,
@@ -2440,7 +2620,7 @@ impl System {
                     self.stats.control_messages += 1;
                     self.charge_wire(&msg);
                     self.engine.schedule_in(
-                        self.cfg.network_delay,
+                        self.shared.cfg.network_delay,
                         Event::Deliver {
                             to: from,
                             from: Some(at),
@@ -2497,23 +2677,20 @@ impl System {
 
     /// For tests: total queued messages across all servers.
     pub fn queued_messages(&self) -> usize {
-        self.queues
-            .iter()
-            .map(std::collections::VecDeque::len)
-            .sum()
+        self.ctxs.iter().map(|c| c.queue.len()).sum()
     }
 
     /// For tests: owner of a node per the assignment.
     pub fn owner_of(&self, node: NodeId) -> ServerId {
-        self.assignment.owner(node)
+        self.shared.assignment.owner(node)
     }
 }
 
 impl std::fmt::Debug for System {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("System")
-            .field("servers", &self.servers.len())
-            .field("nodes", &self.ns.len())
+            .field("servers", &self.ctxs.len())
+            .field("nodes", &self.shared.ns.len())
             .field("now", &self.engine.now())
             .field("injected", &self.stats.injected)
             .finish_non_exhaustive()
@@ -2697,11 +2874,14 @@ mod tests {
         let mut cfg = Config::paper_default(8).with_seed(9);
         cfg.speed_spread = 3.0;
         let sys = System::new(ns, cfg, StreamPlan::unif(10.0), 10.0);
-        let mean: f64 = sys.speeds.iter().sum::<f64>() / sys.speeds.len() as f64;
+        let mean: f64 = sys.speed_table().iter().sum::<f64>() / sys.speed_table().len() as f64;
         assert!((mean - 1.0).abs() < 1e-9, "speed mean {mean}");
-        assert!(sys.speeds.iter().any(|&s| s > 1.2));
-        assert!(sys.speeds.iter().any(|&s| s < 0.8));
-        assert!(sys.speeds.iter().all(|&s| (1.0 / 3.5..=3.5).contains(&s)));
+        assert!(sys.speed_table().iter().any(|&s| s > 1.2));
+        assert!(sys.speed_table().iter().any(|&s| s < 0.8));
+        assert!(sys
+            .speed_table()
+            .iter()
+            .all(|&s| (1.0 / 3.5..=3.5).contains(&s)));
     }
 
     #[test]
@@ -2713,7 +2893,7 @@ mod tests {
         let _ = busy_at_fail;
         sys.run_until(10.0);
         // The dead server's utilization meter reads zero in steady state.
-        let m = &sys.util[0];
+        let m = &sys.ctxs[0].util;
         assert_eq!(m.measured(), 0.0);
     }
 
@@ -2737,13 +2917,13 @@ mod tests {
         // crash and recover it: the session must die with the reset (no
         // stranded probe can complete against the rebooted state) and the
         // abort must enter the ledger.
-        sys.servers[id.index()].session =
+        sys.ctxs[id.index()].server.session =
             Some(crate::replication::Session::new_for_tests(ServerId(2), now));
         let before = sys.stats().sessions_aborted;
         sys.fail_server(id);
         sys.recover_server(id);
         assert!(
-            sys.servers[id.index()].session.is_none(),
+            sys.ctxs[id.index()].server.session.is_none(),
             "session survived initiator recovery"
         );
         assert_eq!(sys.stats().sessions_aborted, before + 1);
@@ -2784,7 +2964,7 @@ mod tests {
         assert_eq!(st.reads_failed, 0);
         assert_eq!(st.stale_reads, 0);
         assert_eq!(st.repair_pushes, 0);
-        assert!(sys.servers().iter().all(|s| s.stored_object_count() == 0));
+        assert!(sys.servers().all(|s| s.stored_object_count() == 0));
     }
 
     #[test]
@@ -2941,7 +3121,7 @@ mod tests {
         sys.recover_server(ServerId(1));
         let wiped = sys
             .servers()
-            .get(1)
+            .nth(1)
             .map_or(usize::MAX, crate::server::ServerState::stored_object_count);
         assert_eq!(wiped, 0, "recovery must wipe the store");
         sys.run_until(12.0);
@@ -2950,7 +3130,7 @@ mod tests {
         assert!(st.gossip_bytes > 0, "digest rounds must run");
         let restored = sys
             .servers()
-            .get(1)
+            .nth(1)
             .map_or(0, crate::server::ServerState::stored_object_count);
         assert!(restored > 0, "digest-driven repair restored nothing");
     }
@@ -3027,6 +3207,104 @@ mod tests {
         sys.run_until(20.0);
         assert!(sys.audit().is_empty(), "{:?}", sys.audit());
         assert!(sys.roles().is_some(), "role map must be built");
+    }
+
+    // Error-path coverage for the invariant checkers themselves: a
+    // checker that never fires on corrupted state is indistinguishable
+    // from one that checks nothing, so each test below breaks a System
+    // by hand and demands the matching auditor reports it.
+
+    #[test]
+    fn future_lease_stamp_trips_the_freshness_checker() {
+        let mut sys = small_system(|_| {});
+        sys.run_until(5.0);
+        assert!(sys.audit().is_empty(), "{:?}", sys.audit());
+        let ctx = sys
+            .ctxs
+            .iter_mut()
+            .find(|c| !c.server.owned.is_empty())
+            .expect("someone owns records");
+        let rec = ctx.server.owned.values_mut().next().expect("non-empty");
+        rec.lease_at = 1.0e12;
+        let direct = crate::invariants::check_lease_freshness(&ctx.server, 5.0);
+        assert_eq!(direct.len(), 1, "{direct:?}");
+        assert!(direct[0].contains("leased at"), "{direct:?}");
+        let v = sys.audit();
+        assert!(v.iter().any(|m| m.contains("leased at")), "{v:?}");
+    }
+
+    #[test]
+    fn foreign_replica_trips_the_role_placement_checker() {
+        let mut sys = small_system(|c| {
+            // The degenerate all-edge fleet with an empty allowlist: no
+            // server admits any non-spine node, so any planted foreign
+            // replica is guaranteed to violate placement.
+            c.roles.enabled = true;
+            c.roles.relay_every = 0;
+            c.roles.keeper_every = 0;
+            c.roles.owned_admission = false;
+        });
+        sys.run_until(5.0);
+        assert!(sys.audit().is_empty(), "{:?}", sys.audit());
+        let roles = sys.roles().expect("roles on").clone();
+        // Steal an owned record and plant it as a replica on a server
+        // whose role does not admit that node's region.
+        let mut planted = None;
+        'outer: for ctx in &sys.ctxs {
+            for (n, r) in &ctx.server.owned {
+                for j in 0..sys.ctxs.len() {
+                    if !roles.admits(ServerId(j as u32), *n) {
+                        planted = Some((*n, r.clone(), j));
+                        break 'outer;
+                    }
+                }
+            }
+        }
+        let (node, rec, j) = planted.expect("some (server, node) pair is not admitted");
+        sys.ctxs[j].server.replicas.insert(node, rec);
+        let direct = crate::invariants::check_role_placement(&roles, &sys.ctxs[j].server);
+        assert!(
+            direct
+                .iter()
+                .any(|m| m.contains("outside its admitted regions")),
+            "{direct:?}"
+        );
+        let v = sys.audit();
+        assert!(
+            v.iter().any(|m| m.contains("outside its admitted regions")),
+            "{v:?}"
+        );
+    }
+
+    #[test]
+    fn overversioned_object_copy_trips_the_storage_checker() {
+        let mut sys = small_system(|c| {
+            c.storage.enabled = true;
+        });
+        sys.run_until(5.0);
+        assert!(sys.audit().is_empty(), "{:?}", sys.audit());
+        let (i, node) = sys
+            .ctxs
+            .iter()
+            .enumerate()
+            .find_map(|(i, c)| c.server.store.keys().next().map(|n| (i, *n)))
+            .expect("storage pre-seeds copies");
+        let obj = sys.ctxs[i].server.store.get_mut(&node).expect("present");
+        obj.version = u64::MAX;
+        let direct = crate::invariants::check_storage_soundness(
+            &sys.shared.ns,
+            &sys.shared.assignment,
+            &sys.shared.cfg.storage,
+            sys.shared.roles.as_deref(),
+            &sys.committed,
+            &sys.ctxs[i].server,
+        );
+        assert!(
+            direct.iter().any(|m| m.contains("outside 1..=")),
+            "{direct:?}"
+        );
+        let v = sys.audit();
+        assert!(v.iter().any(|m| m.contains("outside 1..=")), "{v:?}");
     }
 
     #[test]

@@ -13,7 +13,7 @@
 
 use std::path::Path;
 
-use xtask::analyze::{conservation, dead_config, determinism, exhaustive, hotpath};
+use xtask::analyze::{conservation, dead_config, determinism, exhaustive, hotpath, isolation};
 use xtask::checks;
 
 fn fixture(name: &str) -> String {
@@ -144,6 +144,47 @@ fn hotpath_fixture_is_flagged_at_exact_lines() {
 }
 
 #[test]
+fn isolation_fixture_is_flagged_at_exact_lines() {
+    let src = fixture("isolation_bad.rs");
+    let label = "crates/terradir/src/isolation_bad.rs";
+    let vs = isolation::check_isolation(label, &src);
+    let got: Vec<(usize, &str)> = vs.iter().map(|v| (v.line, v.what.as_str())).collect();
+    assert_eq!(vs.len(), 13, "{got:#?}");
+    let expect: &[(usize, &str)] = &[
+        (5, "Rc<"),
+        (6, "RefCell"),
+        (7, "Cell<"),
+        (10, "static mut"),
+        (12, "thread_local!"),
+        (17, "Mutex"),
+        (18, "RwLock"),
+        (28, ".ctxs.get_mut"),
+        (29, "outside `crates/terradir/src/system.rs`"),
+        (30, "&mut self.ctxs"),
+        (31, "outside `crates/terradir/src/system.rs`"),
+        (35, "without a justification"),
+        (37, "RefCell"),
+    ];
+    for (v, (line, needle)) in vs.iter().zip(expect) {
+        assert_eq!(v.line, *line, "{got:#?}");
+        assert!(v.what.contains(needle), "line {line}: {}", v.what);
+        assert_eq!(v.file, label);
+        // The rendered diagnostic is a clickable path:line.
+        assert!(v.to_string().starts_with(&format!("{label}:{}", v.line)));
+    }
+    // The justified marker at line 41 suppressed the RefCell at line 42,
+    // and the cfg(test) module at the bottom never reported.
+    assert!(!vs.iter().any(|v| v.line >= 40), "{got:#?}");
+}
+
+#[test]
+fn isolation_clean_fixture_passes_as_the_dispatch_file() {
+    let src = fixture("isolation_clean.rs");
+    let vs = isolation::check_isolation(isolation::DISPATCH_FILE, &src);
+    assert!(vs.is_empty(), "isolation: {vs:?}");
+}
+
+#[test]
 fn hotpath_clean_fixture_passes() {
     let src = fixture("hotpath_clean.rs");
     let vs = hotpath::check_hotpath("crates/sim/src/calendar.rs", &src);
@@ -180,6 +221,9 @@ fn clean_fixture_passes_every_pass() {
     };
     let vs = exhaustive::check_enum_rule(&rule, &src, &writers);
     assert!(vs.is_empty(), "exhaustive: {vs:?}");
+
+    let vs = isolation::check_isolation(label, &src);
+    assert!(vs.is_empty(), "isolation: {vs:?}");
 }
 
 #[test]
@@ -192,18 +236,19 @@ fn full_suite_is_clean_on_this_workspace() {
         report.violations,
         report.io_errors
     );
-    // All seven passes actually ran, and each was timed.
+    // All eight passes actually ran, cheapest first, and each was timed.
     let names: Vec<&str> = report.passes.iter().map(|(n, _)| *n).collect();
     assert_eq!(
         names,
         vec![
-            "config-docs",
+            "exhaustive",
             "panic-free",
             "determinism",
+            "config-docs",
+            "hotpath",
+            "isolation",
             "conservation",
-            "dead-config",
-            "exhaustive",
-            "hotpath"
+            "dead-config"
         ]
     );
     let timed: Vec<&str> = report.timings.iter().map(|(n, _)| *n).collect();

@@ -1,0 +1,28 @@
+//! Known-clean isolation fixture, checked under the dispatch-file
+//! label: the fenced cross-server access is exactly the pattern the
+//! calendar dispatch in `system.rs` uses, and must sail through.
+
+use std::sync::Arc;
+
+pub struct Ctx {
+    epoch: u64,
+}
+
+pub struct System {
+    shared: Arc<Vec<u64>>,
+    ctxs: Vec<Ctx>,
+}
+
+impl System {
+    // xtask: region(dispatch): begin — fixture executor: steps one server's own context
+    pub fn step(&mut self, i: usize) {
+        if let Some(ctx) = self.ctxs.get_mut(i) {
+            ctx.epoch += 1;
+        }
+    }
+    // xtask: region(dispatch): end
+
+    pub fn read_only(&self) -> usize {
+        self.ctxs.len() + self.shared.len()
+    }
+}

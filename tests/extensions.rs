@@ -102,7 +102,7 @@ fn static_bootstrap_replicates_top_levels() {
     // Nodes at depth 0..3 (1 + 2 + 4 = 7 nodes) each have 4 extra hosts.
     for node in sys.namespace().ids() {
         let depth = sys.namespace().depth(node);
-        let hosts = sys.servers().iter().filter(|s| s.hosts(node)).count();
+        let hosts = sys.servers().filter(|s| s.hosts(node)).count();
         if depth < 3 {
             assert!(
                 hosts >= 4,

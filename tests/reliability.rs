@@ -211,7 +211,6 @@ fn negative_caching_observes_dead_hosts() {
     assert!(st.negative_evictions > 0, "no host was marked dead");
     let witnesses = sys
         .servers()
-        .iter()
         .filter(|s| s.is_negatively_cached(victim))
         .count();
     assert!(witnesses > 0, "no live server negatively cached the victim");

@@ -28,7 +28,7 @@ fn hot_spots_get_replicated_and_spread() {
     // The hottest node should be hosted by several servers by now.
     let mut max_hosts = 0;
     for n in sys.namespace().ids() {
-        let hosts = sys.servers().iter().filter(|s| s.hosts(n)).count();
+        let hosts = sys.servers().filter(|s| s.hosts(n)).count();
         max_hosts = max_hosts.max(hosts);
     }
     assert!(
